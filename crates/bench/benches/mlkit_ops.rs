@@ -1,0 +1,84 @@
+//! Core ML-substrate operation costs: linear algebra, metrics, clustering,
+//! and resampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlkit::dataset::Dataset;
+use mlkit::kmeans::kmeans;
+use mlkit::matrix::Matrix;
+use mlkit::metrics::{roc_auc, ConfusionMatrix};
+use mlkit::sampling::{random_undersample, smote};
+use mlkit::stats::spearman;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn synthetic_dataset(n: usize, d: usize, pos_rate: f64, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        rows.push((0..d).map(|_| rng.gen::<f32>()).collect::<Vec<f32>>());
+        y.push(if rng.gen::<f64>() < pos_rate { 1.0 } else { 0.0 });
+    }
+    Dataset::from_rows(&rows, &y).expect("valid dataset")
+}
+
+fn bench_matrix(c: &mut Criterion) {
+    let a = Matrix::from_vec(128, 128, vec![0.5; 128 * 128]).expect("valid");
+    let v = vec![1.0f32; 128];
+    let mut group = c.benchmark_group("matrix");
+    group.bench_function("matmul_128", |b| {
+        b.iter(|| a.matmul(std::hint::black_box(&a)).expect("multiplies"))
+    });
+    group.bench_function("matvec_128", |b| {
+        b.iter(|| a.matvec(std::hint::black_box(&v)).expect("multiplies"))
+    });
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let truth: Vec<f32> = (0..10_000).map(|_| if rng.gen::<f32>() < 0.1 { 1.0 } else { 0.0 }).collect();
+    let scores: Vec<f32> = (0..10_000).map(|_| rng.gen()).collect();
+    let pred: Vec<f32> = scores.iter().map(|&s| if s > 0.5 { 1.0 } else { 0.0 }).collect();
+    let xs: Vec<f64> = (0..10_000).map(|_| rng.gen()).collect();
+    let ys: Vec<f64> = xs.iter().map(|&x| x + rng.gen::<f64>()).collect();
+
+    let mut group = c.benchmark_group("metrics");
+    group.bench_function("confusion_10k", |b| {
+        b.iter(|| ConfusionMatrix::from_predictions(&truth, std::hint::black_box(&pred)).expect("valid"))
+    });
+    group.bench_function("roc_auc_10k", |b| {
+        b.iter(|| roc_auc(&truth, std::hint::black_box(&scores)).expect("valid"))
+    });
+    group.bench_function("spearman_10k", |b| {
+        b.iter(|| spearman(&xs, std::hint::black_box(&ys)).expect("valid"))
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let ds = synthetic_dataset(5_000, 16, 0.05, 2);
+    let mut group = c.benchmark_group("sampling");
+    group.sample_size(10);
+    group.bench_function("random_undersample", |b| {
+        b.iter(|| random_undersample(std::hint::black_box(&ds), 2.0, 1).expect("samples"))
+    });
+    group.bench_function("smote", |b| {
+        b.iter(|| smote(std::hint::black_box(&ds), 2.0, 5, 1).expect("samples"))
+    });
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let ds = synthetic_dataset(2_000, 8, 0.5, 3);
+    let mut group = c.benchmark_group("kmeans");
+    group.sample_size(10);
+    group.bench_function("k8_n2000", |b| {
+        b.iter(|| kmeans(std::hint::black_box(ds.x()), 8, 20, 1).expect("clusters"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matrix, bench_metrics, bench_sampling, bench_kmeans);
+criterion_main!(benches);

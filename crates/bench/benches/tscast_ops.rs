@@ -1,0 +1,59 @@
+//! Time-series forecasting costs: AR fitting (with order selection) and
+//! multi-step forecasting — the per-sample cost of the paper's "second
+//! approach" feature forecasting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tscast::ar::{fit_best_order, ArModel};
+use tscast::smooth::{Ewma, HoltLinear};
+use tscast::Forecaster;
+
+fn series(n: usize) -> Vec<f64> {
+    // AR(2)-ish synthetic telemetry with deterministic pseudo-noise.
+    let mut out = Vec::with_capacity(n);
+    let (mut a, mut b) = (0.0f64, 0.0f64);
+    let mut state = 0x1234_5678_9abc_def0u64;
+    for _ in 0..n {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        let x = 0.6 * a - 0.2 * b + noise;
+        b = a;
+        a = x;
+        out.push(50.0 + x);
+    }
+    out
+}
+
+fn bench_ar(c: &mut Criterion) {
+    let hist = series(120);
+    let mut group = c.benchmark_group("ar");
+    group.bench_function("fit_order4_120pts", |b| {
+        b.iter(|| ArModel::fit(std::hint::black_box(&hist), 4).expect("fits"))
+    });
+    group.bench_function("fit_best_order_120pts", |b| {
+        b.iter(|| fit_best_order(std::hint::black_box(&hist), 8).expect("fits"))
+    });
+    let model = ArModel::fit(&hist, 4).expect("fits");
+    group.bench_function("forecast_120steps", |b| {
+        b.iter(|| model.forecast(std::hint::black_box(&hist), 120).expect("forecasts"))
+    });
+    group.finish();
+}
+
+fn bench_smoothers(c: &mut Criterion) {
+    let hist = series(500);
+    let ewma = Ewma::new(0.3).expect("valid alpha");
+    let holt = HoltLinear::new(0.5, 0.3).expect("valid weights");
+    let mut group = c.benchmark_group("smooth");
+    group.bench_function("ewma_500pts", |b| {
+        b.iter(|| ewma.forecast(std::hint::black_box(&hist), 10).expect("forecasts"))
+    });
+    group.bench_function("holt_500pts", |b| {
+        b.iter(|| holt.forecast(std::hint::black_box(&hist), 10).expect("forecasts"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ar, bench_smoothers);
+criterion_main!(benches);

@@ -1,0 +1,211 @@
+//! Regenerates the paper's tables and figures from a synthetic trace.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--config scaled|tiny|titan] [--seed N] [--out DIR] <experiment>...
+//! ```
+//!
+//! `<experiment>` is one or more of: `fig1 fig2 fig3 fig4 fig5 fig6 fig7
+//! fig8 table1 fig10 table2 table3 fig11 table4 fig12 fig13 table5 table6`,
+//! or the groups `characterization`, `prediction`, `all`.
+
+use sbe_bench::persist_json;
+use sbepred::experiments::{
+    characterization as ch, extensions as ext, prediction as pr, ExperimentOutput, Lab,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use titan_sim::config::SimConfig;
+
+const CHARACTERIZATION: [&str; 8] = [
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+];
+const PREDICTION: [&str; 10] = [
+    "table1", "fig10", "table2", "table3", "fig11", "table4", "fig12", "fig13", "table5",
+    "table6",
+];
+const EXTENSIONS: [&str; 5] =
+    ["ext_forecast", "ext_imbalance", "ext_retrain", "ext_oracle", "ext_importance"];
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--config scaled|tiny|titan] [--seed N] [--out DIR] <experiment>...\n\
+         experiments: {} {} {} | groups: characterization prediction extensions all",
+        CHARACTERIZATION.join(" "),
+        PREDICTION.join(" "),
+        EXTENSIONS.join(" ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut config = "scaled".to_string();
+    let mut seed = 42u64;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => match args.next() {
+                Some(v) => config = v,
+                None => return usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(v) => out_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        return usage();
+    }
+
+    // Expand groups.
+    let mut ids: Vec<&str> = Vec::new();
+    for w in &wanted {
+        match w.as_str() {
+            "all" => {
+                ids.extend(CHARACTERIZATION);
+                ids.extend(PREDICTION);
+                ids.extend(EXTENSIONS);
+            }
+            "characterization" => ids.extend(CHARACTERIZATION),
+            "prediction" => ids.extend(PREDICTION),
+            "extensions" => ids.extend(EXTENSIONS),
+            other
+                if CHARACTERIZATION.contains(&other)
+                    || PREDICTION.contains(&other)
+                    || EXTENSIONS.contains(&other) =>
+            {
+                ids.push(Box::leak(other.to_string().into_boxed_str()))
+            }
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                return usage();
+            }
+        }
+    }
+    ids.dedup();
+
+    let cfg = match config.as_str() {
+        "scaled" => SimConfig::scaled(seed),
+        "tiny" => SimConfig::tiny(seed),
+        "titan" => SimConfig::titan_scale(seed),
+        other => {
+            eprintln!("unknown config `{other}`");
+            return usage();
+        }
+    };
+
+    eprintln!(
+        "generating trace: {} nodes, {} days, seed {seed}...",
+        cfg.topology.n_nodes(),
+        cfg.days
+    );
+    let t0 = std::time::Instant::now();
+    let trace = match titan_sim::engine::generate(&cfg) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace generation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "trace ready in {:.1?}: {} apruns, {} samples, positive rate {:.4}",
+        t0.elapsed(),
+        trace.apruns().len(),
+        trace.samples().len(),
+        trace.positive_rate()
+    );
+    let lab = match Lab::new(&trace) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("lab construction failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0;
+    let emit = |out: ExperimentOutput| {
+        println!("{out}");
+        if let Some(dir) = &out_dir {
+            if let Err(e) = persist_json(dir, &out) {
+                eprintln!("warning: could not persist {}: {e}", out.id);
+            }
+        }
+    };
+
+    // table2 and table3 come from one pass; cache when both requested.
+    let mut t2t3: Option<(ExperimentOutput, ExperimentOutput)> = None;
+    for id in ids {
+        let started = std::time::Instant::now();
+        let result: sbepred::Result<ExperimentOutput> = match id {
+            "fig1" => ch::fig1(&lab),
+            "fig2" => ch::fig2(&lab),
+            "fig3" => ch::fig3(&lab),
+            "fig4" => ch::fig4(&lab),
+            "fig5" => ch::fig5(&lab),
+            "fig6" => ch::fig6(&lab),
+            "fig7" => ch::fig7(&lab),
+            "fig8" => ch::fig8(&lab),
+            "table1" => pr::table1(&lab),
+            "fig10" => pr::fig10(&lab),
+            "table2" | "table3" => {
+                if t2t3.is_none() {
+                    match pr::table2_table3(&lab) {
+                        Ok(pair) => t2t3 = Some(pair),
+                        Err(e) => {
+                            eprintln!("{id} failed: {e}");
+                            failures += 1;
+                            continue;
+                        }
+                    }
+                }
+                let (t2, t3) = t2t3.clone().expect("cached above");
+                Ok(if id == "table2" { t2 } else { t3 })
+            }
+            "fig11" => pr::fig11(&lab),
+            "table4" => pr::table4(&lab),
+            "fig12" => pr::fig12(&lab),
+            "fig13" => pr::fig13(&lab),
+            "table5" => pr::table5(&lab),
+            "table6" => pr::table6(&lab),
+            "ext_forecast" => ext::ext_forecast(&lab),
+            "ext_imbalance" => ext::ext_imbalance(&lab),
+            "ext_retrain" => ext::ext_retrain(&lab),
+            "ext_oracle" => ext::ext_oracle(&lab),
+            "ext_importance" => ext::ext_importance(&lab),
+            other => {
+                eprintln!("unknown experiment `{other}`");
+                failures += 1;
+                continue;
+            }
+        };
+        match result {
+            Ok(out) => {
+                emit(out);
+                eprintln!("[{id} done in {:.1?}]\n", started.elapsed());
+            }
+            Err(e) => {
+                eprintln!("{id} failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

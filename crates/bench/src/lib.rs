@@ -1,0 +1,45 @@
+//! `sbe-bench` — benchmark and reproduction harness.
+//!
+//! The `repro` binary regenerates every table and figure of the paper
+//! (see `repro --help`); the Criterion benches under `benches/` measure
+//! model training/prediction cost (Table III) and pipeline throughput.
+
+use sbepred::experiments::ExperimentOutput;
+use std::path::Path;
+
+/// Writes an experiment's JSON payload next to the printed report.
+///
+/// # Errors
+///
+/// Returns an `std::io::Error` when the directory cannot be created or
+/// the file cannot be written.
+pub fn persist_json(dir: &Path, out: &ExperimentOutput) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{}.json", out.id));
+    let payload = serde_json::json!({
+        "id": out.id,
+        "title": out.title,
+        "result": out.json,
+    });
+    std::fs::write(path, serde_json::to_string_pretty(&payload)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_writes_file() {
+        let dir = std::env::temp_dir().join("sbe-bench-test");
+        let out = ExperimentOutput {
+            id: "unit".into(),
+            title: "t".into(),
+            text: String::new(),
+            json: serde_json::json!({"x": 1}),
+        };
+        persist_json(&dir, &out).unwrap();
+        let s = std::fs::read_to_string(dir.join("unit.json")).unwrap();
+        assert!(s.contains("\"x\": 1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,204 @@
+//! The paper's evaluation splits (§VII-A).
+//!
+//! Three pairs of training/testing windows slide along the trace: each
+//! training set spans 3.5 months and the following two weeks are tested.
+//! For traces shorter than the paper's 150 days (e.g. unit-test configs),
+//! the windows scale proportionally while preserving the ~70/10 ratio.
+
+use crate::{PredError, Result};
+use serde::{Deserialize, Serialize};
+use titan_sim::config::MINUTES_PER_DAY;
+use titan_sim::trace::TraceSet;
+
+/// One training/testing window pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DsSplit {
+    name: String,
+    train_start_min: u64,
+    train_end_min: u64,
+    test_end_min: u64,
+}
+
+/// Paper window lengths, in days, for a 150-day trace.
+const PAPER_TRACE_DAYS: u64 = 150;
+const PAPER_TRAIN_DAYS: u64 = 105; // 3.5 months
+const PAPER_TEST_DAYS: u64 = 14; // two weeks
+
+impl DsSplit {
+    /// Creates a split from explicit day offsets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredError::SplitOutOfRange`] when the windows are empty
+    /// or exceed the trace horizon.
+    pub fn from_days(
+        name: impl Into<String>,
+        trace: &TraceSet,
+        train_start_day: u64,
+        train_days: u64,
+        test_days: u64,
+    ) -> Result<DsSplit> {
+        let horizon = trace.config().total_minutes();
+        if train_days == 0 || test_days == 0 {
+            return Err(PredError::SplitOutOfRange {
+                reason: "train and test windows must be non-empty".into(),
+            });
+        }
+        let train_start_min = train_start_day * MINUTES_PER_DAY;
+        let train_end_min = train_start_min + train_days * MINUTES_PER_DAY;
+        let test_end_min = train_end_min + test_days * MINUTES_PER_DAY;
+        if test_end_min > horizon {
+            return Err(PredError::SplitOutOfRange {
+                reason: format!(
+                    "split ends at minute {test_end_min} but the trace has {horizon} minutes"
+                ),
+            });
+        }
+        Ok(DsSplit {
+            name: name.into(),
+            train_start_min,
+            train_end_min,
+            test_end_min,
+        })
+    }
+
+    /// The `k`-th sliding split (1-based), scaled to the trace length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredError::SplitOutOfRange`] for `k` outside `1..=3` or a
+    /// trace too short to hold the windows.
+    pub fn ds(trace: &TraceSet, k: u64) -> Result<DsSplit> {
+        if !(1..=3).contains(&k) {
+            return Err(PredError::SplitOutOfRange {
+                reason: format!("dataset index must be 1..=3, got {k}"),
+            });
+        }
+        let days = trace.config().days as u64;
+        let train_days = (days * PAPER_TRAIN_DAYS / PAPER_TRACE_DAYS).max(5);
+        let test_days = (days * PAPER_TEST_DAYS / PAPER_TRACE_DAYS).max(2);
+        let slack = days
+            .checked_sub(train_days + test_days)
+            .ok_or_else(|| PredError::SplitOutOfRange {
+                reason: format!(
+                    "trace of {days} days cannot hold train {train_days} + test {test_days} days"
+                ),
+            })?;
+        let start = slack * (k - 1) / 2;
+        DsSplit::from_days(format!("DS{k}"), trace, start, train_days, test_days)
+    }
+
+    /// Convenience: DS1.
+    ///
+    /// # Errors
+    ///
+    /// See [`DsSplit::ds`].
+    pub fn ds1(trace: &TraceSet) -> Result<DsSplit> {
+        DsSplit::ds(trace, 1)
+    }
+
+    /// Convenience: DS2.
+    ///
+    /// # Errors
+    ///
+    /// See [`DsSplit::ds`].
+    pub fn ds2(trace: &TraceSet) -> Result<DsSplit> {
+        DsSplit::ds(trace, 2)
+    }
+
+    /// Convenience: DS3.
+    ///
+    /// # Errors
+    ///
+    /// See [`DsSplit::ds`].
+    pub fn ds3(trace: &TraceSet) -> Result<DsSplit> {
+        DsSplit::ds(trace, 3)
+    }
+
+    /// The split's display name (`DS1`…).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Training window `[start, end)` in minutes.
+    pub fn train_window(&self) -> (u64, u64) {
+        (self.train_start_min, self.train_end_min)
+    }
+
+    /// Testing window `[start, end)` in minutes.
+    pub fn test_window(&self) -> (u64, u64) {
+        (self.train_end_min, self.test_end_min)
+    }
+
+    /// End of the training window — the instant at which observable
+    /// history is frozen for stage-1 decisions.
+    pub fn train_end_min(&self) -> u64 {
+        self.train_end_min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_sim::config::SimConfig;
+    use titan_sim::engine::generate;
+
+    fn trace() -> TraceSet {
+        generate(&SimConfig::tiny(3)).unwrap()
+    }
+
+    #[test]
+    fn three_splits_fit_and_slide() {
+        let t = trace();
+        let d1 = DsSplit::ds1(&t).unwrap();
+        let d2 = DsSplit::ds2(&t).unwrap();
+        let d3 = DsSplit::ds3(&t).unwrap();
+        assert!(d1.train_window().0 < d2.train_window().0 || d1.train_window().0 == d2.train_window().0);
+        assert!(d2.test_window().1 <= d3.test_window().1);
+        assert!(d3.test_window().1 <= t.config().total_minutes());
+        // Windows maintain train/test ordering.
+        for d in [&d1, &d2, &d3] {
+            let (ts, te) = d.train_window();
+            let (vs, ve) = d.test_window();
+            assert!(ts < te);
+            assert_eq!(te, vs);
+            assert!(vs < ve);
+        }
+        assert_eq!(d1.name(), "DS1");
+    }
+
+    #[test]
+    fn paper_scale_windows() {
+        let t = generate(&SimConfig::tiny(1)).unwrap();
+        // tiny = 30 days -> train 21 days, test 2.8->2 days (floored by
+        // integer division), scaled from 105/14 at 150.
+        let d1 = DsSplit::ds1(&t).unwrap();
+        let (ts, te) = d1.train_window();
+        assert_eq!(ts, 0);
+        assert_eq!((te - ts) / MINUTES_PER_DAY, 21);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let t = trace();
+        assert!(DsSplit::ds(&t, 0).is_err());
+        assert!(DsSplit::ds(&t, 4).is_err());
+    }
+
+    #[test]
+    fn out_of_horizon_rejected() {
+        let t = trace();
+        assert!(DsSplit::from_days("X", &t, 0, 400, 14).is_err());
+        assert!(DsSplit::from_days("X", &t, 0, 0, 14).is_err());
+        assert!(DsSplit::from_days("X", &t, 0, 14, 0).is_err());
+    }
+
+    #[test]
+    fn explicit_days_work() {
+        let t = trace();
+        let d = DsSplit::from_days("custom", &t, 2, 10, 3).unwrap();
+        assert_eq!(d.train_window(), (2 * MINUTES_PER_DAY, 12 * MINUTES_PER_DAY));
+        assert_eq!(d.test_window(), (12 * MINUTES_PER_DAY, 15 * MINUTES_PER_DAY));
+        assert_eq!(d.train_end_min(), 12 * MINUTES_PER_DAY);
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by the prediction pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PredError {
+    /// An underlying simulator error.
+    Sim(titan_sim::SimError),
+    /// An underlying ML error.
+    Ml(mlkit::MlError),
+    /// The requested split does not fit the trace horizon.
+    SplitOutOfRange {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A pipeline stage received unusable data.
+    InvalidInput {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PredError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredError::Sim(e) => write!(f, "simulator error: {e}"),
+            PredError::Ml(e) => write!(f, "ml error: {e}"),
+            PredError::SplitOutOfRange { reason } => {
+                write!(f, "split out of range: {reason}")
+            }
+            PredError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PredError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PredError::Sim(e) => Some(e),
+            PredError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<titan_sim::SimError> for PredError {
+    fn from(e: titan_sim::SimError) -> PredError {
+        PredError::Sim(e)
+    }
+}
+
+impl From<mlkit::MlError> for PredError {
+    fn from(e: mlkit::MlError) -> PredError {
+        PredError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_sources() {
+        let e = PredError::from(mlkit::MlError::EmptyDataset);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("ml error"));
+        let e = PredError::from(titan_sim::SimError::UnknownEntity { kind: "node", id: 1 });
+        assert!(e.source().is_some());
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PredError>();
+    }
+}

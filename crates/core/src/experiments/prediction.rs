@@ -1,0 +1,550 @@
+//! Prediction experiments — the paper's §VII (Table I, Fig. 10,
+//! Tables II–VI, Figs. 11–13).
+
+use super::{ExperimentOutput, Lab, ModelKind};
+use crate::baselines::{evaluate_scheme, BasicScheme};
+use crate::datasets::DsSplit;
+use crate::features::FeatureSpec;
+use crate::report::Table;
+use crate::samples::in_window;
+use crate::twostage::{prepare_with_extractor, run_classifier, Prepared, TwoStageOutcome};
+use crate::{PredError, Result};
+use mlkit::metrics::ConfusionMatrix;
+use mlkit::stats::{percentile, Ecdf};
+use serde_json::json;
+use std::collections::HashMap;
+
+/// Seed used for all experiment model builds (frozen, like the paper's
+/// fixed methodology).
+const MODEL_SEED: u64 = 7;
+
+/// Prepares one split with a feature spec through the shared lab.
+fn prep(lab: &Lab<'_>, split: &DsSplit, spec: &FeatureSpec) -> Result<Prepared> {
+    prepare_with_extractor(lab.extractor(), lab.samples(), split, spec)
+}
+
+/// Runs one model kind on a prepared split.
+fn run_kind(prepared: &Prepared, kind: ModelKind) -> Result<TwoStageOutcome> {
+    let mut model = kind.build(MODEL_SEED);
+    run_classifier(prepared, &mut model)
+}
+
+/// Basic A's confusion matrix over a split's test window.
+fn basic_a(lab: &Lab<'_>, split: &DsSplit) -> Result<ConfusionMatrix> {
+    let (ts, te) = split.test_window();
+    let test = in_window(lab.samples(), ts, te);
+    evaluate_scheme(BasicScheme::A, lab.extractor().history(), split, &test)
+}
+
+/// Table I — precision and recall of the Random and Basic A/B/C schemes
+/// for both classes, on DS1.
+///
+/// # Errors
+///
+/// Propagates scheme evaluation errors.
+pub fn table1(lab: &Lab<'_>) -> Result<ExperimentOutput> {
+    let split = DsSplit::ds1(lab.trace())?;
+    let (ts, te) = split.test_window();
+    let test = in_window(lab.samples(), ts, te);
+    let mut table = Table::new([
+        "Scheme",
+        "SBE Precision",
+        "SBE Recall",
+        "Non-SBE Precision",
+        "Non-SBE Recall",
+    ]);
+    let mut rows = Vec::new();
+    for scheme in [
+        BasicScheme::Random { seed: MODEL_SEED },
+        BasicScheme::A,
+        BasicScheme::B,
+        BasicScheme::C,
+    ] {
+        let cm = evaluate_scheme(scheme, lab.extractor().history(), &split, &test)?;
+        table.push_row([
+            scheme.name().to_string(),
+            format!("{:.2}", cm.precision()),
+            format!("{:.2}", cm.recall()),
+            format!("{:.2}", cm.precision_negative()),
+            format!("{:.2}", cm.recall_negative()),
+        ]);
+        rows.push(json!({
+            "scheme": scheme.name(),
+            "sbe_precision": cm.precision(),
+            "sbe_recall": cm.recall(),
+            "non_sbe_precision": cm.precision_negative(),
+            "non_sbe_recall": cm.recall_negative(),
+        }));
+    }
+    Ok(ExperimentOutput {
+        id: "table1".into(),
+        title: "Precision and recall for basic schemes (DS1)".into(),
+        text: table.render(),
+        json: json!({ "rows": rows, "n_test": test.len() }),
+    })
+}
+
+/// Fig. 10 — F1/precision/recall of Basic A and the four TwoStage models
+/// on DS1.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn fig10(lab: &Lab<'_>) -> Result<ExperimentOutput> {
+    let split = DsSplit::ds1(lab.trace())?;
+    let prepared = prep(lab, &split, &FeatureSpec::all())?;
+    let mut table = Table::new(["Model", "F1", "Precision", "Recall", "Train time"]);
+    let mut rows = Vec::new();
+
+    let cm = basic_a(lab, &split)?;
+    table.push_row([
+        "Basic A".to_string(),
+        format!("{:.2}", cm.f1()),
+        format!("{:.2}", cm.precision()),
+        format!("{:.2}", cm.recall()),
+        "-".to_string(),
+    ]);
+    rows.push(json!({
+        "model": "Basic A", "f1": cm.f1(),
+        "precision": cm.precision(), "recall": cm.recall(),
+    }));
+
+    for kind in ModelKind::all() {
+        let out = run_kind(&prepared, kind)?;
+        let cm = out.sbe_metrics();
+        table.push_row([
+            kind.name().to_string(),
+            format!("{:.2}", cm.f1()),
+            format!("{:.2}", cm.precision()),
+            format!("{:.2}", cm.recall()),
+            format!("{:.2?}", out.train_time),
+        ]);
+        rows.push(json!({
+            "model": kind.name(), "f1": cm.f1(),
+            "precision": cm.precision(), "recall": cm.recall(),
+            "train_time_s": out.train_time.as_secs_f64(),
+        }));
+    }
+    Ok(ExperimentOutput {
+        id: "fig10".into(),
+        title: "SBE prediction quality across models (DS1)".into(),
+        text: table.render(),
+        json: json!({ "rows": rows, "n_stage2_train": prepared.train.len() }),
+    })
+}
+
+/// Tables II and III — F1 across DS1/DS2/DS3 per model, and the mean
+/// training time per model over the three datasets.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn table2_table3(lab: &Lab<'_>) -> Result<(ExperimentOutput, ExperimentOutput)> {
+    let mut f1_rows: Vec<serde_json::Value> = Vec::new();
+    let mut table2 = Table::new(["Dataset", "Basic A", "LR", "GBDT", "SVM", "NN"]);
+    let mut times: HashMap<&'static str, Vec<f64>> = HashMap::new();
+
+    for k in 1..=3u64 {
+        let split = DsSplit::ds(lab.trace(), k)?;
+        let prepared = prep(lab, &split, &FeatureSpec::all())?;
+        let basic = basic_a(lab, &split)?;
+        let mut row = vec![split.name().to_string(), format!("{:.2}", basic.f1())];
+        let mut jrow = serde_json::Map::new();
+        jrow.insert("dataset".into(), json!(split.name()));
+        jrow.insert("Basic A".into(), json!(basic.f1()));
+        for kind in ModelKind::all() {
+            let out = run_kind(&prepared, kind)?;
+            let cm = out.sbe_metrics();
+            row.push(format!("{:.2}", cm.f1()));
+            jrow.insert(kind.name().into(), json!(cm.f1()));
+            times
+                .entry(kind.name())
+                .or_default()
+                .push(out.train_time.as_secs_f64());
+        }
+        table2.push_row(row);
+        f1_rows.push(serde_json::Value::Object(jrow));
+    }
+
+    let t2 = ExperimentOutput {
+        id: "table2".into(),
+        title: "F1 score for SBE occurrence prediction across datasets".into(),
+        text: table2.render(),
+        json: json!({ "rows": f1_rows }),
+    };
+
+    let mut table3 = Table::new(["Model", "Mean train time (s)"]);
+    let mut jrows = Vec::new();
+    for kind in ModelKind::all() {
+        let ts = &times[kind.name()];
+        let mean = ts.iter().sum::<f64>() / ts.len() as f64;
+        table3.push_row([kind.name().to_string(), format!("{mean:.3}")]);
+        jrows.push(json!({ "model": kind.name(), "mean_train_time_s": mean }));
+    }
+    let t3 = ExperimentOutput {
+        id: "table3".into(),
+        title: "Mean training time for various models".into(),
+        text: table3.render(),
+        json: json!({ "rows": jrows }),
+    };
+    Ok((t2, t3))
+}
+
+/// Fig. 11 — effect of feature groups (Hist / TP / App / All) on F1, as
+/// percentage improvement over Basic A, for every dataset. GBDT is the
+/// stage-2 model (the paper's selection).
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn fig11(lab: &Lab<'_>) -> Result<ExperimentOutput> {
+    let groups: [(&str, FeatureSpec); 4] = [
+        ("Hist", FeatureSpec::only_hist()),
+        ("TP", FeatureSpec::only_tp()),
+        ("App", FeatureSpec::only_app()),
+        ("All", FeatureSpec::all()),
+    ];
+    let mut table = Table::new(["Dataset", "Hist", "TP", "App", "All"]);
+    let mut rows = Vec::new();
+    for k in 1..=3u64 {
+        let split = DsSplit::ds(lab.trace(), k)?;
+        let base = basic_a(lab, &split)?.f1().max(1e-9);
+        let mut row = vec![split.name().to_string()];
+        let mut jrow = serde_json::Map::new();
+        jrow.insert("dataset".into(), json!(split.name()));
+        for (name, spec) in &groups {
+            let prepared = prep(lab, &split, spec)?;
+            let out = run_kind(&prepared, ModelKind::Gbdt)?;
+            let improvement = (out.sbe_metrics().f1() - base) / base * 100.0;
+            row.push(format!("{improvement:+.1}%"));
+            jrow.insert((*name).into(), json!(improvement));
+        }
+        table.push_row(row);
+        rows.push(serde_json::Value::Object(jrow));
+    }
+    Ok(ExperimentOutput {
+        id: "fig11".into(),
+        title: "Feature-group effect on F1 (% improvement over Basic A)".into(),
+        text: table.render(),
+        json: json!({ "rows": rows }),
+    })
+}
+
+/// Table IV — temporal and spatial temperature/power feature variants
+/// (Cur / CurPrev / CurNei / CurPrevNei) on DS1 with GBDT.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn table4(lab: &Lab<'_>) -> Result<ExperimentOutput> {
+    let split = DsSplit::ds1(lab.trace())?;
+    let sets: [(&str, FeatureSpec); 4] = [
+        ("Cur", FeatureSpec::cur()),
+        ("CurPrev", FeatureSpec::cur_prev()),
+        ("CurNei", FeatureSpec::cur_nei()),
+        ("CurPrevNei", FeatureSpec::cur_prev_nei()),
+    ];
+    let mut table = Table::new(["Feature Set", "Precision", "Recall", "F1 Score"]);
+    let mut rows = Vec::new();
+    for (name, spec) in &sets {
+        let prepared = prep(lab, &split, spec)?;
+        let out = run_kind(&prepared, ModelKind::Gbdt)?;
+        let cm = out.sbe_metrics();
+        table.push_row([
+            name.to_string(),
+            format!("{:.3}", cm.precision()),
+            format!("{:.3}", cm.recall()),
+            format!("{:.3}", cm.f1()),
+        ]);
+        rows.push(json!({
+            "set": name, "precision": cm.precision(),
+            "recall": cm.recall(), "f1": cm.f1(),
+        }));
+    }
+    Ok(ExperimentOutput {
+        id: "table4".into(),
+        title: "Temporal/spatial temperature-power feature variants (DS1)".into(),
+        text: table.render(),
+        json: json!({ "rows": rows }),
+    })
+}
+
+/// Fig. 12 — F1 decrement when removing history feature sets:
+/// (a) global vs local scope, (b) today / yesterday / before lengths.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn fig12(lab: &Lab<'_>) -> Result<ExperimentOutput> {
+    let ablations: [(&str, FeatureSpec); 5] = [
+        ("-Global", FeatureSpec::without_global_hist()),
+        ("-Local", FeatureSpec::without_local_hist()),
+        ("-Before", FeatureSpec::without_hist_before()),
+        ("-Yesterday", FeatureSpec::without_hist_yesterday()),
+        ("-Today", FeatureSpec::without_hist_today()),
+    ];
+    let mut table = Table::new([
+        "Dataset",
+        "-Global",
+        "-Local",
+        "-Before",
+        "-Yesterday",
+        "-Today",
+    ]);
+    let mut rows = Vec::new();
+    for k in 1..=3u64 {
+        let split = DsSplit::ds(lab.trace(), k)?;
+        let full = {
+            let prepared = prep(lab, &split, &FeatureSpec::all())?;
+            run_kind(&prepared, ModelKind::Gbdt)?.sbe_metrics().f1()
+        };
+        let mut row = vec![split.name().to_string()];
+        let mut jrow = serde_json::Map::new();
+        jrow.insert("dataset".into(), json!(split.name()));
+        jrow.insert("full_f1".into(), json!(full));
+        for (name, spec) in &ablations {
+            let prepared = prep(lab, &split, spec)?;
+            let out = run_kind(&prepared, ModelKind::Gbdt)?;
+            let decrement = (out.sbe_metrics().f1() - full) / full.max(1e-9) * 100.0;
+            row.push(format!("{decrement:+.1}%"));
+            jrow.insert((*name).into(), json!(decrement));
+        }
+        table.push_row(row);
+        rows.push(serde_json::Value::Object(jrow));
+    }
+    Ok(ExperimentOutput {
+        id: "fig12".into(),
+        title: "F1 change when removing SBE-history feature sets".into(),
+        text: table.render(),
+        json: json!({ "rows": rows }),
+    })
+}
+
+/// Fig. 13 — spatial robustness of TwoStage+GBDT on DS1: cabinet-level
+/// CDFs of ground truth / prediction / true positives, and the
+/// distribution of per-cabinet (ground truth − prediction) differences.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn fig13(lab: &Lab<'_>) -> Result<ExperimentOutput> {
+    let split = DsSplit::ds1(lab.trace())?;
+    let prepared = prep(lab, &split, &FeatureSpec::all())?;
+    let out = run_kind(&prepared, ModelKind::Gbdt)?;
+    let topo = &lab.trace().config().topology;
+    let n_cab = topo.n_cabinets() as usize;
+    let mut truth = vec![0.0f64; n_cab];
+    let mut pred = vec![0.0f64; n_cab];
+    let mut tp = vec![0.0f64; n_cab];
+    for (i, s) in out.test_samples.iter().enumerate() {
+        let cab = topo.cabinet_index(s.node)? as usize;
+        if out.truth[i] == 1.0 {
+            truth[cab] += 1.0;
+        }
+        if out.predictions[i] == 1.0 {
+            pred[cab] += 1.0;
+            if out.truth[i] == 1.0 {
+                tp[cab] += 1.0;
+            }
+        }
+    }
+    let diffs: Vec<f64> = truth.iter().zip(&pred).map(|(t, p)| t - p).collect();
+    let abs_small = diffs.iter().filter(|d| d.abs() <= 15.0).count() as f64 / n_cab as f64;
+    let d_lo = percentile(&diffs, 2.5)?;
+    let d_hi = percentile(&diffs, 97.5)?;
+    let ecdf_truth = Ecdf::new(&truth);
+    let ecdf_pred = Ecdf::new(&pred);
+    // Kolmogorov-style max CDF gap between truth and prediction curves.
+    let mut max_gap = 0.0f64;
+    for &v in truth.iter().chain(pred.iter()) {
+        max_gap = max_gap.max((ecdf_truth.eval(v) - ecdf_pred.eval(v)).abs());
+    }
+    let text = format!(
+        "cabinet-level SBE occurrences (test window {}):\n\
+         per-cabinet |truth - prediction| <= 15 for {:.1}% of cabinets (paper: >95%)\n\
+         truth-prediction diff 95% interval: [{d_lo:.1}, {d_hi:.1}] (paper: [-15, 13])\n\
+         max CDF gap between ground truth and prediction: {max_gap:.3}\n",
+        split.name(),
+        abs_small * 100.0,
+    );
+    Ok(ExperimentOutput {
+        id: "fig13".into(),
+        title: "Spatial robustness of prediction vs ground truth".into(),
+        text,
+        json: json!({
+            "truth_per_cabinet": truth,
+            "pred_per_cabinet": pred,
+            "tp_per_cabinet": tp,
+            "fraction_small_diff": abs_small,
+            "diff_p2_5": d_lo,
+            "diff_p97_5": d_hi,
+            "max_cdf_gap": max_gap,
+        }),
+    })
+}
+
+/// Table V — prediction quality for short-running (bottom-quartile
+/// runtime) vs long-running (top-quartile) applications on DS1.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn table5(lab: &Lab<'_>) -> Result<ExperimentOutput> {
+    let split = DsSplit::ds1(lab.trace())?;
+    let prepared = prep(lab, &split, &FeatureSpec::all())?;
+    let out = run_kind(&prepared, ModelKind::Gbdt)?;
+    let runtimes: Vec<f64> = out
+        .test_samples
+        .iter()
+        .map(|s| s.runtime_min() as f64)
+        .collect();
+    let q25 = percentile(&runtimes, 25.0)?;
+    let q75 = percentile(&runtimes, 75.0)?;
+
+    let subset_cm = |keep: &dyn Fn(usize) -> bool| -> Result<ConfusionMatrix> {
+        let mut truth = Vec::new();
+        let mut pred = Vec::new();
+        for i in 0..out.test_samples.len() {
+            if keep(i) {
+                truth.push(out.truth[i]);
+                pred.push(out.predictions[i]);
+            }
+        }
+        Ok(ConfusionMatrix::from_predictions(&truth, &pred)?)
+    };
+    let all = out.sbe_metrics();
+    let short = subset_cm(&|i| runtimes[i] <= q25)?;
+    let long = subset_cm(&|i| runtimes[i] >= q75)?;
+
+    let mut table = Table::new(["Application", "Precision", "Recall", "F1 Score"]);
+    let mut rows = Vec::new();
+    for (name, cm) in [("All", all), ("Short", short), ("Long", long)] {
+        table.push_row([
+            name.to_string(),
+            format!("{:.2}", cm.precision()),
+            format!("{:.2}", cm.recall()),
+            format!("{:.2}", cm.f1()),
+        ]);
+        rows.push(json!({
+            "subset": name, "precision": cm.precision(),
+            "recall": cm.recall(), "f1": cm.f1(),
+        }));
+    }
+    Ok(ExperimentOutput {
+        id: "table5".into(),
+        title: "Prediction quality for short- vs long-running applications".into(),
+        text: table.render(),
+        json: json!({ "rows": rows, "q25_min": q25, "q75_min": q75 }),
+    })
+}
+
+/// Table VI — percentage of correctly classified SBE-affected runs in
+/// four severity quartiles (Light → Extreme) on DS1.
+///
+/// # Errors
+///
+/// Propagates pipeline errors; returns [`PredError::InvalidInput`] when
+/// the test window has no positives.
+pub fn table6(lab: &Lab<'_>) -> Result<ExperimentOutput> {
+    let split = DsSplit::ds1(lab.trace())?;
+    let prepared = prep(lab, &split, &FeatureSpec::all())?;
+    let out = run_kind(&prepared, ModelKind::Gbdt)?;
+    // Positive test samples with their severity (attributed count).
+    let mut positives: Vec<(u32, bool)> = Vec::new();
+    for (i, s) in out.test_samples.iter().enumerate() {
+        if out.truth[i] == 1.0 {
+            positives.push((s.sbe_count, out.predictions[i] == 1.0));
+        }
+    }
+    if positives.is_empty() {
+        return Err(PredError::InvalidInput {
+            reason: "no positive samples in the test window".into(),
+        });
+    }
+    positives.sort_unstable_by_key(|&(c, _)| c);
+    let n = positives.len();
+    let levels = ["Light", "Moderate", "Severe", "Extreme"];
+    let mut table = Table::new(["Severity", "PCT correctly classified", "Samples"]);
+    let mut rows = Vec::new();
+    for (li, name) in levels.iter().enumerate() {
+        let lo = n * li / 4;
+        let hi = if li == 3 { n } else { n * (li + 1) / 4 };
+        let slice = &positives[lo..hi];
+        let correct = slice.iter().filter(|&&(_, ok)| ok).count();
+        let pct = if slice.is_empty() {
+            0.0
+        } else {
+            correct as f64 / slice.len() as f64
+        };
+        table.push_row([
+            name.to_string(),
+            format!("{:.0}%", pct * 100.0),
+            format!("{}", slice.len()),
+        ]);
+        rows.push(json!({ "level": name, "pct_correct": pct, "n": slice.len() }));
+    }
+    Ok(ExperimentOutput {
+        id: "table6".into(),
+        title: "Correctly classified SBE-affected runs by severity level".into(),
+        text: table.render(),
+        json: json!({ "rows": rows }),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_sim::config::SimConfig;
+    use titan_sim::engine::generate;
+    use titan_sim::trace::TraceSet;
+
+    fn trace() -> TraceSet {
+        generate(&SimConfig::tiny(3)).unwrap()
+    }
+
+    #[test]
+    fn table1_has_four_schemes() {
+        let t = trace();
+        let lab = Lab::new(&t).unwrap();
+        let out = table1(&lab).unwrap();
+        assert_eq!(out.json["rows"].as_array().unwrap().len(), 4);
+        // Basic A recall should be strong (the paper's anchor).
+        let a = &out.json["rows"][1];
+        assert_eq!(a["scheme"], "Basic A");
+        assert!(a["sbe_recall"].as_f64().unwrap() > 0.3);
+    }
+
+    #[test]
+    fn fig10_runs_all_models() {
+        let t = trace();
+        let lab = Lab::new(&t).unwrap();
+        let out = fig10(&lab).unwrap();
+        let rows = out.json["rows"].as_array().unwrap();
+        assert_eq!(rows.len(), 5); // Basic A + 4 models
+        for r in rows {
+            let f1 = r["f1"].as_f64().unwrap();
+            assert!((0.0..=1.0).contains(&f1));
+        }
+    }
+
+    #[test]
+    fn table5_and_table6_run() {
+        let t = trace();
+        let lab = Lab::new(&t).unwrap();
+        let t5 = table5(&lab).unwrap();
+        assert_eq!(t5.json["rows"].as_array().unwrap().len(), 3);
+        let t6 = table6(&lab).unwrap();
+        assert_eq!(t6.json["rows"].as_array().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn fig13_accounts_all_cabinets() {
+        let t = trace();
+        let lab = Lab::new(&t).unwrap();
+        let out = fig13(&lab).unwrap();
+        let n_cab = t.config().topology.n_cabinets() as usize;
+        assert_eq!(out.json["truth_per_cabinet"].as_array().unwrap().len(), n_cab);
+        let frac = out.json["fraction_small_diff"].as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&frac));
+    }
+}

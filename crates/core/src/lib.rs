@@ -1,0 +1,58 @@
+//! `sbepred` — GPU single-bit-error prediction (DSN 2018 reproduction).
+//!
+//! This crate implements the paper's contribution on top of the
+//! [`titan_sim`] trace substrate and the [`mlkit`] ML substrate:
+//!
+//! * [`samples`] — the (application, node) sample universe with
+//!   job-boundary labels,
+//! * [`history`] — observable SBE history (what `nvidia-smi` snapshots
+//!   reveal, *when* they reveal it),
+//! * [`features`] — the paper's temporal + spatial feature engineering
+//!   (§V): application features, temperature/power window statistics
+//!   (current run, 5/15/30/60-minute look-backs, slot neighbours, CPU),
+//!   node location, and SBE history at local/global/app scope,
+//! * [`baselines`] — the Random and Basic A/B/C schemes of Table I,
+//! * [`twostage`] — the TwoStage method (§VI-C): stage 1 filters samples
+//!   to known SBE-offender nodes, stage 2 applies a trained classifier,
+//! * [`datasets`] — the DS1/DS2/DS3 train(3.5 months)/test(2 weeks)
+//!   sliding splits (§VII-A),
+//! * [`experiments`] — one driver per table and figure of the paper,
+//! * [`forecast`] — AR-forecast run features (the paper's pre-execution
+//!   "second approach"),
+//! * [`tuning`] — decision-threshold sweeps (F1-optimal, precision-floor),
+//! * [`report`] — ASCII tables, heatmaps and CDFs for terminal output.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use mlkit::gbdt::Gbdt;
+//! use sbepred::datasets::DsSplit;
+//! use sbepred::features::FeatureSpec;
+//! use sbepred::twostage::TwoStage;
+//! use titan_sim::config::SimConfig;
+//!
+//! let trace = titan_sim::engine::generate(&SimConfig::tiny(7))?;
+//! let split = DsSplit::ds1(&trace)?;
+//! let mut model = TwoStage::new(Gbdt::new(), FeatureSpec::all());
+//! let outcome = model.run(&trace, &split)?;
+//! println!("F1 = {:.2}", outcome.sbe_metrics().f1());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod baselines;
+pub mod datasets;
+pub mod experiments;
+pub mod features;
+pub mod forecast;
+pub mod history;
+pub mod report;
+pub mod samples;
+pub mod tuning;
+pub mod twostage;
+
+mod error;
+
+pub use error::PredError;
+
+/// Crate-wide `Result` alias using [`PredError`].
+pub type Result<T> = std::result::Result<T, PredError>;

@@ -1,0 +1,152 @@
+//! The labelled sample universe.
+//!
+//! A *sample* is one (application run, node) pair — exactly the unit the
+//! paper classifies. Labels come from the observable job-boundary SBE
+//! snapshots: a sample is positive when its job's per-node SBE delta is
+//! non-zero (conservative attribution, §II).
+
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use titan_sim::apps::AppId;
+use titan_sim::schedule::{ApRunId, JobId};
+use titan_sim::topology::NodeId;
+use titan_sim::trace::TraceSet;
+
+/// One labelled (aprun, node) sample with the metadata the pipeline needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LabeledSample {
+    /// The application run.
+    pub aprun: ApRunId,
+    /// The batch job containing it.
+    pub job: JobId,
+    /// The application.
+    pub app: AppId,
+    /// The node.
+    pub node: NodeId,
+    /// Run start minute.
+    pub start_min: u64,
+    /// Run end minute (exclusive).
+    pub end_min: u64,
+    /// Number of nodes in the allocation.
+    pub n_nodes: u32,
+    /// Job-attributed SBE count on this node (observable).
+    pub sbe_count: u32,
+    /// `true` when `sbe_count > 0`.
+    pub label: bool,
+}
+
+impl LabeledSample {
+    /// Runtime in minutes.
+    pub fn runtime_min(&self) -> u64 {
+        self.end_min - self.start_min
+    }
+}
+
+/// Builds the full labelled sample list of a trace, ordered like
+/// [`TraceSet::samples`] (by aprun, then node).
+///
+/// # Errors
+///
+/// Propagates trace lookup errors (never expected for a well-formed
+/// trace).
+pub fn build_samples(trace: &TraceSet) -> Result<Vec<LabeledSample>> {
+    let mut out = Vec::with_capacity(trace.samples().len());
+    for s in trace.samples() {
+        let run = trace.aprun(s.aprun)?;
+        out.push(LabeledSample {
+            aprun: s.aprun,
+            job: run.job_id,
+            app: run.app_id,
+            node: s.node,
+            start_min: run.start_min,
+            end_min: run.end_min,
+            n_nodes: run.nodes.len() as u32,
+            sbe_count: s.sbe_attributed,
+            label: s.sbe_attributed > 0,
+        });
+    }
+    Ok(out)
+}
+
+/// Selects the samples whose run *starts* inside `[start_min, end_min)`.
+pub fn in_window(samples: &[LabeledSample], start_min: u64, end_min: u64) -> Vec<LabeledSample> {
+    samples
+        .iter()
+        .filter(|s| s.start_min >= start_min && s.start_min < end_min)
+        .copied()
+        .collect()
+}
+
+/// Ground-truth label vector (`1.0` positive) for a sample slice.
+pub fn labels(samples: &[LabeledSample]) -> Vec<f32> {
+    samples
+        .iter()
+        .map(|s| if s.label { 1.0 } else { 0.0 })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use titan_sim::config::SimConfig;
+    use titan_sim::engine::generate;
+
+    fn trace() -> TraceSet {
+        generate(&SimConfig::tiny(3)).unwrap()
+    }
+
+    #[test]
+    fn covers_every_trace_sample() {
+        let t = trace();
+        let ss = build_samples(&t).unwrap();
+        assert_eq!(ss.len(), t.samples().len());
+        for (ls, rs) in ss.iter().zip(t.samples()) {
+            assert_eq!(ls.aprun, rs.aprun);
+            assert_eq!(ls.node, rs.node);
+            assert_eq!(ls.sbe_count, rs.sbe_attributed);
+            assert_eq!(ls.label, rs.sbe_attributed > 0);
+        }
+    }
+
+    #[test]
+    fn metadata_consistent_with_runs() {
+        let t = trace();
+        let ss = build_samples(&t).unwrap();
+        for s in ss.iter().take(200) {
+            let run = t.aprun(s.aprun).unwrap();
+            assert_eq!(s.start_min, run.start_min);
+            assert_eq!(s.end_min, run.end_min);
+            assert_eq!(s.n_nodes as usize, run.nodes.len());
+            assert_eq!(s.app, run.app_id);
+            assert_eq!(s.job, run.job_id);
+            assert!(s.runtime_min() > 0);
+        }
+    }
+
+    #[test]
+    fn window_selection_filters_by_start() {
+        let t = trace();
+        let ss = build_samples(&t).unwrap();
+        let lo = 5_000;
+        let hi = 20_000;
+        let w = in_window(&ss, lo, hi);
+        assert!(!w.is_empty());
+        for s in &w {
+            assert!(s.start_min >= lo && s.start_min < hi);
+        }
+        // Complementary windows partition the set.
+        let before = in_window(&ss, 0, lo);
+        let after = in_window(&ss, hi, u64::MAX);
+        assert_eq!(before.len() + w.len() + after.len(), ss.len());
+    }
+
+    #[test]
+    fn labels_match() {
+        let t = trace();
+        let ss = build_samples(&t).unwrap();
+        let y = labels(&ss);
+        let pos = y.iter().filter(|&&v| v == 1.0).count();
+        assert_eq!(pos, ss.iter().filter(|s| s.label).count());
+        assert!(pos > 0);
+    }
+}

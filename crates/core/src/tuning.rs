@@ -1,0 +1,200 @@
+//! Decision-threshold tuning.
+//!
+//! The paper's models threshold probability at 0.5, but operational
+//! deployments (the ECC advisor) want either the F1-optimal threshold or
+//! the most permissive threshold that still meets a precision floor.
+//! Both sweeps run in `O(n log n)` by sorting the scores once.
+
+use crate::{PredError, Result};
+use mlkit::metrics::Prf;
+
+/// One point of a threshold sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThresholdPoint {
+    /// Scores `>= threshold` are predicted positive.
+    pub threshold: f32,
+    /// Metrics at this threshold.
+    pub metrics: Prf,
+}
+
+/// Sweeps every distinct score as a threshold, returning the metric curve
+/// sorted by ascending threshold.
+///
+/// # Errors
+///
+/// Returns [`PredError::InvalidInput`] for empty or mismatched inputs or
+/// when a class is absent.
+pub fn threshold_sweep(truth: &[f32], scores: &[f32]) -> Result<Vec<ThresholdPoint>> {
+    if truth.len() != scores.len() || truth.is_empty() {
+        return Err(PredError::InvalidInput {
+            reason: format!(
+                "need equal non-empty truth/scores, got {} and {}",
+                truth.len(),
+                scores.len()
+            ),
+        });
+    }
+    let total_pos: u64 = truth.iter().filter(|&&t| t == 1.0).count() as u64;
+    let total = truth.len() as u64;
+    if total_pos == 0 || total_pos == total {
+        return Err(PredError::InvalidInput {
+            reason: "threshold sweep needs both classes".into(),
+        });
+    }
+    // Sort by descending score; walking down the list moves the threshold
+    // down, turning one more sample positive at a time.
+    let mut order: Vec<usize> = (0..truth.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut out = Vec::new();
+    let mut tp = 0u64;
+    let mut predicted_pos = 0u64;
+    let mut i = 0;
+    while i < order.len() {
+        // Absorb ties: all samples with the same score flip together.
+        let score = scores[order[i]];
+        while i < order.len() && scores[order[i]] == score {
+            predicted_pos += 1;
+            if truth[order[i]] == 1.0 {
+                tp += 1;
+            }
+            i += 1;
+        }
+        let precision = tp as f64 / predicted_pos as f64;
+        let recall = tp as f64 / total_pos as f64;
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        out.push(ThresholdPoint {
+            threshold: score,
+            metrics: Prf {
+                precision,
+                recall,
+                f1,
+            },
+        });
+    }
+    out.reverse(); // ascending thresholds
+    Ok(out)
+}
+
+/// The threshold maximising F1.
+///
+/// # Errors
+///
+/// Same conditions as [`threshold_sweep`].
+pub fn best_f1_threshold(truth: &[f32], scores: &[f32]) -> Result<ThresholdPoint> {
+    let sweep = threshold_sweep(truth, scores)?;
+    Ok(sweep
+        .into_iter()
+        .max_by(|a, b| {
+            a.metrics
+                .f1
+                .partial_cmp(&b.metrics.f1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("sweep is non-empty by construction"))
+}
+
+/// The lowest threshold (maximum recall) whose precision is at least
+/// `floor`. Returns `None` when no threshold meets the floor.
+///
+/// # Errors
+///
+/// Same conditions as [`threshold_sweep`]; additionally rejects a floor
+/// outside `(0, 1]`.
+pub fn max_recall_at_precision(
+    truth: &[f32],
+    scores: &[f32],
+    floor: f64,
+) -> Result<Option<ThresholdPoint>> {
+    if !(floor > 0.0 && floor <= 1.0) {
+        return Err(PredError::InvalidInput {
+            reason: format!("precision floor must be in (0, 1], got {floor}"),
+        });
+    }
+    let sweep = threshold_sweep(truth, scores)?;
+    Ok(sweep
+        .into_iter()
+        .filter(|p| p.metrics.precision >= floor)
+        .max_by(|a, b| {
+            a.metrics
+                .recall
+                .partial_cmp(&b.metrics.recall)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> (Vec<f32>, Vec<f32>) {
+        // scores: positives cluster high with one hard negative at 0.9.
+        let truth = vec![1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let scores = vec![0.95, 0.8, 0.6, 0.9, 0.4, 0.3, 0.2, 0.1];
+        (truth, scores)
+    }
+
+    #[test]
+    fn sweep_covers_all_distinct_scores() {
+        let (truth, scores) = toy();
+        let sweep = threshold_sweep(&truth, &scores).unwrap();
+        assert_eq!(sweep.len(), 8);
+        // Ascending thresholds; recall non-increasing along them.
+        for w in sweep.windows(2) {
+            assert!(w[0].threshold < w[1].threshold);
+            assert!(w[0].metrics.recall >= w[1].metrics.recall);
+        }
+        // Lowest threshold predicts everything positive: recall 1.
+        assert_eq!(sweep[0].metrics.recall, 1.0);
+    }
+
+    #[test]
+    fn best_f1_beats_midpoint() {
+        let (truth, scores) = toy();
+        let best = best_f1_threshold(&truth, &scores).unwrap();
+        // At threshold 0.5: tp=3 (0.95, 0.8, 0.6), fp=1 (0.9) -> P=0.75,
+        // R=1.0, F1=6/7. The sweep must do at least as well.
+        assert!(best.metrics.f1 >= 6.0 / 7.0 - 1e-9);
+    }
+
+    #[test]
+    fn precision_floor_query() {
+        let (truth, scores) = toy();
+        // Precision 1.0 requires excluding the 0.9 negative: threshold
+        // above 0.9 keeps only the 0.95 positive.
+        let p = max_recall_at_precision(&truth, &scores, 1.0).unwrap().unwrap();
+        assert!(p.threshold > 0.9);
+        assert!((p.metrics.recall - 1.0 / 3.0).abs() < 1e-9);
+        // An unreachable floor on inverted scores returns None.
+        let inverted: Vec<f32> = scores.iter().map(|s| 1.0 - s).collect();
+        let q = max_recall_at_precision(&truth, &inverted, 0.99).unwrap();
+        assert!(q.is_none() || q.unwrap().metrics.precision >= 0.99);
+    }
+
+    #[test]
+    fn ties_flip_together() {
+        let truth = vec![1.0, 0.0, 1.0, 0.0];
+        let scores = vec![0.5, 0.5, 0.9, 0.1];
+        let sweep = threshold_sweep(&truth, &scores).unwrap();
+        // Distinct scores: 0.1, 0.5, 0.9 -> 3 points.
+        assert_eq!(sweep.len(), 3);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        assert!(threshold_sweep(&[], &[]).is_err());
+        assert!(threshold_sweep(&[1.0], &[0.5, 0.4]).is_err());
+        assert!(threshold_sweep(&[1.0, 1.0], &[0.5, 0.4]).is_err());
+        let (truth, scores) = toy();
+        assert!(max_recall_at_precision(&truth, &scores, 0.0).is_err());
+        assert!(max_recall_at_precision(&truth, &scores, 1.5).is_err());
+    }
+}

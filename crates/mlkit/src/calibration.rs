@@ -1,0 +1,292 @@
+//! Probability calibration.
+//!
+//! Margin-based classifiers (SVMs in particular) produce scores whose
+//! scale is not a probability. [`PlattScaler`] fits the classic Platt
+//! sigmoid `p = 1 / (1 + exp(a·s + b))` to held-out scores by
+//! Newton-damped gradient descent on the log loss, turning any score into
+//! a calibrated probability. [`CalibratedClassifier`] wraps a
+//! [`Classifier`] with a scaler fitted on a validation split.
+
+use crate::dataset::Dataset;
+use crate::linear::sigmoid;
+use crate::model::Classifier;
+use crate::{MlError, Result};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Platt sigmoid calibration: maps raw scores to probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlattScaler {
+    a: f64,
+    b: f64,
+}
+
+impl PlattScaler {
+    /// Fits the sigmoid on `(score, label)` pairs by gradient descent on
+    /// the log loss, with the Platt prior-corrected targets
+    /// (`(n+ + 1)/(n+ + 2)` and `1/(n- + 2)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] for unequal lengths,
+    /// [`MlError::SingleClass`] when only one class is present.
+    pub fn fit(scores: &[f32], labels: &[f32]) -> Result<PlattScaler> {
+        if scores.len() != labels.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("{} labels", scores.len()),
+                found: format!("{} labels", labels.len()),
+            });
+        }
+        let n_pos = labels.iter().filter(|&&l| l == 1.0).count();
+        let n_neg = labels.len() - n_pos;
+        if n_pos == 0 || n_neg == 0 {
+            return Err(MlError::SingleClass);
+        }
+        // Prior-corrected targets avoid overconfident saturation.
+        let t_pos = (n_pos as f64 + 1.0) / (n_pos as f64 + 2.0);
+        let t_neg = 1.0 / (n_neg as f64 + 2.0);
+        let targets: Vec<f64> = labels
+            .iter()
+            .map(|&l| if l == 1.0 { t_pos } else { t_neg })
+            .collect();
+
+        // Gradient descent with decaying step on (a, b);
+        // p_i = sigmoid(-(a s_i + b)) per Platt's sign convention folded
+        // into a direct parameterisation p_i = sigmoid(a s_i + b).
+        let mut a = 1.0f64;
+        let mut b = ((n_pos as f64 + 1.0) / (n_neg as f64 + 1.0)).ln();
+        let n = scores.len() as f64;
+        for iter in 0..500 {
+            let mut ga = 0.0f64;
+            let mut gb = 0.0f64;
+            for (&s, &t) in scores.iter().zip(&targets) {
+                let p = sigmoid((a * s as f64 + b) as f32) as f64;
+                let err = p - t;
+                ga += err * s as f64;
+                gb += err;
+            }
+            let lr = 2.0 / (1.0 + 0.02 * iter as f64);
+            a -= lr * ga / n;
+            b -= lr * gb / n;
+        }
+        if !a.is_finite() || !b.is_finite() {
+            return Err(MlError::NumericalError(
+                "platt calibration diverged".into(),
+            ));
+        }
+        Ok(PlattScaler { a, b })
+    }
+
+    /// The fitted `(a, b)` parameters.
+    pub fn parameters(&self) -> (f64, f64) {
+        (self.a, self.b)
+    }
+
+    /// Calibrated probability for one score.
+    pub fn calibrate(&self, score: f32) -> f32 {
+        sigmoid((self.a * score as f64 + self.b) as f32)
+    }
+
+    /// Calibrates a slice of scores.
+    pub fn calibrate_all(&self, scores: &[f32]) -> Vec<f32> {
+        scores.iter().map(|&s| self.calibrate(s)).collect()
+    }
+}
+
+/// A classifier whose probability output is recalibrated with a Platt
+/// sigmoid fitted on an internal validation split.
+#[derive(Debug, Clone)]
+pub struct CalibratedClassifier<C> {
+    inner: C,
+    holdout_fraction: f64,
+    seed: u64,
+    scaler: Option<PlattScaler>,
+}
+
+impl<C: Classifier> CalibratedClassifier<C> {
+    /// Wraps `inner`; `holdout_fraction` of the training data is held out
+    /// for calibration (default-style: pass 0.2).
+    pub fn new(inner: C, holdout_fraction: f64, seed: u64) -> CalibratedClassifier<C> {
+        CalibratedClassifier {
+            inner,
+            holdout_fraction,
+            seed,
+            scaler: None,
+        }
+    }
+
+    /// The wrapped classifier.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// The fitted scaler, if any.
+    pub fn scaler(&self) -> Option<&PlattScaler> {
+        self.scaler.as_ref()
+    }
+}
+
+impl<C: Classifier> Classifier for CalibratedClassifier<C> {
+    fn fit(&mut self, train: &Dataset) -> Result<()> {
+        if !(self.holdout_fraction > 0.0 && self.holdout_fraction < 1.0) {
+            return Err(MlError::InvalidParameter {
+                name: "holdout_fraction",
+                reason: format!("must be in (0, 1), got {}", self.holdout_fraction),
+            });
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let (fit_set, holdout) = train.train_test_split(self.holdout_fraction, &mut rng)?;
+        if holdout.n_positive() == 0 || holdout.n_negative() == 0 {
+            // Fall back: train on everything, no calibration.
+            self.inner.fit(train)?;
+            self.scaler = None;
+            return Ok(());
+        }
+        self.inner.fit(&fit_set)?;
+        let scores = self.inner.predict_proba(&holdout)?;
+        self.scaler = Some(PlattScaler::fit(&scores, holdout.y())?);
+        Ok(())
+    }
+
+    fn predict_proba(&self, data: &Dataset) -> Result<Vec<f32>> {
+        let raw = self.inner.predict_proba(data)?;
+        Ok(match &self.scaler {
+            Some(s) => s.calibrate_all(&raw),
+            None => raw,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Calibrated"
+    }
+}
+
+/// Expected calibration error over `n_bins` equal-width probability bins:
+/// the weighted mean |empirical positive rate − mean predicted
+/// probability| per bin.
+///
+/// # Errors
+///
+/// Returns [`MlError::DimensionMismatch`] for unequal lengths and
+/// [`MlError::InvalidParameter`] for zero bins or empty input.
+pub fn expected_calibration_error(
+    proba: &[f32],
+    labels: &[f32],
+    n_bins: usize,
+) -> Result<f64> {
+    if proba.len() != labels.len() {
+        return Err(MlError::DimensionMismatch {
+            expected: format!("{} labels", proba.len()),
+            found: format!("{} labels", labels.len()),
+        });
+    }
+    if n_bins == 0 || proba.is_empty() {
+        return Err(MlError::InvalidParameter {
+            name: "n_bins",
+            reason: "need non-empty input and n_bins > 0".into(),
+        });
+    }
+    let mut bin_pos = vec![0.0f64; n_bins];
+    let mut bin_sum = vec![0.0f64; n_bins];
+    let mut bin_n = vec![0usize; n_bins];
+    for (&p, &l) in proba.iter().zip(labels) {
+        let b = ((p as f64 * n_bins as f64) as usize).min(n_bins - 1);
+        bin_pos[b] += l as f64;
+        bin_sum[b] += p as f64;
+        bin_n[b] += 1;
+    }
+    let total = proba.len() as f64;
+    let mut ece = 0.0;
+    for b in 0..n_bins {
+        if bin_n[b] == 0 {
+            continue;
+        }
+        let rate = bin_pos[b] / bin_n[b] as f64;
+        let conf = bin_sum[b] / bin_n[b] as f64;
+        ece += (bin_n[b] as f64 / total) * (rate - conf).abs();
+    }
+    Ok(ece)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::svm::LinearSvm;
+
+    fn scores_and_labels(n: usize) -> (Vec<f32>, Vec<f32>) {
+        // Scores correlated with labels but badly scaled.
+        let mut scores = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let pos = i % 3 == 0;
+            let noise = ((i * 7) % 13) as f32 / 13.0 * 0.2;
+            scores.push(if pos { 0.62 + noise } else { 0.48 + noise });
+            labels.push(if pos { 1.0 } else { 0.0 });
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn platt_improves_calibration_error() {
+        let (scores, labels) = scores_and_labels(600);
+        let before = expected_calibration_error(&scores, &labels, 10).unwrap();
+        let scaler = PlattScaler::fit(&scores, &labels).unwrap();
+        let calibrated = scaler.calibrate_all(&scores);
+        let after = expected_calibration_error(&calibrated, &labels, 10).unwrap();
+        assert!(after < before, "ece {after} not below {before}");
+    }
+
+    #[test]
+    fn platt_is_monotone_in_score_direction() {
+        let (scores, labels) = scores_and_labels(600);
+        let scaler = PlattScaler::fit(&scores, &labels).unwrap();
+        let (a, _) = scaler.parameters();
+        // Higher score -> higher probability when a > 0.
+        assert!(a > 0.0);
+        assert!(scaler.calibrate(0.9) > scaler.calibrate(0.1));
+    }
+
+    #[test]
+    fn platt_rejects_degenerate_input() {
+        assert!(PlattScaler::fit(&[0.5, 0.6], &[1.0, 1.0]).is_err());
+        assert!(PlattScaler::fit(&[0.5], &[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn calibrated_classifier_wraps_and_calibrates() {
+        // Linearly separable data with margin-y scores from a linear SVM.
+        let rows: Vec<Vec<f32>> = (0..300)
+            .map(|i| vec![i as f32 / 300.0, ((i * 11) % 17) as f32 / 17.0])
+            .collect();
+        let y: Vec<f32> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let ds = Dataset::from_rows(&rows, &y).unwrap();
+        let mut model = CalibratedClassifier::new(LinearSvm::new().epochs(30), 0.25, 3);
+        model.fit(&ds).unwrap();
+        assert!(model.scaler().is_some());
+        let proba = model.predict_proba(&ds).unwrap();
+        for p in &proba {
+            assert!((0.0..=1.0).contains(p));
+        }
+        // Still a decent classifier after calibration.
+        let pred = model.predict(&ds).unwrap();
+        let acc = pred.iter().zip(ds.y()).filter(|(a, b)| a == b).count() as f64 / 300.0;
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated() {
+        // Probability 0.5 samples with exactly half positive.
+        let proba = vec![0.5f32; 100];
+        let labels: Vec<f32> = (0..100).map(|i| (i % 2) as f32).collect();
+        let ece = expected_calibration_error(&proba, &labels, 10).unwrap();
+        assert!(ece < 1e-9);
+    }
+
+    #[test]
+    fn ece_validates() {
+        assert!(expected_calibration_error(&[0.5], &[1.0, 0.0], 10).is_err());
+        assert!(expected_calibration_error(&[], &[], 10).is_err());
+        assert!(expected_calibration_error(&[0.5], &[1.0], 0).is_err());
+    }
+}

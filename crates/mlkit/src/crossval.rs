@@ -1,0 +1,226 @@
+//! Cross-validation utilities: stratified k-fold splitting and scoring.
+
+use crate::dataset::Dataset;
+use crate::metrics::ConfusionMatrix;
+use crate::model::Classifier;
+use crate::{MlError, Result};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Index pairs for one fold: `(train_indices, test_indices)`.
+pub type FoldIndices = (Vec<usize>, Vec<usize>);
+
+/// Produces stratified k-fold index splits: every fold's class ratio
+/// approximates the dataset's.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] when `k < 2` or `k` exceeds the
+/// minority class size, and [`MlError::SingleClass`] when a class is
+/// absent.
+pub fn stratified_k_fold(ds: &Dataset, k: usize, seed: u64) -> Result<Vec<FoldIndices>> {
+    if k < 2 {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            reason: format!("need k >= 2, got {k}"),
+        });
+    }
+    let (mut pos, mut neg) = ds.class_indices();
+    if pos.is_empty() || neg.is_empty() {
+        return Err(MlError::SingleClass);
+    }
+    if k > pos.len() || k > neg.len() {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            reason: format!(
+                "k = {k} exceeds a class size ({} positives, {} negatives)",
+                pos.len(),
+                neg.len()
+            ),
+        });
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    pos.shuffle(&mut rng);
+    neg.shuffle(&mut rng);
+
+    // Round-robin both classes over the folds.
+    let mut fold_members: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &p) in pos.iter().enumerate() {
+        fold_members[i % k].push(p);
+    }
+    for (i, &n) in neg.iter().enumerate() {
+        fold_members[i % k].push(n);
+    }
+
+    let mut out = Vec::with_capacity(k);
+    for f in 0..k {
+        let test: Vec<usize> = fold_members[f].clone();
+        let mut train: Vec<usize> = Vec::with_capacity(ds.len() - test.len());
+        for (g, members) in fold_members.iter().enumerate() {
+            if g != f {
+                train.extend_from_slice(members);
+            }
+        }
+        train.shuffle(&mut rng);
+        out.push((train, test));
+    }
+    Ok(out)
+}
+
+/// Per-fold and aggregate results of a cross-validation run.
+#[derive(Debug, Clone)]
+pub struct CrossValScores {
+    /// Confusion matrix per fold.
+    pub folds: Vec<ConfusionMatrix>,
+}
+
+impl CrossValScores {
+    /// Mean F1 over folds.
+    pub fn mean_f1(&self) -> f64 {
+        if self.folds.is_empty() {
+            return 0.0;
+        }
+        self.folds.iter().map(|cm| cm.f1()).sum::<f64>() / self.folds.len() as f64
+    }
+
+    /// Population standard deviation of per-fold F1.
+    pub fn std_f1(&self) -> f64 {
+        if self.folds.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean_f1();
+        let var = self
+            .folds
+            .iter()
+            .map(|cm| (cm.f1() - m) * (cm.f1() - m))
+            .sum::<f64>()
+            / self.folds.len() as f64;
+        var.sqrt()
+    }
+
+    /// Pooled confusion matrix (sums counts over folds).
+    pub fn pooled(&self) -> ConfusionMatrix {
+        let mut total = ConfusionMatrix::default();
+        for cm in &self.folds {
+            total.merge(cm);
+        }
+        total
+    }
+}
+
+/// Runs stratified k-fold cross-validation with a classifier factory
+/// (a fresh model per fold).
+///
+/// # Errors
+///
+/// Propagates split and classifier errors.
+pub fn cross_validate<C, F>(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    mut factory: F,
+) -> Result<CrossValScores>
+where
+    C: Classifier,
+    F: FnMut() -> C,
+{
+    let folds = stratified_k_fold(ds, k, seed)?;
+    let mut out = Vec::with_capacity(k);
+    for (train_idx, test_idx) in folds {
+        let train = ds.select(&train_idx);
+        let test = ds.select(&test_idx);
+        let mut model = factory();
+        model.fit(&train)?;
+        let pred = model.predict(&test)?;
+        out.push(ConfusionMatrix::from_predictions(test.y(), &pred)?);
+    }
+    Ok(CrossValScores { folds: out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbdt::Gbdt;
+    use crate::linear::LogisticRegression;
+
+    fn dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| vec![(i % 20) as f32 / 20.0, ((i * 13) % 7) as f32])
+            .collect();
+        let y: Vec<f32> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        Dataset::from_rows(&rows, &y).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_the_dataset() {
+        let ds = dataset(103);
+        let folds = stratified_k_fold(&ds, 5, 1).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0u32; ds.len()];
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), ds.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+            // Train and test are disjoint.
+            let test_set: std::collections::HashSet<_> = test.iter().collect();
+            assert!(train.iter().all(|i| !test_set.contains(i)));
+        }
+        // Every sample appears in exactly one test fold.
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn folds_are_stratified() {
+        let ds = dataset(200);
+        let overall = ds.n_positive() as f64 / ds.len() as f64;
+        let folds = stratified_k_fold(&ds, 4, 2).unwrap();
+        for (_, test) in folds {
+            let sub = ds.select(&test);
+            let rate = sub.n_positive() as f64 / sub.len() as f64;
+            assert!(
+                (rate - overall).abs() < 0.1,
+                "fold rate {rate} vs overall {overall}"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let ds = dataset(40);
+        assert!(stratified_k_fold(&ds, 1, 0).is_err());
+        assert!(stratified_k_fold(&ds, 1_000, 0).is_err());
+        let single = Dataset::from_rows(&[vec![1.0], vec![2.0]], &[0.0, 0.0]).unwrap();
+        assert!(stratified_k_fold(&single, 2, 0).is_err());
+    }
+
+    #[test]
+    fn cross_validation_scores_a_learnable_problem() {
+        let ds = dataset(200);
+        let scores =
+            cross_validate(&ds, 4, 3, || LogisticRegression::new().learning_rate(1.0).epochs(150))
+                .unwrap();
+        assert_eq!(scores.folds.len(), 4);
+        assert!(scores.mean_f1() > 0.8, "mean f1 {}", scores.mean_f1());
+        assert!(scores.std_f1() < 0.3);
+        let pooled = scores.pooled();
+        assert_eq!(pooled.total() as usize, ds.len());
+    }
+
+    #[test]
+    fn gbdt_cross_validates_too() {
+        let ds = dataset(160);
+        let scores =
+            cross_validate(&ds, 4, 5, || Gbdt::new().n_trees(15).min_samples_leaf(2)).unwrap();
+        assert!(scores.mean_f1() > 0.85, "mean f1 {}", scores.mean_f1());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset(100);
+        let a = stratified_k_fold(&ds, 5, 9).unwrap();
+        let b = stratified_k_fold(&ds, 5, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,212 @@
+//! Model ensembling: soft-voting over heterogeneous classifiers.
+//!
+//! The paper compares LR/GBDT/SVM/NN individually; a natural follow-up
+//! (and a common production pattern) is to average their probabilities.
+//! [`VotingEnsemble`] holds boxed classifiers and averages their
+//! `predict_proba` outputs, optionally with weights.
+
+use crate::dataset::Dataset;
+use crate::model::Classifier;
+use crate::{MlError, Result};
+
+/// Soft-voting ensemble: the positive probability is the (weighted) mean
+/// of the members' probabilities.
+pub struct VotingEnsemble {
+    members: Vec<Box<dyn Classifier>>,
+    weights: Vec<f32>,
+}
+
+impl std::fmt::Debug for VotingEnsemble {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VotingEnsemble")
+            .field("members", &self.members.iter().map(|m| m.name()).collect::<Vec<_>>())
+            .field("weights", &self.weights)
+            .finish()
+    }
+}
+
+impl VotingEnsemble {
+    /// Creates an empty ensemble.
+    pub fn new() -> VotingEnsemble {
+        VotingEnsemble {
+            members: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Adds a member with weight 1.
+    pub fn with_member(self, member: Box<dyn Classifier>) -> VotingEnsemble {
+        self.with_weighted_member(member, 1.0)
+    }
+
+    /// Adds a member with an explicit non-negative weight.
+    pub fn with_weighted_member(
+        mut self,
+        member: Box<dyn Classifier>,
+        weight: f32,
+    ) -> VotingEnsemble {
+        self.members.push(member);
+        self.weights.push(weight.max(0.0));
+        self
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no members were added.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Member names in insertion order.
+    pub fn member_names(&self) -> Vec<&'static str> {
+        self.members.iter().map(|m| m.name()).collect()
+    }
+}
+
+impl Default for VotingEnsemble {
+    fn default() -> VotingEnsemble {
+        VotingEnsemble::new()
+    }
+}
+
+impl Classifier for VotingEnsemble {
+    fn fit(&mut self, train: &Dataset) -> Result<()> {
+        if self.members.is_empty() {
+            return Err(MlError::InvalidParameter {
+                name: "members",
+                reason: "ensemble has no members".into(),
+            });
+        }
+        let total: f32 = self.weights.iter().sum();
+        if total <= 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "weights",
+                reason: "weights sum to zero".into(),
+            });
+        }
+        for m in &mut self.members {
+            m.fit(train)?;
+        }
+        Ok(())
+    }
+
+    fn predict_proba(&self, data: &Dataset) -> Result<Vec<f32>> {
+        if self.members.is_empty() {
+            return Err(MlError::NotFitted);
+        }
+        let total: f32 = self.weights.iter().sum();
+        let mut acc = vec![0.0f32; data.len()];
+        for (m, &w) in self.members.iter().zip(&self.weights) {
+            if w == 0.0 {
+                continue;
+            }
+            let p = m.predict_proba(data)?;
+            for (a, v) in acc.iter_mut().zip(p) {
+                *a += w * v;
+            }
+        }
+        for a in acc.iter_mut() {
+            *a /= total;
+        }
+        Ok(acc)
+    }
+
+    fn name(&self) -> &'static str {
+        "Ensemble"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gbdt::Gbdt;
+    use crate::linear::LogisticRegression;
+    use crate::nn::MlpClassifier;
+
+    fn dataset(n: usize) -> Dataset {
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let a = (i % 2) as f32 + (i % 7) as f32 * 0.01;
+                let b = ((i / 2) % 2) as f32 + (i % 5) as f32 * 0.01;
+                vec![a, b]
+            })
+            .collect();
+        let y: Vec<f32> = rows
+            .iter()
+            .map(|r| if (r[0] > 0.5) != (r[1] > 0.5) { 1.0 } else { 0.0 })
+            .collect();
+        Dataset::from_rows(&rows, &y).unwrap()
+    }
+
+    #[test]
+    fn ensemble_probability_is_member_average() {
+        let ds = dataset(120);
+        let mut e = VotingEnsemble::new()
+            .with_member(Box::new(Gbdt::new().n_trees(15).min_samples_leaf(2)))
+            .with_member(Box::new(LogisticRegression::new().epochs(30)));
+        e.fit(&ds).unwrap();
+        // Recompute member probabilities manually and compare.
+        let mut g = Gbdt::new().n_trees(15).min_samples_leaf(2);
+        g.fit(&ds).unwrap();
+        let mut l = LogisticRegression::new().epochs(30);
+        l.fit(&ds).unwrap();
+        let pg = g.predict_proba(&ds).unwrap();
+        let pl = l.predict_proba(&ds).unwrap();
+        let pe = e.predict_proba(&ds).unwrap();
+        for ((a, b), c) in pg.iter().zip(&pl).zip(&pe) {
+            assert!(((a + b) / 2.0 - c).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn weighted_ensemble_leans_toward_heavy_member() {
+        let ds = dataset(120);
+        let mut e = VotingEnsemble::new()
+            .with_weighted_member(Box::new(Gbdt::new().n_trees(20).min_samples_leaf(2)), 9.0)
+            .with_weighted_member(Box::new(LogisticRegression::new().epochs(5)), 1.0);
+        e.fit(&ds).unwrap();
+        let mut g = Gbdt::new().n_trees(20).min_samples_leaf(2);
+        g.fit(&ds).unwrap();
+        let pg = g.predict_proba(&ds).unwrap();
+        let pe = e.predict_proba(&ds).unwrap();
+        // Ensemble should track GBDT closely at weight 9:1.
+        let mean_diff: f32 =
+            pg.iter().zip(&pe).map(|(a, b)| (a - b).abs()).sum::<f32>() / pg.len() as f32;
+        assert!(mean_diff < 0.1, "diff {mean_diff}");
+    }
+
+    #[test]
+    fn ensemble_beats_its_weakest_member_on_xor() {
+        let ds = dataset(200);
+        let acc = |pred: &[f32]| -> f64 {
+            pred.iter().zip(ds.y()).filter(|(a, b)| a == b).count() as f64 / ds.len() as f64
+        };
+        let mut weak = LogisticRegression::new().epochs(20);
+        weak.fit(&ds).unwrap();
+        let weak_acc = acc(&weak.predict(&ds).unwrap());
+
+        let mut e = VotingEnsemble::new()
+            .with_member(Box::new(Gbdt::new().n_trees(25).min_samples_leaf(2)))
+            .with_member(Box::new(
+                MlpClassifier::new().hidden_layers(&[16]).epochs(150).learning_rate(5e-3),
+            ))
+            .with_member(Box::new(LogisticRegression::new().epochs(20)));
+        e.fit(&ds).unwrap();
+        let e_acc = acc(&e.predict(&ds).unwrap());
+        assert!(e_acc >= weak_acc, "ensemble {e_acc} vs weak {weak_acc}");
+        assert_eq!(e.member_names(), vec!["GBDT", "NN", "LR"]);
+    }
+
+    #[test]
+    fn empty_or_zero_weight_rejected() {
+        let ds = dataset(20);
+        assert!(VotingEnsemble::new().fit(&ds).is_err());
+        let mut zero = VotingEnsemble::new()
+            .with_weighted_member(Box::new(LogisticRegression::new()), 0.0);
+        assert!(zero.fit(&ds).is_err());
+        assert!(VotingEnsemble::new().predict_proba(&ds).is_err());
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced by `mlkit` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MlError {
+    /// Matrix/vector dimensions do not agree for the requested operation.
+    DimensionMismatch {
+        /// What was expected (e.g. "4 columns").
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// A dataset is empty or otherwise unusable for the requested operation.
+    EmptyDataset,
+    /// The model has not been fitted yet.
+    NotFitted,
+    /// An invalid hyper-parameter value was supplied.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Training data contained only a single class where two are required.
+    SingleClass,
+    /// A numeric operation produced a non-finite value.
+    NumericalError(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            MlError::EmptyDataset => write!(f, "dataset is empty"),
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            MlError::SingleClass => {
+                write!(f, "training data contains a single class; two are required")
+            }
+            MlError::NumericalError(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = MlError::DimensionMismatch {
+            expected: "3 columns".into(),
+            found: "2 columns".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("expected 3 columns"));
+        assert!(s.starts_with("dimension mismatch"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MlError>();
+    }
+}

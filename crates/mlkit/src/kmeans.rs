@@ -1,0 +1,192 @@
+//! Lloyd's k-means clustering with k-means++ initialisation.
+//!
+//! Used by [`crate::sampling::kmeans_undersample`] — one of the
+//! imbalanced-dataset mitigations the paper discusses (its reference \[20\]
+//! controls under-sampling via k-means).
+
+use crate::matrix::{sq_dist, Matrix};
+use crate::{MlError, Result};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Result of a k-means run: centroids plus per-sample assignments.
+#[derive(Debug, Clone)]
+pub struct KMeansFit {
+    /// `k × d` centroid matrix.
+    pub centroids: Matrix,
+    /// Cluster index per input row.
+    pub assignments: Vec<usize>,
+    /// Final within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed before convergence (or the cap).
+    pub iterations: usize,
+}
+
+/// Runs k-means with k-means++ seeding.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] when `k` is zero or exceeds the
+/// number of samples, and [`MlError::EmptyDataset`] for an empty matrix.
+pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, seed: u64) -> Result<KMeansFit> {
+    if x.nrows() == 0 {
+        return Err(MlError::EmptyDataset);
+    }
+    if k == 0 || k > x.nrows() {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            reason: format!("must be in [1, {}], got {k}", x.nrows()),
+        });
+    }
+    let n = x.nrows();
+    let d = x.ncols();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ initialisation.
+    let mut centroids = Matrix::zeros(k, d);
+    let first = rng.gen_range(0..n);
+    centroids.row_mut(0).copy_from_slice(x.row(first));
+    let mut dists: Vec<f32> = (0..n).map(|i| sq_dist(x.row(i), centroids.row(0))).collect();
+    for c in 1..k {
+        let total: f64 = dists.iter().map(|&v| v as f64).sum();
+        let pick = if total <= 0.0 {
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, &v) in dists.iter().enumerate() {
+                target -= v as f64;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centroids.row_mut(c).copy_from_slice(x.row(pick));
+        for (i, d) in dists.iter_mut().enumerate() {
+            let nd = sq_dist(x.row(i), centroids.row(c));
+            if nd < *d {
+                *d = nd;
+            }
+        }
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for it in 0..max_iters.max(1) {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, assignment) in assignments.iter_mut().enumerate() {
+            let row = x.row(i);
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for c in 0..k {
+                let dd = sq_dist(row, centroids.row(c));
+                if dd < best_d {
+                    best_d = dd;
+                    best = c;
+                }
+            }
+            if *assignment != best {
+                *assignment = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in assignments.iter().enumerate() {
+            counts[c] += 1;
+            for (j, &v) in x.row(i).iter().enumerate() {
+                sums[c * d + j] += v as f64;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster at a random point.
+                let pick = rng.gen_range(0..n);
+                centroids.row_mut(c).copy_from_slice(x.row(pick));
+                continue;
+            }
+            let crow = centroids.row_mut(c);
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv = (sums[c * d + j] / counts[c] as f64) as f32;
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = (0..n)
+        .map(|i| sq_dist(x.row(i), centroids.row(assignments[i])) as f64)
+        .sum();
+    Ok(KMeansFit {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Matrix {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let eps = (i % 5) as f32 * 0.01;
+            rows.push(vec![0.0 + eps, 0.0 + eps]);
+            rows.push(vec![10.0 + eps, 10.0 + eps]);
+        }
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let x = two_blobs();
+        let fit = kmeans(&x, 2, 50, 1).unwrap();
+        // All even rows (blob A) share a cluster distinct from odd rows.
+        let a = fit.assignments[0];
+        let b = fit.assignments[1];
+        assert_ne!(a, b);
+        for i in 0..x.nrows() {
+            let expect = if i % 2 == 0 { a } else { b };
+            assert_eq!(fit.assignments[i], expect);
+        }
+        assert!(fit.inertia < 1.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![5.0], vec![9.0]]).unwrap();
+        let fit = kmeans(&x, 3, 20, 2).unwrap();
+        assert!(fit.inertia < 1e-9);
+    }
+
+    #[test]
+    fn invalid_k_rejected() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]).unwrap();
+        assert!(kmeans(&x, 0, 10, 1).is_err());
+        assert!(kmeans(&x, 3, 10, 1).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = two_blobs();
+        let a = kmeans(&x, 2, 50, 7).unwrap();
+        let b = kmeans(&x, 2, 50, 7).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn single_cluster_centroid_is_mean() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![3.0]]).unwrap();
+        let fit = kmeans(&x, 1, 10, 1).unwrap();
+        assert!((fit.centroids.get(0, 0) - 2.0).abs() < 1e-6);
+    }
+}

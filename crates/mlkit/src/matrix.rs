@@ -1,0 +1,434 @@
+//! A minimal dense, row-major `f32` matrix.
+//!
+//! Supports exactly the operations the rest of the crate needs: row/column
+//! access, matrix-vector and matrix-matrix products, transpose, and
+//! element-wise maps. Everything is bounds-checked at the API surface and
+//! designed for clarity over absolute peak throughput.
+
+use crate::{MlError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Dense row-major matrix of `f32` values.
+///
+/// # Example
+///
+/// ```
+/// use mlkit::matrix::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]])?;
+/// assert_eq!(m.shape(), (2, 2));
+/// assert_eq!(m.get(1, 0), 3.0);
+/// # Ok::<(), mlkit::MlError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a matrix from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Matrix> {
+        if data.len() != rows * cols {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("{} elements ({rows}x{cols})", rows * cols),
+                found: format!("{} elements", data.len()),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyDataset`] when `rows` is empty and
+    /// [`MlError::DimensionMismatch`] when rows are ragged.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Matrix> {
+        let nrows = rows.len();
+        if nrows == 0 {
+            return Err(MlError::EmptyDataset);
+        }
+        let ncols = rows[0].len();
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for (i, r) in rows.iter().enumerate() {
+            if r.len() != ncols {
+                return Err(MlError::DimensionMismatch {
+                    expected: format!("{ncols} columns"),
+                    found: format!("{} columns in row {i}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Matrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Returns the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `c` is out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrows row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row index out of bounds");
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of bounds.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "column index out of bounds");
+        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+    }
+
+    /// Iterates over rows as slices.
+    pub fn rows_iter(&self) -> impl Iterator<Item = &[f32]> {
+        self.data.chunks_exact(self.cols.max(1))
+    }
+
+    /// The underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Consumes the matrix and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when `v.len() != ncols`.
+    pub fn matvec(&self, v: &[f32]) -> Result<Vec<f32>> {
+        if v.len() != self.cols {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+                found: format!("length {}", v.len()),
+            });
+        }
+        let mut out = vec![0.0f32; self.rows];
+        for (r, out_r) in out.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (a, b) in row.iter().zip(v) {
+                acc += a * b;
+            }
+            *out_r = acc;
+        }
+        Ok(out)
+    }
+
+    /// Matrix product `self * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when inner dimensions differ.
+    pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("{} rows", self.cols),
+                found: format!("{} rows", other.rows),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let crow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (cv, ov) in crow.iter_mut().zip(orow) {
+                    *cv += a * ov;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns the transpose of `self`.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Selects the given rows into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.cols);
+        for &i in indices {
+            data.extend_from_slice(self.row(i));
+        }
+        Matrix {
+            rows: indices.len(),
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Selects the given columns into a new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_cols(&self, indices: &[usize]) -> Matrix {
+        let mut data = Vec::with_capacity(indices.len() * self.rows);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for &c in indices {
+                assert!(c < self.cols, "column index out of bounds");
+                data.push(row[c]);
+            }
+        }
+        Matrix {
+            rows: self.rows,
+            cols: indices.len(),
+            data,
+        }
+    }
+
+    /// Vertically stacks `self` on top of `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.cols {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("{} columns", self.cols),
+                found: format!("{} columns", other.cols),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+}
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot product length mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Squared Euclidean distance between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    let mut acc = 0.0f32;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_correct_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(matches!(
+            Matrix::from_vec(2, 2, vec![1.0; 3]),
+            Err(MlError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged() {
+        let err = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+        assert!(matches!(err, Err(MlError::DimensionMismatch { .. })));
+        assert!(matches!(Matrix::from_rows(&[]), Err(MlError::EmptyDataset)));
+    }
+
+    #[test]
+    fn get_set_row_col() {
+        let mut m = Matrix::zeros(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.row(1), &[0.0, 0.0, 5.0]);
+        assert_eq!(m.col(2), vec![0.0, 5.0]);
+    }
+
+    #[test]
+    fn matvec_works() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        assert_eq!(m.matvec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+        assert!(m.matvec(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 2);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn select_rows_and_cols() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+        let c = a.select_cols(&[1]);
+        assert_eq!(c.shape(), (3, 1));
+        assert_eq!(c.col(0), vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn vstack_appends_rows() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.row(2), &[5.0, 6.0]);
+        let bad = Matrix::zeros(1, 3);
+        assert!(a.vstack(&bad).is_err());
+    }
+
+    #[test]
+    fn dot_and_sq_dist() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(sq_dist(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn map_applies_elementwise() {
+        let a = Matrix::from_rows(&[vec![1.0, -2.0]]).unwrap();
+        let b = a.map(f32::abs);
+        assert_eq!(b.row(0), &[1.0, 2.0]);
+    }
+}

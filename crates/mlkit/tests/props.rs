@@ -1,0 +1,129 @@
+//! Property-based tests for the ML substrate.
+
+use mlkit::dataset::Dataset;
+use mlkit::gbdt::Gbdt;
+use mlkit::linear::{sigmoid, LogisticRegression};
+use mlkit::matrix::Matrix;
+use mlkit::model::Classifier;
+use mlkit::scaler::{MinMaxScaler, StandardScaler};
+use mlkit::tree::QuantileBinner;
+use proptest::prelude::*;
+
+fn dataset_strategy(
+    max_n: usize,
+    d: usize,
+) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec(
+        (prop::collection::vec(-10.0f32..10.0, d), 0u8..2),
+        4..max_n,
+    )
+    .prop_filter_map("needs both classes", |rows| {
+        let x: Vec<Vec<f32>> = rows.iter().map(|(r, _)| r.clone()).collect();
+        let y: Vec<f32> = rows.iter().map(|&(_, l)| l as f32).collect();
+        let pos = y.iter().filter(|&&v| v == 1.0).count();
+        if pos == 0 || pos == y.len() {
+            return None;
+        }
+        Dataset::from_rows(&x, &y).ok()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn transpose_is_an_involution(
+        rows in 1usize..20,
+        cols in 1usize..20,
+        seed in 0u64..1000,
+    ) {
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|i| ((i as u64).wrapping_mul(seed + 1) % 97) as f32)
+            .collect();
+        let m = Matrix::from_vec(rows, cols, data).expect("valid");
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(n in 1usize..16, seed in 0u64..1000) {
+        let data: Vec<f32> = (0..n * n)
+            .map(|i| ((i as u64).wrapping_mul(seed + 3) % 31) as f32)
+            .collect();
+        let a = Matrix::from_vec(n, n, data).expect("valid");
+        let mut eye = Matrix::zeros(n, n);
+        for i in 0..n {
+            eye.set(i, i, 1.0);
+        }
+        prop_assert_eq!(a.matmul(&eye).expect("conforms"), a.clone());
+        prop_assert_eq!(eye.matmul(&a).expect("conforms"), a);
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(a in -50.0f32..50.0, b in -50.0f32..50.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (sa, sb) = (sigmoid(lo), sigmoid(hi));
+        prop_assert!((0.0..=1.0).contains(&sa));
+        prop_assert!((0.0..=1.0).contains(&sb));
+        prop_assert!(sa <= sb);
+    }
+
+    #[test]
+    fn standard_scaler_never_produces_nan(ds in dataset_strategy(40, 3)) {
+        let sc = StandardScaler::fit(&ds).expect("fits");
+        let t = sc.transform(&ds).expect("transforms");
+        for v in t.x().as_slice() {
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn minmax_scaler_stays_in_unit_interval(ds in dataset_strategy(40, 3)) {
+        let sc = MinMaxScaler::fit(&ds).expect("fits");
+        let t = sc.transform(&ds).expect("transforms");
+        for v in t.x().as_slice() {
+            prop_assert!((-1e-6..=1.0 + 1e-6).contains(&(*v as f64)));
+        }
+    }
+
+    #[test]
+    fn binner_preserves_value_order(
+        values in prop::collection::vec(-100.0f32..100.0, 8..100),
+        probe_a in -100.0f32..100.0,
+        probe_b in -100.0f32..100.0,
+    ) {
+        let rows: Vec<Vec<f32>> = values.iter().map(|&v| vec![v]).collect();
+        let x = Matrix::from_rows(&rows).expect("valid");
+        let binner = QuantileBinner::fit(&x, 16).expect("fits");
+        let (lo, hi) = if probe_a <= probe_b { (probe_a, probe_b) } else { (probe_b, probe_a) };
+        prop_assert!(binner.bin_value(0, lo) <= binner.bin_value(0, hi));
+    }
+
+    #[test]
+    fn gbdt_probabilities_always_bounded(ds in dataset_strategy(60, 3)) {
+        let mut m = Gbdt::new().n_trees(5).max_depth(3).min_samples_leaf(1);
+        if m.fit(&ds).is_ok() {
+            for p in m.predict_proba(&ds).expect("predicts") {
+                prop_assert!((0.0..=1.0).contains(&p), "probability {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lr_predictions_are_binary(ds in dataset_strategy(60, 3)) {
+        let mut m = LogisticRegression::new().epochs(5);
+        if m.fit(&ds).is_ok() {
+            for p in m.predict(&ds).expect("predicts") {
+                prop_assert!(p == 0.0 || p == 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_select_preserves_class_counts(ds in dataset_strategy(60, 2)) {
+        let idx: Vec<usize> = (0..ds.len()).collect();
+        let copy = ds.select(&idx);
+        prop_assert_eq!(copy.n_positive(), ds.n_positive());
+        prop_assert_eq!(copy.n_negative(), ds.n_negative());
+        prop_assert_eq!(copy.x().as_slice(), ds.x().as_slice());
+    }
+}

@@ -1,0 +1,393 @@
+//! Simulation configuration.
+
+use crate::topology::Topology;
+use crate::{Result, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Minutes per simulated day.
+pub const MINUTES_PER_DAY: u64 = 1_440;
+
+/// Workload-generation parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of distinct applications in the catalogue.
+    pub n_applications: usize,
+    /// Zipf popularity exponent across applications.
+    pub zipf_exponent: f64,
+    /// Fraction of applications that are error-prone (high SBE intensity).
+    pub error_prone_fraction: f64,
+    /// Mean batch-job arrivals per day.
+    pub jobs_per_day: f64,
+    /// Mean apruns per batch job (>= 1; geometric-ish).
+    pub mean_apruns_per_job: f64,
+    /// Log-mean of the per-aprun runtime distribution (minutes).
+    pub runtime_log_mean: f64,
+    /// Log-sigma of the per-aprun runtime distribution.
+    pub runtime_log_sigma: f64,
+    /// Maximum runtime in minutes (wall-clock limit).
+    pub max_runtime_min: u64,
+    /// Log2-mean of the node-count distribution.
+    pub node_count_log2_mean: f64,
+    /// Log2-sigma of the node-count distribution.
+    pub node_count_log2_sigma: f64,
+    /// Fraction of applications only introduced in the final quarter of
+    /// the trace (models software-stack churn; makes the last test window
+    /// harder, like the paper's DS3).
+    pub late_app_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> WorkloadConfig {
+        WorkloadConfig {
+            n_applications: 240,
+            zipf_exponent: 1.1,
+            error_prone_fraction: 0.15,
+            jobs_per_day: 260.0,
+            mean_apruns_per_job: 1.5,
+            runtime_log_mean: 4.4, // exp(4.4) ~ 81 min
+            runtime_log_sigma: 0.9,
+            max_runtime_min: 24 * 60,
+            node_count_log2_mean: 3.0, // ~8 nodes
+            node_count_log2_sigma: 1.6,
+            late_app_fraction: 0.10,
+        }
+    }
+}
+
+/// Telemetry-simulation parameters (temperatures in °C, power in watts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TelemetryConfig {
+    /// Machine-room base ambient temperature.
+    pub ambient_base_c: f64,
+    /// Amplitude of the spatial ambient field (hot corners).
+    pub ambient_spatial_amp_c: f64,
+    /// Amplitude of the diurnal ambient cycle.
+    pub ambient_diurnal_amp_c: f64,
+    /// GPU idle power draw.
+    pub idle_power_w: f64,
+    /// GPU power draw at full utilisation (K20X TDP ≈ 235 W).
+    pub tdp_power_w: f64,
+    /// Temperature rise per watt of own GPU power.
+    pub temp_per_watt: f64,
+    /// Temperature rise per watt of *average slot-neighbour* power
+    /// (intra-slot thermal coupling).
+    pub neighbor_temp_per_watt: f64,
+    /// OU mean-reversion rate for GPU temperature noise.
+    pub temp_ou_theta: f64,
+    /// OU noise scale for GPU temperature.
+    pub temp_ou_sigma: f64,
+    /// OU mean-reversion rate for GPU power noise.
+    pub power_ou_theta: f64,
+    /// OU noise scale for GPU power.
+    pub power_ou_sigma: f64,
+    /// CPU temperature rise at full CPU utilisation.
+    pub cpu_temp_rise_c: f64,
+    /// Thermal low-pass coefficient in `[0,1)`: per-minute fraction of the
+    /// gap between current and target temperature that is closed
+    /// (models thermal inertia).
+    pub thermal_inertia: f64,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> TelemetryConfig {
+        TelemetryConfig {
+            ambient_base_c: 26.0,
+            ambient_spatial_amp_c: 3.0,
+            ambient_diurnal_amp_c: 1.0,
+            idle_power_w: 42.0,
+            tdp_power_w: 235.0,
+            temp_per_watt: 0.11,
+            neighbor_temp_per_watt: 0.035,
+            temp_ou_theta: 0.08,
+            temp_ou_sigma: 0.45,
+            power_ou_theta: 0.25,
+            power_ou_sigma: 3.0,
+            cpu_temp_rise_c: 18.0,
+            thermal_inertia: 0.35,
+        }
+    }
+}
+
+/// Fault-process parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Fraction of GPUs with elevated (weak) susceptibility.
+    pub weak_gpu_fraction: f64,
+    /// Log-mean of the lognormal susceptibility among weak GPUs.
+    /// Negative values make the *typical* weak GPU error rarely while the
+    /// heavy tail carries most errors (so most offender nodes error on few
+    /// days, as in the paper's §III-A).
+    pub weak_susceptibility_mu: f64,
+    /// Log-sigma of the lognormal susceptibility among weak GPUs.
+    pub weak_susceptibility_sigma: f64,
+    /// Susceptibility multiplier for healthy GPUs relative to the weak
+    /// median (rare errors on previously clean nodes).
+    pub healthy_relative_susceptibility: f64,
+    /// Base SBE intensity scale (errors per weak-GPU node-hour at
+    /// reference conditions).
+    pub base_rate: f64,
+    /// Exponential temperature sensitivity (per °C above `t0_c`).
+    pub temp_beta: f64,
+    /// Reference temperature for the exponential factor.
+    pub t0_c: f64,
+    /// Expected extra SBEs per GPU core-hour of exposure once a run has
+    /// at least one error (a faulty cell struck repeatedly): makes SBE
+    /// counts scale with exposure, producing the paper's strong
+    /// count/core-hours Spearman correlation (Fig. 4).
+    pub burst_per_hour: f64,
+    /// Log-sigma of the day-level global flux multiplier.
+    pub daily_flux_sigma: f64,
+    /// Linear ramp of the flux over the trace: the expected flux at the
+    /// end of the trace is `1 + flux_trend` times the start (makes late
+    /// test windows drift, like the paper's hard DS3).
+    pub flux_trend: f64,
+    /// Fraction of weak GPUs whose susceptibility only *onsets* at a
+    /// random day inside the trace (ageing cards): fresh offender nodes
+    /// that stage-1 history cannot know about yet.
+    pub weak_onset_fraction: f64,
+    /// Fraction of weak GPUs that get *repaired* (susceptibility drops to
+    /// near-zero) at a random day inside the trace (card replacement).
+    pub weak_repair_fraction: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> FaultConfig {
+        FaultConfig {
+            weak_gpu_fraction: 0.045,
+            weak_susceptibility_mu: -0.8,
+            weak_susceptibility_sigma: 2.0,
+            healthy_relative_susceptibility: 0.00002,
+            base_rate: 0.90,
+            temp_beta: 0.030,
+            t0_c: 45.0,
+            burst_per_hour: 3.0,
+            daily_flux_sigma: 0.7,
+            flux_trend: 0.6,
+            weak_onset_fraction: 0.30,
+            weak_repair_fraction: 0.25,
+        }
+    }
+}
+
+/// Top-level simulation configuration.
+///
+/// # Example
+///
+/// ```
+/// use titan_sim::config::SimConfig;
+///
+/// let cfg = SimConfig::scaled(42);
+/// assert_eq!(cfg.days, 150);
+/// cfg.validate()?;
+/// # Ok::<(), titan_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Global seed; all randomness derives from it.
+    pub seed: u64,
+    /// Machine geometry.
+    pub topology: Topology,
+    /// Trace length in days.
+    pub days: u32,
+    /// Workload-generation parameters.
+    pub workload: WorkloadConfig,
+    /// Telemetry parameters.
+    pub telemetry: TelemetryConfig,
+    /// Fault-process parameters.
+    pub fault: FaultConfig,
+}
+
+impl SimConfig {
+    /// Workstation-scale default: the paper's 25 × 8 cabinet grid with
+    /// 1,600 nodes and a 150-day trace (≈ the paper's Feb–Jun window).
+    pub fn scaled(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            topology: Topology::scaled().expect("static dimensions are valid"),
+            days: 150,
+            workload: WorkloadConfig::default(),
+            telemetry: TelemetryConfig::default(),
+            fault: FaultConfig::default(),
+        }
+    }
+
+    /// Full-Titan geometry (19,200 node positions). Expensive; provided
+    /// for completeness and scalability benches.
+    pub fn titan_scale(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::scaled(seed);
+        cfg.topology = Topology::titan().expect("static dimensions are valid");
+        // Titan ran far more concurrent work.
+        cfg.workload.jobs_per_day = 2_600.0;
+        cfg
+    }
+
+    /// Tiny deterministic system for unit tests: 64 nodes, 30 days.
+    pub fn tiny(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::scaled(seed);
+        cfg.topology = Topology::tiny().expect("static dimensions are valid");
+        cfg.days = 30;
+        cfg.workload.n_applications = 40;
+        cfg.workload.jobs_per_day = 18.0;
+        cfg.workload.node_count_log2_mean = 1.5;
+        cfg.workload.node_count_log2_sigma = 1.0;
+        // Small systems need a higher weak fraction for enough positives.
+        cfg.fault.weak_gpu_fraction = 0.12;
+        cfg
+    }
+
+    /// Total simulated minutes.
+    pub fn total_minutes(&self) -> u64 {
+        self.days as u64 * MINUTES_PER_DAY
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.days == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "days",
+                reason: "must be > 0".into(),
+            });
+        }
+        let w = &self.workload;
+        if w.n_applications == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "workload.n_applications",
+                reason: "must be > 0".into(),
+            });
+        }
+        for (field, v) in [
+            ("workload.zipf_exponent", w.zipf_exponent),
+            ("workload.jobs_per_day", w.jobs_per_day),
+            ("workload.runtime_log_sigma", w.runtime_log_sigma),
+        ] {
+            if v <= 0.0 || !v.is_finite() {
+                return Err(SimError::InvalidConfig {
+                    field,
+                    reason: format!("must be positive and finite, got {v}"),
+                });
+            }
+        }
+        for (field, v) in [
+            ("workload.error_prone_fraction", w.error_prone_fraction),
+            ("workload.late_app_fraction", w.late_app_fraction),
+            ("fault.weak_gpu_fraction", self.fault.weak_gpu_fraction),
+            ("fault.weak_onset_fraction", self.fault.weak_onset_fraction),
+            ("fault.weak_repair_fraction", self.fault.weak_repair_fraction),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SimError::InvalidConfig {
+                    field,
+                    reason: format!("must be in [0, 1], got {v}"),
+                });
+            }
+        }
+        if w.mean_apruns_per_job < 1.0 {
+            return Err(SimError::InvalidConfig {
+                field: "workload.mean_apruns_per_job",
+                reason: format!("must be >= 1, got {}", w.mean_apruns_per_job),
+            });
+        }
+        if w.max_runtime_min == 0 {
+            return Err(SimError::InvalidConfig {
+                field: "workload.max_runtime_min",
+                reason: "must be > 0".into(),
+            });
+        }
+        let t = &self.telemetry;
+        if t.tdp_power_w <= t.idle_power_w {
+            return Err(SimError::InvalidConfig {
+                field: "telemetry.tdp_power_w",
+                reason: format!(
+                    "TDP ({}) must exceed idle power ({})",
+                    t.tdp_power_w, t.idle_power_w
+                ),
+            });
+        }
+        if !(0.0..1.0).contains(&t.thermal_inertia) {
+            return Err(SimError::InvalidConfig {
+                field: "telemetry.thermal_inertia",
+                reason: format!("must be in [0, 1), got {}", t.thermal_inertia),
+            });
+        }
+        let f = &self.fault;
+        if f.base_rate <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                field: "fault.base_rate",
+                reason: format!("must be positive, got {}", f.base_rate),
+            });
+        }
+        if f.burst_per_hour < 0.0 || !f.burst_per_hour.is_finite() {
+            return Err(SimError::InvalidConfig {
+                field: "fault.burst_per_hour",
+                reason: format!("must be non-negative and finite, got {}", f.burst_per_hour),
+            });
+        }
+        if f.healthy_relative_susceptibility < 0.0 || f.healthy_relative_susceptibility > 1.0 {
+            return Err(SimError::InvalidConfig {
+                field: "fault.healthy_relative_susceptibility",
+                reason: format!("must be in [0, 1], got {}", f.healthy_relative_susceptibility),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        SimConfig::scaled(1).validate().unwrap();
+        SimConfig::titan_scale(1).validate().unwrap();
+        SimConfig::tiny(1).validate().unwrap();
+    }
+
+    #[test]
+    fn total_minutes() {
+        let cfg = SimConfig::tiny(1);
+        assert_eq!(cfg.total_minutes(), 30 * 1_440);
+    }
+
+    #[test]
+    fn invalid_values_rejected() {
+        let mut cfg = SimConfig::tiny(1);
+        cfg.days = 0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::tiny(1);
+        cfg.workload.jobs_per_day = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::tiny(1);
+        cfg.workload.error_prone_fraction = 1.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::tiny(1);
+        cfg.telemetry.tdp_power_w = cfg.telemetry.idle_power_w;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::tiny(1);
+        cfg.fault.base_rate = 0.0;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::tiny(1);
+        cfg.workload.mean_apruns_per_job = 0.5;
+        assert!(cfg.validate().is_err());
+
+        let mut cfg = SimConfig::tiny(1);
+        cfg.telemetry.thermal_inertia = 1.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn clone_and_eq() {
+        let cfg = SimConfig::scaled(9);
+        let cloned = cfg.clone();
+        assert_eq!(cfg, cloned);
+    }
+}

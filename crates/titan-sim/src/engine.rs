@@ -1,0 +1,569 @@
+//! Trace generation and on-demand telemetry queries.
+//!
+//! [`generate`] runs the full pipeline — catalogue → schedule → fault
+//! model → per-slot telemetry — and emits a [`TraceSet`]. Slots are
+//! independent, so the telemetry sweep is parallelised across threads.
+//!
+//! [`TelemetryQueryEngine`] re-simulates telemetry *deterministically* for
+//! arbitrary (aprun, node) pairs after the fact, producing the window
+//! statistics the prediction features need (run window, the four
+//! look-back windows, CPU temperature, and slot-neighbour aggregates)
+//! without the trace ever storing minute-level series.
+
+use crate::apps::AppCatalog;
+use crate::config::SimConfig;
+use crate::faults::FaultModel;
+use crate::rng::stream_rng_indexed;
+use crate::schedule::{ApRunId, NodeInterval, Schedule};
+use crate::telemetry::{SeriesKind, TelemetrySimulator, WindowStats};
+use crate::topology::{NodeId, SlotId};
+use crate::trace::{SampleRecord, TraceSet};
+use crate::{Result, SimError};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The look-back horizons (minutes before run start) used for historical
+/// temperature/power features — the paper's 5/15/30/60-minute windows.
+pub const LOOKBACK_WINDOWS_MIN: [u64; 4] = [5, 15, 30, 60];
+
+/// DBE intensity relative to the SBE intensity of the same run — double
+/// flips are orders of magnitude rarer (paper §II: DBEs are too rare to
+/// predict).
+pub const DBE_RELATIVE_RATE: f64 = 0.01;
+
+/// Generates a complete trace from a configuration.
+///
+/// # Errors
+///
+/// Propagates configuration validation and internal consistency errors.
+///
+/// # Example
+///
+/// ```
+/// use titan_sim::config::SimConfig;
+///
+/// let trace = titan_sim::engine::generate(&SimConfig::tiny(1))?;
+/// assert!(trace.positive_rate() > 0.0);
+/// # Ok::<(), titan_sim::SimError>(())
+/// ```
+pub fn generate(cfg: &SimConfig) -> Result<TraceSet> {
+    Ok(generate_full(cfg)?.0)
+}
+
+/// Like [`generate`], but also returns the hidden [`FaultModel`] — ground
+/// truth that a real operator never observes, useful for calibration
+/// tests and oracle comparisons.
+///
+/// # Errors
+///
+/// Propagates configuration validation and internal consistency errors.
+pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
+    cfg.validate()?;
+    let catalog = AppCatalog::generate(&cfg.workload, cfg.seed, cfg.days)?;
+    let schedule = Schedule::generate(cfg, &catalog)?;
+    let faults = FaultModel::generate(cfg)?;
+    let sim = TelemetrySimulator::new(cfg, &schedule, &catalog)?;
+    let n_nodes = cfg.topology.n_nodes() as usize;
+    let timelines = schedule.node_timelines(n_nodes);
+
+    let n_slots = cfg.topology.n_slots();
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_slots as usize)
+        .max(1);
+
+    struct Shard {
+        samples: Vec<SampleRecord>,
+        cum_temp: Vec<(NodeId, f64)>,
+        cum_power: Vec<(NodeId, f64)>,
+    }
+
+    let process_slot = |slot: SlotId, shard: &mut Shard| -> Result<()> {
+        let series = sim.simulate_slot(slot)?;
+        let horizon = cfg.total_minutes();
+        for &node in series.nodes() {
+            // Cumulative sums for the Fig. 5 heatmaps.
+            let temps = series.series(node, SeriesKind::GpuTemp, 0, horizon)?;
+            let powers = series.series(node, SeriesKind::GpuPower, 0, horizon)?;
+            shard
+                .cum_temp
+                .push((node, temps.iter().map(|&v| v as f64).sum()));
+            shard
+                .cum_power
+                .push((node, powers.iter().map(|&v| v as f64).sum()));
+
+            // SBE sampling per busy interval on this node. DBEs draw
+            // from an independent stream so that enabling/disabling them
+            // never perturbs the SBE sequence.
+            let mut rng = stream_rng_indexed(cfg.seed, "sbe", node.0 as u64);
+            let mut dbe_rng = stream_rng_indexed(cfg.seed, "dbe", node.0 as u64);
+            for iv in &timelines[node.0 as usize] {
+                let avg_t = series.mean(node, SeriesKind::GpuTemp, iv.start_min, iv.end_min)?;
+                let avg_p = series.mean(node, SeriesKind::GpuPower, iv.start_min, iv.end_min)?;
+                let run = &schedule.apruns()[iv.aprun.0 as usize];
+                let app = catalog.profile(run.app_id)?;
+                let lambda =
+                    faults.intensity(node, app, run.runtime_min(), run.start_min, avg_t)?;
+                // Burst magnitude scales with the run's *aggregate*
+                // compute and memory exposure (node-hours × utilisation):
+                // bigger, longer, memory-heavier runs re-strike faulty
+                // cells more often. This is the knob behind the paper's
+                // strong Fig. 4 Spearman correlations between SBE count
+                // and core-hours / memory.
+                let exposure_hours = run.node_hours() * app.core_util * app.mem_util;
+                let count = faults.sample_count_with_burst(lambda, exposure_hours, &mut rng);
+                // DBEs: orders of magnitude rarer, no burst (a double
+                // flip is a one-off event, not a stuck cell).
+                let dbe = faults.sample_count(lambda * DBE_RELATIVE_RATE, &mut dbe_rng);
+                shard.samples.push(SampleRecord {
+                    aprun: iv.aprun,
+                    node,
+                    avg_gpu_temp_c: avg_t as f32,
+                    avg_gpu_power_w: avg_p as f32,
+                    sbe_true: count,
+                    sbe_attributed: 0, // filled in by TraceSet::assemble
+                    dbe_true: dbe,
+                });
+            }
+        }
+        Ok(())
+    };
+
+    // Slots are independent; shard them across threads.
+    let shards: Vec<Result<Shard>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n_threads);
+        for t in 0..n_threads {
+            let process_slot = &process_slot;
+            handles.push(scope.spawn(move || {
+                let mut shard = Shard {
+                    samples: Vec::new(),
+                    cum_temp: Vec::new(),
+                    cum_power: Vec::new(),
+                };
+                let mut slot = t as u32;
+                while slot < n_slots {
+                    process_slot(SlotId(slot), &mut shard)?;
+                    slot += n_threads as u32;
+                }
+                Ok(shard)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("telemetry worker panicked"))
+            .collect()
+    });
+
+    let mut samples = Vec::new();
+    let mut cum_temp = vec![0.0f64; n_nodes];
+    let mut cum_power = vec![0.0f64; n_nodes];
+    for shard in shards {
+        let shard = shard?;
+        samples.extend(shard.samples);
+        for (node, v) in shard.cum_temp {
+            cum_temp[node.0 as usize] = v;
+        }
+        for (node, v) in shard.cum_power {
+            cum_power[node.0 as usize] = v;
+        }
+    }
+
+    let trace = TraceSet::assemble(cfg.clone(), catalog, schedule, samples, cum_temp, cum_power)?;
+    Ok((trace, faults))
+}
+
+/// Full telemetry feature bundle for one (aprun, node) sample.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SampleTelemetry {
+    /// The aprun.
+    pub aprun: ApRunId,
+    /// The node.
+    pub node: NodeId,
+    /// GPU temperature during the run.
+    pub run_temp: WindowStats,
+    /// GPU power during the run.
+    pub run_power: WindowStats,
+    /// CPU temperature (same node) during the run.
+    pub cpu_temp: WindowStats,
+    /// Slot-neighbour average GPU temperature during the run.
+    pub nei_temp: WindowStats,
+    /// Slot-neighbour average GPU power during the run.
+    pub nei_power: WindowStats,
+    /// GPU temperature over the 5/15/30/60-minute windows before the run.
+    pub prev_temp: [WindowStats; 4],
+    /// GPU power over the same look-back windows.
+    pub prev_power: [WindowStats; 4],
+}
+
+/// Recomputes telemetry statistics on demand, slot by slot.
+#[derive(Debug)]
+pub struct TelemetryQueryEngine<'a> {
+    trace: &'a TraceSet,
+    sim: TelemetrySimulator<'a>,
+}
+
+impl<'a> TelemetryQueryEngine<'a> {
+    /// Creates a query engine over a trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalogue lookup errors.
+    pub fn new(trace: &'a TraceSet) -> Result<TelemetryQueryEngine<'a>> {
+        let sim = TelemetrySimulator::new(trace.config(), trace.schedule(), trace.catalog())?;
+        Ok(TelemetryQueryEngine { trace, sim })
+    }
+
+    /// Computes [`SampleTelemetry`] for every requested (aprun, node)
+    /// pair. The result preserves the input order. Queries are grouped by
+    /// slot internally so each slot is simulated exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] for dangling ids or pairs where
+    /// the node is not part of the aprun's allocation.
+    pub fn query(&self, pairs: &[(ApRunId, NodeId)]) -> Result<Vec<SampleTelemetry>> {
+        let topo = &self.trace.config().topology;
+        // Group query indices by slot.
+        let mut by_slot: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, &(aprun, node)) in pairs.iter().enumerate() {
+            let run = self.trace.aprun(aprun)?;
+            if !run.nodes.contains(&node) {
+                return Err(SimError::UnknownEntity {
+                    kind: "sample (node not in aprun allocation)",
+                    id: node.0 as u64,
+                });
+            }
+            by_slot.entry(topo.slot_of(node)?.0).or_default().push(i);
+        }
+
+        let mut slots: Vec<u32> = by_slot.keys().copied().collect();
+        slots.sort_unstable();
+
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(slots.len().max(1));
+
+        let mut out = vec![SampleTelemetry::default(); pairs.len()];
+        // Workers return (query index, result) pairs; merge at the end.
+        let results: Vec<Result<Vec<(usize, SampleTelemetry)>>> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n_threads);
+            for t in 0..n_threads {
+                let slots = &slots;
+                let by_slot = &by_slot;
+                let this = &self;
+                handles.push(scope.spawn(move || {
+                    let mut acc = Vec::new();
+                    let mut si = t;
+                    while si < slots.len() {
+                        let slot = SlotId(slots[si]);
+                        let series = this.sim.simulate_slot(slot)?;
+                        for &qi in &by_slot[&slots[si]] {
+                            let (aprun, node) = pairs[qi];
+                            let run = this.trace.aprun(aprun)?;
+                            let (s, e) = (run.start_min, run.end_min);
+                            let mut st = SampleTelemetry {
+                                aprun,
+                                node,
+                                run_temp: series.stats(node, SeriesKind::GpuTemp, s, e)?,
+                                run_power: series.stats(node, SeriesKind::GpuPower, s, e)?,
+                                cpu_temp: series.stats(node, SeriesKind::CpuTemp, s, e)?,
+                                nei_temp: series
+                                    .neighbor_stats(node, SeriesKind::GpuTemp, s, e)?,
+                                nei_power: series
+                                    .neighbor_stats(node, SeriesKind::GpuPower, s, e)?,
+                                prev_temp: [WindowStats::default(); 4],
+                                prev_power: [WindowStats::default(); 4],
+                            };
+                            for (w, &win) in LOOKBACK_WINDOWS_MIN.iter().enumerate() {
+                                let lo = s.saturating_sub(win);
+                                if lo < s {
+                                    st.prev_temp[w] =
+                                        series.stats(node, SeriesKind::GpuTemp, lo, s)?;
+                                    st.prev_power[w] =
+                                        series.stats(node, SeriesKind::GpuPower, lo, s)?;
+                                }
+                            }
+                            acc.push((qi, st));
+                        }
+                        si += n_threads;
+                    }
+                    Ok(acc)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("telemetry query worker panicked"))
+                .collect()
+        });
+        for r in results {
+            for (qi, st) in r? {
+                out[qi] = st;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns, for every (aprun, node) pair, the raw GPU temperature and
+    /// power series over the `lookback_min` minutes *before* the run
+    /// starts (clipped at the trace origin). Queries are grouped by slot
+    /// like [`TelemetryQueryEngine::query`]. This feeds time-series
+    /// forecasters that predict run-time telemetry features before the
+    /// run executes (the paper's §VI-A "second approach" / §VIII).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] for dangling ids or pairs where
+    /// the node is not part of the aprun's allocation.
+    pub fn query_preseries(
+        &self,
+        pairs: &[(ApRunId, NodeId)],
+        lookback_min: u64,
+    ) -> Result<Vec<(Vec<f32>, Vec<f32>)>> {
+        let topo = &self.trace.config().topology;
+        let mut by_slot: HashMap<u32, Vec<usize>> = HashMap::new();
+        for (i, &(aprun, node)) in pairs.iter().enumerate() {
+            let run = self.trace.aprun(aprun)?;
+            if !run.nodes.contains(&node) {
+                return Err(SimError::UnknownEntity {
+                    kind: "sample (node not in aprun allocation)",
+                    id: node.0 as u64,
+                });
+            }
+            by_slot.entry(topo.slot_of(node)?.0).or_default().push(i);
+        }
+        let mut out = vec![(Vec::new(), Vec::new()); pairs.len()];
+        let mut slots: Vec<u32> = by_slot.keys().copied().collect();
+        slots.sort_unstable();
+        for slot in slots {
+            let series = self.sim.simulate_slot(SlotId(slot))?;
+            for &qi in &by_slot[&slot] {
+                let (aprun, node) = pairs[qi];
+                let run = self.trace.aprun(aprun)?;
+                let start = run.start_min;
+                let lo = start.saturating_sub(lookback_min);
+                if lo < start {
+                    out[qi] = (
+                        series.series(node, SeriesKind::GpuTemp, lo, start)?.to_vec(),
+                        series.series(node, SeriesKind::GpuPower, lo, start)?.to_vec(),
+                    );
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Re-simulates one node's raw series over a minute range — the probe
+    /// behind profile plots like the paper's Fig. 8.
+    ///
+    /// # Errors
+    ///
+    /// Propagates range/entity errors from the simulator.
+    pub fn node_series(
+        &self,
+        node: NodeId,
+        kind: SeriesKind,
+        start_min: u64,
+        end_min: u64,
+    ) -> Result<Vec<f32>> {
+        let slot = self.trace.config().topology.slot_of(node)?;
+        let series = self.sim.simulate_slot_range(slot, start_min, end_min)?;
+        Ok(series.series(node, kind, start_min, end_min)?.to_vec())
+    }
+
+    /// Average series over *all* members of a node's slot (used as the
+    /// "slot average" context line in Fig. 8).
+    ///
+    /// # Errors
+    ///
+    /// Propagates range/entity errors from the simulator.
+    pub fn slot_average_series(
+        &self,
+        node: NodeId,
+        kind: SeriesKind,
+        start_min: u64,
+        end_min: u64,
+    ) -> Result<Vec<f32>> {
+        let topo = &self.trace.config().topology;
+        let slot = topo.slot_of(node)?;
+        let series = self.sim.simulate_slot_range(slot, start_min, end_min)?;
+        let members = series.nodes().to_vec();
+        let len = (end_min - start_min) as usize;
+        let mut acc = vec![0.0f32; len];
+        for &m in &members {
+            for (a, &v) in acc
+                .iter_mut()
+                .zip(series.series(m, kind, start_min, end_min)?)
+            {
+                *a += v;
+            }
+        }
+        let inv = 1.0 / members.len() as f32;
+        for a in acc.iter_mut() {
+            *a *= inv;
+        }
+        Ok(acc)
+    }
+
+    /// Access to the underlying ambient model (for characterization).
+    pub fn ambient_c(&self, cabinet_x: u16, cabinet_y: u16, minute: u64) -> f64 {
+        self.sim.ambient_c(cabinet_x, cabinet_y, minute)
+    }
+
+    /// Busy intervals of a node (sorted), resolved from the schedule.
+    pub fn node_timeline(&self, node: NodeId) -> Vec<NodeInterval> {
+        let timelines = self
+            .trace
+            .schedule()
+            .node_timelines(self.trace.config().topology.n_nodes() as usize);
+        timelines[node.0 as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn trace() -> TraceSet {
+        generate(&SimConfig::tiny(41)).unwrap()
+    }
+
+    #[test]
+    fn generation_deterministic() {
+        let a = generate(&SimConfig::tiny(2)).unwrap();
+        let b = generate(&SimConfig::tiny(2)).unwrap();
+        assert_eq!(a.samples(), b.samples());
+        assert_eq!(a.node_cum_temp(), b.node_cum_temp());
+    }
+
+    #[test]
+    fn positive_rate_in_expected_band() {
+        let t = trace();
+        let rate = t.positive_rate();
+        // Tiny config is looser than the scaled calibration target; just
+        // require a usable minority class.
+        assert!(rate > 0.001 && rate < 0.25, "positive rate {rate}");
+    }
+
+    #[test]
+    fn query_engine_matches_generation_averages() {
+        let t = trace();
+        let engine = TelemetryQueryEngine::new(&t).unwrap();
+        // Take a handful of samples and verify the re-simulated run mean
+        // equals the stored avg temperature (same procedural series).
+        let pairs: Vec<(ApRunId, NodeId)> = t
+            .samples()
+            .iter()
+            .take(20)
+            .map(|s| (s.aprun, s.node))
+            .collect();
+        let stats = engine.query(&pairs).unwrap();
+        for (st, s) in stats.iter().zip(t.samples().iter().take(20)) {
+            assert!(
+                (st.run_temp.mean - s.avg_gpu_temp_c).abs() < 0.01,
+                "{} vs {}",
+                st.run_temp.mean,
+                s.avg_gpu_temp_c
+            );
+            assert!((st.run_power.mean - s.avg_gpu_power_w).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn query_preserves_order_and_validates() {
+        let t = trace();
+        let engine = TelemetryQueryEngine::new(&t).unwrap();
+        let s0 = &t.samples()[0];
+        let s1 = &t.samples()[t.samples().len() / 2];
+        let stats = engine
+            .query(&[(s1.aprun, s1.node), (s0.aprun, s0.node)])
+            .unwrap();
+        assert_eq!(stats[0].aprun, s1.aprun);
+        assert_eq!(stats[1].aprun, s0.aprun);
+        // Node not in allocation is rejected.
+        let run = t.aprun(s0.aprun).unwrap();
+        let outsider = (0..t.config().topology.n_nodes())
+            .map(NodeId)
+            .find(|n| !run.nodes.contains(n))
+            .unwrap();
+        assert!(engine.query(&[(s0.aprun, outsider)]).is_err());
+    }
+
+    #[test]
+    fn lookback_windows_have_expected_lengths() {
+        let t = trace();
+        let engine = TelemetryQueryEngine::new(&t).unwrap();
+        // Find a run starting after 60 minutes.
+        let s = t
+            .samples()
+            .iter()
+            .find(|s| t.aprun(s.aprun).unwrap().start_min > 60)
+            .expect("a run starting after minute 60");
+        let st = &engine.query(&[(s.aprun, s.node)]).unwrap()[0];
+        // All four look-back stats must be populated (non-default std
+        // would be flaky; check the means are in physical range instead).
+        for w in &st.prev_temp {
+            assert!(w.mean > 10.0, "look-back temp mean {}", w.mean);
+        }
+        for w in &st.prev_power {
+            assert!(w.mean > 4.0, "look-back power mean {}", w.mean);
+        }
+    }
+
+    #[test]
+    fn preseries_lengths_and_values_match_probe() {
+        let t = trace();
+        let engine = TelemetryQueryEngine::new(&t).unwrap();
+        let s = t
+            .samples()
+            .iter()
+            .find(|s| t.aprun(s.aprun).unwrap().start_min > 100)
+            .unwrap();
+        let pre = engine.query_preseries(&[(s.aprun, s.node)], 60).unwrap();
+        assert_eq!(pre.len(), 1);
+        let (temp, power) = &pre[0];
+        assert_eq!(temp.len(), 60);
+        assert_eq!(power.len(), 60);
+        let start = t.aprun(s.aprun).unwrap().start_min;
+        let probe = engine
+            .node_series(s.node, SeriesKind::GpuTemp, start - 60, start)
+            .unwrap();
+        assert_eq!(temp, &probe);
+    }
+
+    #[test]
+    fn preseries_clipped_at_origin() {
+        let t = trace();
+        let engine = TelemetryQueryEngine::new(&t).unwrap();
+        // Any sample: lookback longer than the start must clip.
+        let s = &t.samples()[0];
+        let start = t.aprun(s.aprun).unwrap().start_min;
+        let pre = engine
+            .query_preseries(&[(s.aprun, s.node)], u64::MAX)
+            .unwrap();
+        assert_eq!(pre[0].0.len() as u64, start);
+    }
+
+    #[test]
+    fn node_series_probe_works() {
+        let t = trace();
+        let engine = TelemetryQueryEngine::new(&t).unwrap();
+        let v = engine
+            .node_series(NodeId(3), SeriesKind::GpuTemp, 100, 200)
+            .unwrap();
+        assert_eq!(v.len(), 100);
+        let avg = engine
+            .slot_average_series(NodeId(3), SeriesKind::GpuTemp, 100, 200)
+            .unwrap();
+        assert_eq!(avg.len(), 100);
+    }
+
+    #[test]
+    fn samples_cover_all_aprun_nodes() {
+        let t = trace();
+        let total: usize = t.apruns().iter().map(|r| r.nodes.len()).sum();
+        assert_eq!(t.samples().len(), total);
+    }
+}

@@ -1,0 +1,64 @@
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An invalid configuration value was supplied.
+    InvalidConfig {
+        /// Name of the offending field.
+        field: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A referenced entity (node, aprun, application) does not exist.
+    UnknownEntity {
+        /// Entity kind, e.g. `"node"`.
+        kind: &'static str,
+        /// The offending identifier.
+        id: u64,
+    },
+    /// A time range is empty or out of the simulated horizon.
+    InvalidTimeRange {
+        /// Range start (minutes).
+        start: u64,
+        /// Range end (minutes, exclusive).
+        end: u64,
+        /// Simulation horizon (minutes).
+        horizon: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig { field, reason } => {
+                write!(f, "invalid configuration `{field}`: {reason}")
+            }
+            SimError::UnknownEntity { kind, id } => {
+                write!(f, "unknown {kind} with id {id}")
+            }
+            SimError::InvalidTimeRange { start, end, horizon } => {
+                write!(
+                    f,
+                    "invalid time range [{start}, {end}) for horizon {horizon} minutes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        let e = SimError::UnknownEntity { kind: "node", id: 9 };
+        assert_eq!(e.to_string(), "unknown node with id 9");
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

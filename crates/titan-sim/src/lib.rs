@@ -1,0 +1,63 @@
+//! `titan-sim` — a generative trace simulator for a Titan-like GPU
+//! supercomputer.
+//!
+//! The DSN 2018 study this workspace reproduces analysed six months of
+//! closed operational traces from the Titan supercomputer: batch-job and
+//! aprun records, `nvidia-smi` SBE snapshots taken at job boundaries, and
+//! out-of-band GPU temperature / GPU power / CPU temperature readings
+//! sampled roughly once a minute for every node. This crate regenerates
+//! synthetic traces with the same schema and — by construction — the same
+//! statistical structure the paper measures and exploits:
+//!
+//! * the Titan topology: a 25 × 8 cabinet grid, cages, slots of four
+//!   nodes sharing Gemini routers ([`topology`]),
+//! * a Zipf-popular application mix with heterogeneous runtimes, node
+//!   counts, and GPU utilisation, plus a small error-prone subset
+//!   ([`apps`]),
+//! * batch jobs containing one or more apruns, allocated with spatial
+//!   affinity ([`schedule`]),
+//! * per-minute GPU temperature/power and CPU temperature driven by
+//!   utilisation, a non-uniform ambient field, intra-slot thermal
+//!   coupling, and Ornstein-Uhlenbeck noise ([`telemetry`]),
+//! * a latent-susceptibility single-bit-error process whose intensity
+//!   scales with memory utilisation, GPU core-hours, and elevated
+//!   temperature ([`faults`]),
+//! * trace records mirroring the paper's collection granularity — SBE
+//!   counts are attributed at *job* boundaries, conservatively smearing
+//!   errors over all apruns in the job ([`trace`]).
+//!
+//! The top-level entry point is [`engine::generate`], which returns a
+//! [`trace::TraceSet`]. Telemetry is *procedurally* regenerable: window
+//! statistics for any (aprun, node) pair can be recomputed on demand with
+//! [`engine::TelemetryQueryEngine`] without storing minute-level series.
+//!
+//! # Example
+//!
+//! ```
+//! use titan_sim::config::SimConfig;
+//! use titan_sim::engine::generate;
+//!
+//! let cfg = SimConfig::tiny(7); // small deterministic system for tests
+//! let trace = generate(&cfg)?;
+//! assert!(trace.apruns().len() > 100);
+//! let positives = trace.samples().iter().filter(|s| s.sbe_attributed > 0).count();
+//! assert!(positives > 0);
+//! # Ok::<(), titan_sim::SimError>(())
+//! ```
+
+pub mod apps;
+pub mod config;
+pub mod engine;
+pub mod faults;
+pub mod rng;
+pub mod schedule;
+pub mod telemetry;
+pub mod topology;
+pub mod trace;
+
+mod error;
+
+pub use error::SimError;
+
+/// Crate-wide `Result` alias using [`SimError`].
+pub type Result<T> = std::result::Result<T, SimError>;

@@ -1,0 +1,647 @@
+//! Per-minute GPU/CPU telemetry simulation.
+//!
+//! The paper's facility collected GPU temperature, GPU power, and CPU
+//! temperature out-of-band roughly once per minute for every node. This
+//! module regenerates such series *procedurally*: given the global seed,
+//! the slot id, and the workload timelines, the series for any slot can be
+//! re-simulated bit-identically at any time — so no minute-level data ever
+//! needs to be stored.
+//!
+//! The physical model per node and minute:
+//!
+//! * **power** = idle + utilisation × (TDP − idle) + OU noise,
+//! * **ambient** = base + spatial field (hot upper-left / lower-right
+//!   corners, as in the paper's Fig. 5a) + diurnal cycle,
+//! * **GPU temperature** relaxes toward
+//!   `ambient + k·power + k_nei·(average power of slot neighbours)` with
+//!   configurable thermal inertia, plus OU noise — neighbouring nodes in
+//!   the same slot measurably heat each other (paper §III-C3),
+//! * **CPU temperature** relaxes toward `ambient + rise × cpu-utilisation`.
+
+use crate::apps::AppCatalog;
+use crate::config::{SimConfig, MINUTES_PER_DAY};
+use crate::rng::{derive_seed_indexed, OuProcess, XorShift64};
+use crate::schedule::{NodeInterval, Schedule};
+use crate::topology::{NodeId, SlotId};
+use crate::{Result, SimError};
+use serde::{Deserialize, Serialize};
+
+/// Which telemetry series of a node to read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SeriesKind {
+    /// GPU die temperature (°C).
+    GpuTemp,
+    /// GPU board power (W).
+    GpuPower,
+    /// CPU package temperature (°C).
+    CpuTemp,
+}
+
+/// Summary statistics of a telemetry window, exactly the four per-series
+/// features the paper engineers (§V-A): mean and standard deviation of the
+/// level, and mean and standard deviation of consecutive differences.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Mean of the series.
+    pub mean: f32,
+    /// Population standard deviation of the series.
+    pub std: f32,
+    /// Mean of consecutive differences.
+    pub diff_mean: f32,
+    /// Population standard deviation of consecutive differences.
+    pub diff_std: f32,
+}
+
+/// Computes [`WindowStats`] over a slice; all-zero for empty input.
+pub fn window_stats(xs: &[f32]) -> WindowStats {
+    if xs.is_empty() {
+        return WindowStats::default();
+    }
+    let n = xs.len() as f64;
+    let mut s1 = 0.0f64;
+    let mut s2 = 0.0f64;
+    for &x in xs {
+        s1 += x as f64;
+        s2 += (x as f64) * (x as f64);
+    }
+    let mean = s1 / n;
+    let var = (s2 / n - mean * mean).max(0.0);
+    let (dmean, dstd) = if xs.len() < 2 {
+        (0.0, 0.0)
+    } else {
+        let dn = (xs.len() - 1) as f64;
+        let mut d1 = 0.0f64;
+        let mut d2 = 0.0f64;
+        for w in xs.windows(2) {
+            let d = (w[1] - w[0]) as f64;
+            d1 += d;
+            d2 += d * d;
+        }
+        let dm = d1 / dn;
+        (dm, (d2 / dn - dm * dm).max(0.0).sqrt())
+    };
+    WindowStats {
+        mean: mean as f32,
+        std: var.sqrt() as f32,
+        diff_mean: dmean as f32,
+        diff_std: dstd as f32,
+    }
+}
+
+/// Per-aprun utilisation levels, pre-resolved from the app catalogue.
+#[derive(Debug, Clone, Copy)]
+struct RunUtil {
+    core: f32,
+    cpu: f32,
+}
+
+/// Procedural telemetry generator bound to a configuration and workload.
+#[derive(Debug)]
+pub struct TelemetrySimulator<'a> {
+    cfg: &'a SimConfig,
+    timelines: Vec<Vec<NodeInterval>>,
+    run_util: Vec<RunUtil>,
+}
+
+impl<'a> TelemetrySimulator<'a> {
+    /// Builds a simulator for the given workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalogue lookup errors for dangling app references.
+    pub fn new(
+        cfg: &'a SimConfig,
+        schedule: &Schedule,
+        catalog: &AppCatalog,
+    ) -> Result<TelemetrySimulator<'a>> {
+        let mut run_util = Vec::with_capacity(schedule.apruns().len());
+        for run in schedule.apruns() {
+            let p = catalog.profile(run.app_id)?;
+            run_util.push(RunUtil {
+                core: p.core_util as f32,
+                cpu: p.cpu_util as f32,
+            });
+        }
+        Ok(TelemetrySimulator {
+            cfg,
+            timelines: schedule.node_timelines(cfg.topology.n_nodes() as usize),
+            run_util,
+        })
+    }
+
+    /// The ambient temperature at cabinet `(x, y)` and `minute`.
+    ///
+    /// Hot spots sit at the upper-left `(0, grid_y-1)` and lower-right
+    /// `(grid_x-1, 0)` corners of the floor grid, matching the paper's
+    /// Fig. 5(a); a small diurnal sine is superimposed.
+    pub fn ambient_c(&self, cabinet_x: u16, cabinet_y: u16, minute: u64) -> f64 {
+        self.cfg.telemetry.ambient_base_c
+            + self.spatial_c(cabinet_x, cabinet_y)
+            + self.diurnal_c(cabinet_x, cabinet_y, minute)
+    }
+
+    /// The static spatial component of the ambient field.
+    fn spatial_c(&self, cabinet_x: u16, cabinet_y: u16) -> f64 {
+        let t = &self.cfg.telemetry;
+        let gx = self.cfg.topology.grid_x() as f64;
+        let gy = self.cfg.topology.grid_y() as f64;
+        let x = cabinet_x as f64;
+        let y = cabinet_y as f64;
+        // Distance to the two hot corners, scaled by grid size.
+        let sigma2 = (gx * gx + gy * gy) / 18.0;
+        let d1 = x * x + (gy - 1.0 - y) * (gy - 1.0 - y);
+        let d2 = (gx - 1.0 - x) * (gx - 1.0 - x) + y * y;
+        t.ambient_spatial_amp_c * ((-d1 / (2.0 * sigma2)).exp() + (-d2 / (2.0 * sigma2)).exp())
+    }
+
+    /// The diurnal component of the ambient field.
+    fn diurnal_c(&self, cabinet_x: u16, cabinet_y: u16, minute: u64) -> f64 {
+        let t = &self.cfg.telemetry;
+        let phase = (cabinet_x as u64 * 31 + cabinet_y as u64 * 17) as f64;
+        t.ambient_diurnal_amp_c
+            * ((minute as f64 / MINUTES_PER_DAY as f64 * std::f64::consts::TAU) + phase).sin()
+    }
+
+    /// Simulates the full horizon for one slot, returning all member
+    /// nodes' series.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] for an out-of-range slot.
+    pub fn simulate_slot(&self, slot: SlotId) -> Result<SlotSeries> {
+        self.simulate_slot_range(slot, 0, self.cfg.total_minutes())
+    }
+
+    /// Simulates minutes `[start, end)` for one slot.
+    ///
+    /// Note: the OU noise state is evolved from minute 0 regardless of
+    /// `start` so that any sub-range is consistent with the full-horizon
+    /// simulation. The cost of a range query is therefore proportional to
+    /// `end`, not `end - start`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] for an out-of-range slot and
+    /// [`SimError::InvalidTimeRange`] for an empty or out-of-horizon range.
+    pub fn simulate_slot_range(
+        &self,
+        slot: SlotId,
+        start_min: u64,
+        end_min: u64,
+    ) -> Result<SlotSeries> {
+        let topo = &self.cfg.topology;
+        let nodes = topo.slot_members(slot)?;
+        let horizon = self.cfg.total_minutes();
+        if start_min >= end_min || end_min > horizon {
+            return Err(SimError::InvalidTimeRange {
+                start: start_min,
+                end: end_min,
+                horizon,
+            });
+        }
+        let t = &self.cfg.telemetry;
+        let k = nodes.len();
+        let len = (end_min - start_min) as usize;
+
+        // Per-node state.
+        let mut rngs: Vec<XorShift64> = nodes
+            .iter()
+            .map(|n| {
+                XorShift64::new(derive_seed_indexed(
+                    self.cfg.seed,
+                    "telemetry-node",
+                    n.0 as u64,
+                ))
+            })
+            .collect();
+        let mut power_noise: Vec<OuProcess> = (0..k)
+            .map(|_| OuProcess::new(t.power_ou_theta, 0.0, t.power_ou_sigma))
+            .collect();
+        let mut temp_noise: Vec<OuProcess> = (0..k)
+            .map(|_| OuProcess::new(t.temp_ou_theta, 0.0, t.temp_ou_sigma))
+            .collect();
+        let mut cpu_noise: Vec<OuProcess> = (0..k)
+            .map(|_| OuProcess::new(t.temp_ou_theta, 0.0, t.temp_ou_sigma * 0.6))
+            .collect();
+        // Interval cursors into each node's timeline.
+        let mut cursors = vec![0usize; k];
+        let locs: Vec<_> = nodes
+            .iter()
+            .map(|&n| topo.location(n).expect("slot members are valid"))
+            .collect();
+
+        // Static ambient component per member; the diurnal term is shared
+        // because slot members never straddle a cabinet.
+        let amb_static: Vec<f64> = locs
+            .iter()
+            .map(|l| t.ambient_base_c + self.spatial_c(l.cabinet_x, l.cabinet_y))
+            .collect();
+
+        // Thermal state initialised at idle steady state.
+        let mut gpu_temp_state: Vec<f64> = locs
+            .iter()
+            .map(|l| self.ambient_c(l.cabinet_x, l.cabinet_y, 0) + t.temp_per_watt * t.idle_power_w)
+            .collect();
+        let mut cpu_temp_state: Vec<f64> = locs
+            .iter()
+            .map(|l| self.ambient_c(l.cabinet_x, l.cabinet_y, 0) + 2.0)
+            .collect();
+
+        let mut out = SlotSeries {
+            slot,
+            start_min,
+            nodes: nodes.clone(),
+            gpu_temp: vec![Vec::with_capacity(len); k],
+            gpu_power: vec![Vec::with_capacity(len); k],
+            cpu_temp: vec![Vec::with_capacity(len); k],
+            slot_temp_sum: Vec::with_capacity(len),
+            slot_power_sum: Vec::with_capacity(len),
+        };
+
+        let mut powers = vec![0.0f64; k];
+        for minute in 0..end_min {
+            let record = minute >= start_min;
+            let diurnal = self.diurnal_c(locs[0].cabinet_x, locs[0].cabinet_y, minute);
+            // 1) Utilisation and power for every node this minute.
+            for i in 0..k {
+                let node = nodes[i];
+                let tl = &self.timelines[node.0 as usize];
+                let mut cur = cursors[i];
+                while cur < tl.len() && tl[cur].end_min <= minute {
+                    cur += 1;
+                }
+                cursors[i] = cur;
+                let (core_util, _cpu_util) = self.util_at(tl, cur, minute);
+                let target = t.idle_power_w + core_util as f64 * (t.tdp_power_w - t.idle_power_w);
+                let p = (target + power_noise[i].step(&mut rngs[i])).max(5.0);
+                powers[i] = p;
+            }
+            let power_sum: f64 = powers.iter().sum();
+
+            // 2) Temperatures using the slot's power field.
+            let mut temp_sum = 0.0f64;
+            for i in 0..k {
+                let node = nodes[i];
+                let tl = &self.timelines[node.0 as usize];
+                let (_, cpu_util) = self.util_at(tl, cursors[i], minute);
+                let amb = amb_static[i] + diurnal;
+                let nei_avg = if k > 1 {
+                    (power_sum - powers[i]) / (k - 1) as f64
+                } else {
+                    0.0
+                };
+                let target =
+                    amb + t.temp_per_watt * powers[i] + t.neighbor_temp_per_watt * nei_avg;
+                gpu_temp_state[i] += t.thermal_inertia * (target - gpu_temp_state[i]);
+                let temp = gpu_temp_state[i] + temp_noise[i].step(&mut rngs[i]);
+
+                let cpu_target = amb + t.cpu_temp_rise_c * cpu_util as f64;
+                cpu_temp_state[i] += t.thermal_inertia * (cpu_target - cpu_temp_state[i]);
+                let ctemp = cpu_temp_state[i] + cpu_noise[i].step(&mut rngs[i]);
+
+                temp_sum += temp;
+                if record {
+                    out.gpu_temp[i].push(temp as f32);
+                    out.gpu_power[i].push(powers[i] as f32);
+                    out.cpu_temp[i].push(ctemp as f32);
+                }
+            }
+            if record {
+                out.slot_temp_sum.push(temp_sum as f32);
+                out.slot_power_sum.push(power_sum as f32);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Returns `(core_util, cpu_util)` at `minute` for a node timeline with
+    /// the cursor already advanced past finished intervals.
+    #[inline]
+    fn util_at(&self, tl: &[NodeInterval], cursor: usize, minute: u64) -> (f32, f32) {
+        if cursor < tl.len() && tl[cursor].start_min <= minute && minute < tl[cursor].end_min {
+            let u = self.run_util[tl[cursor].aprun.0 as usize];
+            (u.core, u.cpu)
+        } else {
+            (0.0, 0.0)
+        }
+    }
+}
+
+/// The simulated telemetry of one slot over a minute range.
+#[derive(Debug, Clone)]
+pub struct SlotSeries {
+    slot: SlotId,
+    start_min: u64,
+    nodes: Vec<NodeId>,
+    gpu_temp: Vec<Vec<f32>>,
+    gpu_power: Vec<Vec<f32>>,
+    cpu_temp: Vec<Vec<f32>>,
+    slot_temp_sum: Vec<f32>,
+    slot_power_sum: Vec<f32>,
+}
+
+impl SlotSeries {
+    /// The slot simulated.
+    pub fn slot(&self) -> SlotId {
+        self.slot
+    }
+
+    /// First simulated minute.
+    pub fn start_min(&self) -> u64 {
+        self.start_min
+    }
+
+    /// Number of simulated minutes.
+    pub fn len(&self) -> usize {
+        self.slot_temp_sum.len()
+    }
+
+    /// `true` when no minutes were simulated.
+    pub fn is_empty(&self) -> bool {
+        self.slot_temp_sum.is_empty()
+    }
+
+    /// Member nodes in id order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    fn member_index(&self, node: NodeId) -> Result<usize> {
+        self.nodes
+            .iter()
+            .position(|&n| n == node)
+            .ok_or(SimError::UnknownEntity {
+                kind: "slot member",
+                id: node.0 as u64,
+            })
+    }
+
+    fn clip(&self, start_min: u64, end_min: u64) -> Result<(usize, usize)> {
+        let len = self.len() as u64;
+        if start_min < self.start_min
+            || end_min <= start_min
+            || end_min - self.start_min > len
+        {
+            return Err(SimError::InvalidTimeRange {
+                start: start_min,
+                end: end_min,
+                horizon: self.start_min + len,
+            });
+        }
+        Ok((
+            (start_min - self.start_min) as usize,
+            (end_min - self.start_min) as usize,
+        ))
+    }
+
+    /// Borrows one node's series over `[start_min, end_min)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] when `node` is not a member and
+    /// [`SimError::InvalidTimeRange`] for a range outside the simulation.
+    pub fn series(
+        &self,
+        node: NodeId,
+        kind: SeriesKind,
+        start_min: u64,
+        end_min: u64,
+    ) -> Result<&[f32]> {
+        let i = self.member_index(node)?;
+        let (lo, hi) = self.clip(start_min, end_min)?;
+        let v = match kind {
+            SeriesKind::GpuTemp => &self.gpu_temp[i],
+            SeriesKind::GpuPower => &self.gpu_power[i],
+            SeriesKind::CpuTemp => &self.cpu_temp[i],
+        };
+        Ok(&v[lo..hi])
+    }
+
+    /// [`WindowStats`] of one node's series over `[start_min, end_min)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SlotSeries::series`].
+    pub fn stats(
+        &self,
+        node: NodeId,
+        kind: SeriesKind,
+        start_min: u64,
+        end_min: u64,
+    ) -> Result<WindowStats> {
+        Ok(window_stats(self.series(node, kind, start_min, end_min)?))
+    }
+
+    /// [`WindowStats`] of the *slot-neighbour average* (all members except
+    /// `node`) for GPU temperature or power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for [`SeriesKind::CpuTemp`]
+    /// (CPU telemetry is per-node only in the paper), plus the range and
+    /// membership errors of [`SlotSeries::series`].
+    pub fn neighbor_stats(
+        &self,
+        node: NodeId,
+        kind: SeriesKind,
+        start_min: u64,
+        end_min: u64,
+    ) -> Result<WindowStats> {
+        let i = self.member_index(node)?;
+        let (lo, hi) = self.clip(start_min, end_min)?;
+        let (own, sums) = match kind {
+            SeriesKind::GpuTemp => (&self.gpu_temp[i], &self.slot_temp_sum),
+            SeriesKind::GpuPower => (&self.gpu_power[i], &self.slot_power_sum),
+            SeriesKind::CpuTemp => {
+                return Err(SimError::InvalidConfig {
+                    field: "kind",
+                    reason: "slot-neighbour CPU temperature is not collected".into(),
+                })
+            }
+        };
+        let k = self.nodes.len();
+        if k < 2 {
+            return Ok(WindowStats::default());
+        }
+        let inv = 1.0 / (k - 1) as f32;
+        let nei: Vec<f32> = (lo..hi).map(|t| (sums[t] - own[t]) * inv).collect();
+        Ok(window_stats(&nei))
+    }
+
+    /// Mean of one node's series over a range (shortcut used by the fault
+    /// model, which only needs averages).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SlotSeries::series`].
+    pub fn mean(
+        &self,
+        node: NodeId,
+        kind: SeriesKind,
+        start_min: u64,
+        end_min: u64,
+    ) -> Result<f64> {
+        let s = self.series(node, kind, start_min, end_min)?;
+        if s.is_empty() {
+            return Ok(0.0);
+        }
+        Ok(s.iter().map(|&x| x as f64).sum::<f64>() / s.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::AppCatalog;
+    use crate::config::SimConfig;
+    use crate::schedule::Schedule;
+
+    fn setup() -> (SimConfig, Schedule, AppCatalog) {
+        let cfg = SimConfig::tiny(11);
+        let catalog = AppCatalog::generate(&cfg.workload, cfg.seed, cfg.days).unwrap();
+        let sched = Schedule::generate(&cfg, &catalog).unwrap();
+        (cfg, sched, catalog)
+    }
+
+    #[test]
+    fn window_stats_hand_computed() {
+        let s = window_stats(&[1.0, 2.0, 4.0]);
+        assert!((s.mean - 7.0 / 3.0).abs() < 1e-5);
+        // diffs: [1, 2] -> mean 1.5, var 0.25
+        assert!((s.diff_mean - 1.5).abs() < 1e-5);
+        assert!((s.diff_std - 0.5).abs() < 1e-5);
+        assert_eq!(window_stats(&[]), WindowStats::default());
+        let single = window_stats(&[3.0]);
+        assert_eq!(single.mean, 3.0);
+        assert_eq!(single.diff_std, 0.0);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let (cfg, sched, catalog) = setup();
+        let sim = TelemetrySimulator::new(&cfg, &sched, &catalog).unwrap();
+        let a = sim.simulate_slot_range(SlotId(0), 0, 500).unwrap();
+        let b = sim.simulate_slot_range(SlotId(0), 0, 500).unwrap();
+        assert_eq!(a.gpu_temp, b.gpu_temp);
+        assert_eq!(a.gpu_power, b.gpu_power);
+    }
+
+    #[test]
+    fn range_query_matches_full_simulation() {
+        let (cfg, sched, catalog) = setup();
+        let sim = TelemetrySimulator::new(&cfg, &sched, &catalog).unwrap();
+        let full = sim.simulate_slot_range(SlotId(1), 0, 800).unwrap();
+        let sub = sim.simulate_slot_range(SlotId(1), 300, 800).unwrap();
+        let node = sub.nodes()[0];
+        let a = full.series(node, SeriesKind::GpuTemp, 300, 800).unwrap();
+        let b = sub.series(node, SeriesKind::GpuTemp, 300, 800).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn busy_nodes_run_hotter_and_draw_more_power() {
+        let (cfg, sched, catalog) = setup();
+        let sim = TelemetrySimulator::new(&cfg, &sched, &catalog).unwrap();
+        let timelines = sched.node_timelines(cfg.topology.n_nodes() as usize);
+        // Find a long-ish busy interval.
+        let mut pick = None;
+        'outer: for (node, tl) in timelines.iter().enumerate() {
+            for iv in tl {
+                if iv.end_min - iv.start_min >= 60 && iv.start_min > 120 {
+                    pick = Some((NodeId(node as u32), *iv));
+                    break 'outer;
+                }
+            }
+        }
+        let (node, iv) = pick.expect("tiny workload has a >=60 min run");
+        let slot = cfg.topology.slot_of(node).unwrap();
+        let series = sim.simulate_slot(slot).unwrap();
+        let busy_t = series.mean(node, SeriesKind::GpuTemp, iv.start_min + 10, iv.end_min).unwrap();
+        let busy_p = series
+            .mean(node, SeriesKind::GpuPower, iv.start_min + 10, iv.end_min)
+            .unwrap();
+        // Compare to the window right before the run starts (idle or not,
+        // power at idle is the common case in the tiny config).
+        let idle_p = series
+            .mean(node, SeriesKind::GpuPower, iv.start_min.saturating_sub(60), iv.start_min)
+            .unwrap();
+        assert!(busy_p > idle_p + 10.0, "busy {busy_p} vs idle {idle_p}");
+        assert!(busy_t > cfg.telemetry.ambient_base_c, "busy temp {busy_t}");
+    }
+
+    #[test]
+    fn ambient_hot_corners() {
+        let (cfg, sched, catalog) = setup();
+        let sim = TelemetrySimulator::new(&cfg, &sched, &catalog).unwrap();
+        let gx = cfg.topology.grid_x();
+        let gy = cfg.topology.grid_y();
+        let hot1 = sim.ambient_c(0, gy - 1, 0);
+        let hot2 = sim.ambient_c(gx - 1, 0, 0);
+        let centre = sim.ambient_c(gx / 2, gy / 2, 0);
+        assert!(hot1 > centre);
+        assert!(hot2 > centre);
+    }
+
+    #[test]
+    fn neighbor_stats_average_others() {
+        let (cfg, sched, catalog) = setup();
+        let sim = TelemetrySimulator::new(&cfg, &sched, &catalog).unwrap();
+        let series = sim.simulate_slot_range(SlotId(0), 0, 100).unwrap();
+        let nodes = series.nodes().to_vec();
+        let target = nodes[0];
+        let nei = series
+            .neighbor_stats(target, SeriesKind::GpuPower, 0, 100)
+            .unwrap();
+        // Manual average of the other three nodes' means.
+        let mut acc = 0.0;
+        for &n in &nodes[1..] {
+            acc += series.mean(n, SeriesKind::GpuPower, 0, 100).unwrap();
+        }
+        let manual = acc / (nodes.len() - 1) as f64;
+        assert!((nei.mean as f64 - manual).abs() < 0.05, "{} vs {manual}", nei.mean);
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let (cfg, sched, catalog) = setup();
+        let sim = TelemetrySimulator::new(&cfg, &sched, &catalog).unwrap();
+        assert!(sim.simulate_slot_range(SlotId(0), 10, 10).is_err());
+        assert!(sim
+            .simulate_slot_range(SlotId(0), 0, cfg.total_minutes() + 1)
+            .is_err());
+        assert!(sim.simulate_slot_range(SlotId(9999), 0, 10).is_err());
+        let series = sim.simulate_slot_range(SlotId(0), 100, 200).unwrap();
+        let node = series.nodes()[0];
+        assert!(series.series(node, SeriesKind::GpuTemp, 0, 50).is_err());
+        assert!(series.series(node, SeriesKind::GpuTemp, 150, 250).is_err());
+        assert!(series.series(NodeId(9_999), SeriesKind::GpuTemp, 100, 150).is_err());
+    }
+
+    #[test]
+    fn cpu_neighbor_stats_rejected() {
+        let (cfg, sched, catalog) = setup();
+        let sim = TelemetrySimulator::new(&cfg, &sched, &catalog).unwrap();
+        let series = sim.simulate_slot_range(SlotId(0), 0, 10).unwrap();
+        let node = series.nodes()[0];
+        assert!(series
+            .neighbor_stats(node, SeriesKind::CpuTemp, 0, 10)
+            .is_err());
+    }
+
+    #[test]
+    fn temperatures_physically_plausible() {
+        let (cfg, sched, catalog) = setup();
+        let sim = TelemetrySimulator::new(&cfg, &sched, &catalog).unwrap();
+        let series = sim.simulate_slot_range(SlotId(2), 0, 2_000).unwrap();
+        for &n in series.nodes() {
+            let s = series.series(n, SeriesKind::GpuTemp, 0, 2_000).unwrap();
+            for &v in s {
+                assert!((10.0..95.0).contains(&v), "temp {v} out of range");
+            }
+            let p = series.series(n, SeriesKind::GpuPower, 0, 2_000).unwrap();
+            for &v in p {
+                assert!((5.0..320.0).contains(&v), "power {v} out of range");
+            }
+        }
+    }
+}

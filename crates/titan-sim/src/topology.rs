@@ -1,0 +1,401 @@
+//! The machine's physical organisation.
+//!
+//! Titan's basic block is a *node* (one AMD Opteron CPU + one NVIDIA K20X
+//! GPU). Four nodes form a *slot* (sharing two Gemini routers), eight
+//! slots form a *cage*, three cages form a *cabinet*, and 200 cabinets are
+//! arranged in a 25 × 8 floor grid. This module provides the coordinate
+//! algebra between flat [`NodeId`]s and the physical hierarchy.
+
+use crate::{Result, SimError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Flat zero-based node identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(pub u32);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> NodeId {
+        NodeId(v)
+    }
+}
+
+/// Flat zero-based slot identifier (a slot is a group of
+/// [`Topology::nodes_per_slot`] consecutive nodes).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SlotId(pub u32);
+
+impl fmt::Display for SlotId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// The full physical location of a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeLocation {
+    /// Cabinet column in the floor grid (0-based, paper's X axis, 0..25).
+    pub cabinet_x: u16,
+    /// Cabinet row in the floor grid (0-based, paper's Y axis, 0..8).
+    pub cabinet_y: u16,
+    /// Cage within the cabinet.
+    pub cage: u16,
+    /// Slot within the cage.
+    pub slot: u16,
+    /// Node within the slot.
+    pub node: u16,
+}
+
+/// Machine geometry: grid of cabinets, cages per cabinet, slots per cage,
+/// nodes per slot.
+///
+/// # Example
+///
+/// ```
+/// use titan_sim::topology::{NodeId, Topology};
+///
+/// let topo = Topology::titan()?;
+/// assert_eq!(topo.n_cabinets(), 200);
+/// assert_eq!(topo.n_nodes(), 19_200);
+/// let loc = topo.location(NodeId(0))?;
+/// assert_eq!((loc.cabinet_x, loc.cabinet_y), (0, 0));
+/// # Ok::<(), titan_sim::SimError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Topology {
+    grid_x: u16,
+    grid_y: u16,
+    cages_per_cabinet: u16,
+    slots_per_cage: u16,
+    nodes_per_slot: u16,
+}
+
+impl Topology {
+    /// Creates a topology, validating that every dimension is non-zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when any dimension is zero.
+    pub fn new(
+        grid_x: u16,
+        grid_y: u16,
+        cages_per_cabinet: u16,
+        slots_per_cage: u16,
+        nodes_per_slot: u16,
+    ) -> Result<Topology> {
+        for (field, v) in [
+            ("grid_x", grid_x),
+            ("grid_y", grid_y),
+            ("cages_per_cabinet", cages_per_cabinet),
+            ("slots_per_cage", slots_per_cage),
+            ("nodes_per_slot", nodes_per_slot),
+        ] {
+            if v == 0 {
+                return Err(SimError::InvalidConfig {
+                    field,
+                    reason: "must be non-zero".into(),
+                });
+            }
+        }
+        Ok(Topology {
+            grid_x,
+            grid_y,
+            cages_per_cabinet,
+            slots_per_cage,
+            nodes_per_slot,
+        })
+    }
+
+    /// The full Titan geometry: 25 × 8 cabinets, 3 cages, 8 slots, 4 nodes
+    /// (19,200 node positions; the real machine populated 18,688 of them).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for constructor uniformity.
+    pub fn titan() -> Result<Topology> {
+        Topology::new(25, 8, 3, 8, 4)
+    }
+
+    /// A reduced geometry keeping the paper's 25 × 8 cabinet grid but with
+    /// one cage of two slots per cabinet (1,600 nodes) — the default for
+    /// experiment regeneration at workstation scale.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for constructor uniformity.
+    pub fn scaled() -> Result<Topology> {
+        Topology::new(25, 8, 1, 2, 4)
+    }
+
+    /// A tiny geometry (4 × 2 cabinets, 64 nodes) for unit tests.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; kept fallible for constructor uniformity.
+    pub fn tiny() -> Result<Topology> {
+        Topology::new(4, 2, 1, 2, 4)
+    }
+
+    /// Cabinet-grid width (X).
+    pub fn grid_x(&self) -> u16 {
+        self.grid_x
+    }
+
+    /// Cabinet-grid height (Y).
+    pub fn grid_y(&self) -> u16 {
+        self.grid_y
+    }
+
+    /// Cages per cabinet.
+    pub fn cages_per_cabinet(&self) -> u16 {
+        self.cages_per_cabinet
+    }
+
+    /// Slots per cage.
+    pub fn slots_per_cage(&self) -> u16 {
+        self.slots_per_cage
+    }
+
+    /// Nodes per slot.
+    pub fn nodes_per_slot(&self) -> u16 {
+        self.nodes_per_slot
+    }
+
+    /// Total number of cabinets.
+    pub fn n_cabinets(&self) -> u32 {
+        self.grid_x as u32 * self.grid_y as u32
+    }
+
+    /// Nodes per cabinet.
+    pub fn nodes_per_cabinet(&self) -> u32 {
+        self.cages_per_cabinet as u32 * self.slots_per_cage as u32 * self.nodes_per_slot as u32
+    }
+
+    /// Total number of nodes.
+    pub fn n_nodes(&self) -> u32 {
+        self.n_cabinets() * self.nodes_per_cabinet()
+    }
+
+    /// Total number of slots.
+    pub fn n_slots(&self) -> u32 {
+        self.n_nodes() / self.nodes_per_slot as u32
+    }
+
+    /// Decomposes a node id into its physical location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] when the id is out of range.
+    pub fn location(&self, node: NodeId) -> Result<NodeLocation> {
+        if node.0 >= self.n_nodes() {
+            return Err(SimError::UnknownEntity {
+                kind: "node",
+                id: node.0 as u64,
+            });
+        }
+        let per_cab = self.nodes_per_cabinet();
+        let cab = node.0 / per_cab;
+        let within = node.0 % per_cab;
+        let per_cage = self.slots_per_cage as u32 * self.nodes_per_slot as u32;
+        let cage = within / per_cage;
+        let within_cage = within % per_cage;
+        let slot = within_cage / self.nodes_per_slot as u32;
+        let n = within_cage % self.nodes_per_slot as u32;
+        Ok(NodeLocation {
+            cabinet_x: (cab % self.grid_x as u32) as u16,
+            cabinet_y: (cab / self.grid_x as u32) as u16,
+            cage: cage as u16,
+            slot: slot as u16,
+            node: n as u16,
+        })
+    }
+
+    /// Recomposes a node id from a physical location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when any coordinate is out of
+    /// range.
+    pub fn node_id(&self, loc: NodeLocation) -> Result<NodeId> {
+        if loc.cabinet_x >= self.grid_x
+            || loc.cabinet_y >= self.grid_y
+            || loc.cage >= self.cages_per_cabinet
+            || loc.slot >= self.slots_per_cage
+            || loc.node >= self.nodes_per_slot
+        {
+            return Err(SimError::InvalidConfig {
+                field: "location",
+                reason: format!("{loc:?} out of range for {self:?}"),
+            });
+        }
+        let cab = loc.cabinet_y as u32 * self.grid_x as u32 + loc.cabinet_x as u32;
+        let per_cage = self.slots_per_cage as u32 * self.nodes_per_slot as u32;
+        let within = loc.cage as u32 * per_cage
+            + loc.slot as u32 * self.nodes_per_slot as u32
+            + loc.node as u32;
+        Ok(NodeId(cab * self.nodes_per_cabinet() + within))
+    }
+
+    /// The slot containing a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] when the id is out of range.
+    pub fn slot_of(&self, node: NodeId) -> Result<SlotId> {
+        if node.0 >= self.n_nodes() {
+            return Err(SimError::UnknownEntity {
+                kind: "node",
+                id: node.0 as u64,
+            });
+        }
+        Ok(SlotId(node.0 / self.nodes_per_slot as u32))
+    }
+
+    /// The nodes that make up a slot, in id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] when the slot id is out of
+    /// range.
+    pub fn slot_members(&self, slot: SlotId) -> Result<Vec<NodeId>> {
+        if slot.0 >= self.n_slots() {
+            return Err(SimError::UnknownEntity {
+                kind: "slot",
+                id: slot.0 as u64,
+            });
+        }
+        let base = slot.0 * self.nodes_per_slot as u32;
+        Ok((0..self.nodes_per_slot as u32)
+            .map(|i| NodeId(base + i))
+            .collect())
+    }
+
+    /// Flat cabinet index (`y * grid_x + x`) of a node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownEntity`] when the id is out of range.
+    pub fn cabinet_index(&self, node: NodeId) -> Result<u32> {
+        if node.0 >= self.n_nodes() {
+            return Err(SimError::UnknownEntity {
+                kind: "node",
+                id: node.0 as u64,
+            });
+        }
+        Ok(node.0 / self.nodes_per_cabinet())
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.n_nodes()).map(NodeId)
+    }
+
+    /// Iterates over all slot ids.
+    pub fn slots(&self) -> impl Iterator<Item = SlotId> {
+        (0..self.n_slots()).map(SlotId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn titan_dimensions() {
+        let t = Topology::titan().unwrap();
+        assert_eq!(t.n_cabinets(), 200);
+        assert_eq!(t.nodes_per_cabinet(), 96);
+        assert_eq!(t.n_nodes(), 19_200);
+        assert_eq!(t.n_slots(), 4_800);
+    }
+
+    #[test]
+    fn location_round_trip_all_nodes_tiny() {
+        let t = Topology::tiny().unwrap();
+        for node in t.nodes() {
+            let loc = t.location(node).unwrap();
+            assert_eq!(t.node_id(loc).unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn location_round_trip_spot_checks_titan() {
+        let t = Topology::titan().unwrap();
+        for raw in [0u32, 1, 95, 96, 4_799, 10_000, 19_199] {
+            let node = NodeId(raw);
+            let loc = t.location(node).unwrap();
+            assert_eq!(t.node_id(loc).unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let t = Topology::tiny().unwrap();
+        assert!(t.location(NodeId(t.n_nodes())).is_err());
+        assert!(t.slot_of(NodeId(t.n_nodes())).is_err());
+        assert!(t.cabinet_index(NodeId(t.n_nodes())).is_err());
+        assert!(t.slot_members(SlotId(t.n_slots())).is_err());
+        let bad = NodeLocation {
+            cabinet_x: 99,
+            cabinet_y: 0,
+            cage: 0,
+            slot: 0,
+            node: 0,
+        };
+        assert!(t.node_id(bad).is_err());
+    }
+
+    #[test]
+    fn slot_members_are_consecutive_and_contain_node() {
+        let t = Topology::titan().unwrap();
+        let node = NodeId(42);
+        let slot = t.slot_of(node).unwrap();
+        let members = t.slot_members(slot).unwrap();
+        assert_eq!(members.len(), 4);
+        assert!(members.contains(&node));
+        for w in members.windows(2) {
+            assert_eq!(w[1].0, w[0].0 + 1);
+        }
+    }
+
+    #[test]
+    fn cabinet_index_matches_location() {
+        let t = Topology::titan().unwrap();
+        for raw in [0u32, 96, 500, 19_199] {
+            let node = NodeId(raw);
+            let loc = t.location(node).unwrap();
+            let idx = t.cabinet_index(node).unwrap();
+            assert_eq!(
+                idx,
+                loc.cabinet_y as u32 * t.grid_x() as u32 + loc.cabinet_x as u32
+            );
+        }
+    }
+
+    #[test]
+    fn zero_dimension_rejected() {
+        assert!(Topology::new(0, 8, 3, 8, 4).is_err());
+        assert!(Topology::new(25, 8, 3, 8, 0).is_err());
+    }
+
+    #[test]
+    fn first_cabinet_row_major() {
+        let t = Topology::titan().unwrap();
+        // Node 96 starts cabinet (1, 0): x advances first.
+        let loc = t.location(NodeId(96)).unwrap();
+        assert_eq!((loc.cabinet_x, loc.cabinet_y), (1, 0));
+        // Node 96*25 starts row y=1.
+        let loc = t.location(NodeId(96 * 25)).unwrap();
+        assert_eq!((loc.cabinet_x, loc.cabinet_y), (0, 1));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the simulator substrate.
+
+use proptest::prelude::*;
+use titan_sim::config::SimConfig;
+use titan_sim::rng::{derive_seed_indexed, OuProcess, XorShift64};
+use titan_sim::telemetry::window_stats;
+use titan_sim::topology::{NodeId, SlotId, Topology};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_node_maps_into_exactly_one_slot_and_cabinet(
+        gx in 1u16..8, gy in 1u16..8, cages in 1u16..4, slots in 1u16..5, nodes in 1u16..5,
+    ) {
+        let topo = Topology::new(gx, gy, cages, slots, nodes).expect("valid");
+        let mut slot_counts = vec![0u32; topo.n_slots() as usize];
+        for node in topo.nodes() {
+            let slot = topo.slot_of(node).expect("in range");
+            slot_counts[slot.0 as usize] += 1;
+            let cab = topo.cabinet_index(node).expect("in range");
+            prop_assert!(cab < topo.n_cabinets());
+        }
+        for c in slot_counts {
+            prop_assert_eq!(c, nodes as u32);
+        }
+    }
+
+    #[test]
+    fn slot_members_partition_the_machine(
+        gx in 1u16..6, gy in 1u16..4, slots in 1u16..4, nodes in 1u16..5,
+    ) {
+        let topo = Topology::new(gx, gy, 1, slots, nodes).expect("valid");
+        let mut seen = vec![false; topo.n_nodes() as usize];
+        for slot in topo.slots() {
+            for m in topo.slot_members(slot).expect("valid slot") {
+                prop_assert!(!seen[m.0 as usize], "node in two slots");
+                seen[m.0 as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn derived_seeds_rarely_collide(a in 0u64..5000, b in 0u64..5000) {
+        prop_assume!(a != b);
+        prop_assert_ne!(
+            derive_seed_indexed(42, "stream", a),
+            derive_seed_indexed(42, "stream", b)
+        );
+    }
+
+    #[test]
+    fn xorshift_streams_with_same_seed_agree(seed in 1u64..u64::MAX) {
+        let mut a = XorShift64::new(seed);
+        let mut b = XorShift64::new(seed);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ou_process_stays_finite(
+        theta in 0.01f64..1.0,
+        mu in -100.0f64..100.0,
+        sigma in 0.0f64..10.0,
+        seed in 1u64..1000,
+    ) {
+        let mut rng = XorShift64::new(seed);
+        let mut ou = OuProcess::new(theta, mu, sigma);
+        for _ in 0..500 {
+            let v = ou.step(&mut rng);
+            prop_assert!(v.is_finite());
+            // Stationary sd is sigma / sqrt(theta(2-theta)); 12 sds is a
+            // generous bound.
+            let bound = mu.abs() + 1.0 + 12.0 * sigma / (theta * (2.0 - theta)).sqrt();
+            prop_assert!(v.abs() <= bound, "value {v} beyond {bound}");
+        }
+    }
+
+    #[test]
+    fn window_stats_shift_invariance(
+        xs in prop::collection::vec(0.0f32..50.0, 2..100),
+        shift in -100.0f32..100.0,
+    ) {
+        let base = window_stats(&xs);
+        let shifted: Vec<f32> = xs.iter().map(|&v| v + shift).collect();
+        let s = window_stats(&shifted);
+        // Mean shifts, spread and differences are invariant.
+        prop_assert!((s.mean - (base.mean + shift)).abs() < 1e-2);
+        prop_assert!((s.std - base.std).abs() < 1e-2);
+        prop_assert!((s.diff_mean - base.diff_mean).abs() < 1e-2);
+        prop_assert!((s.diff_std - base.diff_std).abs() < 1e-2);
+    }
+}
+
+// Non-proptest cross-checks that are too slow to randomise widely.
+#[test]
+fn tiny_trace_invariants_hold_across_seeds() {
+    for seed in [1u64, 17, 123] {
+        let trace = titan_sim::engine::generate(&SimConfig::tiny(seed)).expect("generates");
+        let horizon = trace.config().total_minutes();
+        for run in trace.apruns() {
+            assert!(run.end_min <= horizon);
+            assert!(!run.nodes.is_empty());
+        }
+        // Every sample's aprun/node pair is consistent with the schedule.
+        for s in trace.samples() {
+            let run = trace.aprun(s.aprun).expect("valid id");
+            assert!(run.nodes.contains(&s.node));
+            assert!(s.avg_gpu_temp_c > 0.0);
+            assert!(s.avg_gpu_power_w > 0.0);
+        }
+    }
+}
+
+#[test]
+fn slot_range_queries_compose() {
+    use titan_sim::apps::AppCatalog;
+    use titan_sim::schedule::Schedule;
+    use titan_sim::telemetry::{SeriesKind, TelemetrySimulator};
+
+    let cfg = SimConfig::tiny(5);
+    let catalog = AppCatalog::generate(&cfg.workload, cfg.seed, cfg.days).expect("catalog");
+    let schedule = Schedule::generate(&cfg, &catalog).expect("schedule");
+    let sim = TelemetrySimulator::new(&cfg, &schedule, &catalog).expect("simulator");
+    let full = sim.simulate_slot_range(SlotId(0), 0, 600).expect("simulates");
+    let node = NodeId(0);
+    // Two half-range queries agree with the full range.
+    let a = sim.simulate_slot_range(SlotId(0), 0, 300).expect("simulates");
+    let b = sim.simulate_slot_range(SlotId(0), 300, 600).expect("simulates");
+    let f = full.series(node, SeriesKind::GpuPower, 0, 600).expect("in range");
+    let fa = a.series(node, SeriesKind::GpuPower, 0, 300).expect("in range");
+    let fb = b.series(node, SeriesKind::GpuPower, 300, 600).expect("in range");
+    assert_eq!(&f[..300], fa);
+    assert_eq!(&f[300..], fb);
+}

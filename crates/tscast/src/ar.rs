@@ -1,0 +1,437 @@
+//! Autoregressive models.
+//!
+//! AR(p) coefficients are estimated from the sample autocovariance via the
+//! Yule-Walker equations, solved with the Levinson-Durbin recursion. A
+//! first-order differencing wrapper ([`DiffForecaster`]) turns any
+//! forecaster into an "integrated" variant for trending series (the "I" of
+//! ARIMA).
+
+use crate::{Forecaster, Result, TsError};
+use serde::{Deserialize, Serialize};
+
+/// Sample autocovariance at lags `0..=max_lag` of a mean-removed series.
+pub fn autocovariance(series: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = series.len();
+    if n == 0 {
+        return vec![0.0; max_lag + 1];
+    }
+    let mean = series.iter().sum::<f64>() / n as f64;
+    let mut out = Vec::with_capacity(max_lag + 1);
+    for lag in 0..=max_lag {
+        let mut acc = 0.0;
+        for t in lag..n {
+            acc += (series[t] - mean) * (series[t - lag] - mean);
+        }
+        out.push(acc / n as f64);
+    }
+    out
+}
+
+/// Solves the Yule-Walker equations for AR(p) coefficients with the
+/// Levinson-Durbin recursion.
+///
+/// Returns `(coefficients, innovation_variance)`.
+///
+/// # Errors
+///
+/// Returns [`TsError::NumericalError`] when the zero-lag autocovariance is
+/// non-positive (constant series).
+pub fn levinson_durbin(autocov: &[f64], order: usize) -> Result<(Vec<f64>, f64)> {
+    if autocov.len() <= order {
+        return Err(TsError::InvalidParameter {
+            name: "order",
+            reason: format!(
+                "need {} autocovariances for order {order}, got {}",
+                order + 1,
+                autocov.len()
+            ),
+        });
+    }
+    if autocov[0] <= 0.0 {
+        return Err(TsError::NumericalError(
+            "zero-lag autocovariance must be positive (series is constant?)".into(),
+        ));
+    }
+    let mut phi = vec![0.0f64; order];
+    let mut prev = vec![0.0f64; order];
+    let mut err = autocov[0];
+    for k in 0..order {
+        let mut acc = autocov[k + 1];
+        for j in 0..k {
+            acc -= prev[j] * autocov[k - j];
+        }
+        let reflection = acc / err;
+        phi[..k].copy_from_slice(&prev[..k]);
+        phi[k] = reflection;
+        for j in 0..k {
+            phi[j] = prev[j] - reflection * prev[k - 1 - j];
+        }
+        err *= 1.0 - reflection * reflection;
+        if err <= 0.0 {
+            // Perfectly predictable series; clamp to a tiny positive value.
+            err = f64::EPSILON;
+        }
+        prev[..=k].copy_from_slice(&phi[..=k]);
+    }
+    Ok((phi, err))
+}
+
+/// A fitted AR(p) model: `x_t = mean + sum_i phi_i (x_{t-i} - mean) + e_t`.
+///
+/// # Example
+///
+/// ```
+/// use tscast::ar::ArModel;
+/// use tscast::Forecaster;
+///
+/// let series: Vec<f64> = (0..100).map(|t| (t as f64 * 0.3).sin()).collect();
+/// let model = ArModel::fit(&series, 4)?;
+/// let fc = model.forecast(&series, 5)?;
+/// assert_eq!(fc.len(), 5);
+/// # Ok::<(), tscast::TsError>(())
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ArModel {
+    coefficients: Vec<f64>,
+    mean: f64,
+    innovation_variance: f64,
+}
+
+impl ArModel {
+    /// Fits an AR(`order`) model to `series` by Yule-Walker.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidParameter`] for order 0,
+    /// [`TsError::SeriesTooShort`] when `series.len() < 2 * (order + 1)`,
+    /// and numerical errors for constant series.
+    pub fn fit(series: &[f64], order: usize) -> Result<ArModel> {
+        if order == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "order",
+                reason: "must be >= 1".into(),
+            });
+        }
+        let needed = 2 * (order + 1);
+        if series.len() < needed {
+            return Err(TsError::SeriesTooShort {
+                needed,
+                got: series.len(),
+            });
+        }
+        let mean = series.iter().sum::<f64>() / series.len() as f64;
+        let autocov = autocovariance(series, order);
+        let (coefficients, innovation_variance) = levinson_durbin(&autocov, order)?;
+        Ok(ArModel {
+            coefficients,
+            mean,
+            innovation_variance,
+        })
+    }
+
+    /// The fitted AR coefficients `phi_1..phi_p`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Series mean used for centring.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Estimated innovation (residual) variance.
+    pub fn innovation_variance(&self) -> f64 {
+        self.innovation_variance
+    }
+
+    /// Model order `p`.
+    pub fn order(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// `true` when all characteristic roots are inside the unit circle
+    /// (checked via the sufficient condition `sum |phi_i| < 1` first and a
+    /// companion-matrix power iteration fallback).
+    pub fn is_stationary(&self) -> bool {
+        let l1: f64 = self.coefficients.iter().map(|c| c.abs()).sum();
+        if l1 < 1.0 {
+            return true;
+        }
+        // Power iteration on the companion matrix to approximate the
+        // spectral radius.
+        let p = self.coefficients.len();
+        let mut v = vec![1.0f64; p];
+        let mut radius = 0.0;
+        for _ in 0..200 {
+            let mut next = vec![0.0f64; p];
+            for (j, &c) in self.coefficients.iter().enumerate() {
+                next[0] += c * v[j];
+            }
+            next[1..p].copy_from_slice(&v[..p - 1]);
+            let norm = next.iter().map(|x| x * x).sum::<f64>().sqrt();
+            if norm == 0.0 {
+                return true;
+            }
+            for x in next.iter_mut() {
+                *x /= norm;
+            }
+            radius = norm / v.iter().map(|x| x * x).sum::<f64>().sqrt();
+            v = next;
+        }
+        radius < 1.0 + 1e-9
+    }
+}
+
+impl Forecaster for ArModel {
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if horizon == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "horizon",
+                reason: "must be >= 1".into(),
+            });
+        }
+        let p = self.coefficients.len();
+        if history.len() < p {
+            return Err(TsError::SeriesTooShort {
+                needed: p,
+                got: history.len(),
+            });
+        }
+        // Centered recent window, extended with forecasts as we go.
+        let mut buf: Vec<f64> = history[history.len() - p..]
+            .iter()
+            .map(|&x| x - self.mean)
+            .collect();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let mut next = 0.0;
+            for (i, &phi) in self.coefficients.iter().enumerate() {
+                next += phi * buf[buf.len() - 1 - i];
+            }
+            out.push(next + self.mean);
+            buf.push(next);
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "AR"
+    }
+}
+
+/// Wraps a forecaster to operate on first differences, re-integrating the
+/// forecasts (turns AR(p) into ARI(p, 1)).
+#[derive(Debug, Clone)]
+pub struct DiffForecaster<F> {
+    inner: F,
+}
+
+impl<F: Forecaster> DiffForecaster<F> {
+    /// Wraps `inner` so it forecasts differenced values.
+    pub fn new(inner: F) -> DiffForecaster<F> {
+        DiffForecaster { inner }
+    }
+
+    /// Returns the wrapped forecaster.
+    pub fn into_inner(self) -> F {
+        self.inner
+    }
+
+    /// First differences of a series (`len - 1` values).
+    pub fn difference(series: &[f64]) -> Vec<f64> {
+        series.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+}
+
+impl<F: Forecaster> Forecaster for DiffForecaster<F> {
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if history.len() < 2 {
+            return Err(TsError::SeriesTooShort {
+                needed: 2,
+                got: history.len(),
+            });
+        }
+        let diffs = Self::difference(history);
+        let dfc = self.inner.forecast(&diffs, horizon)?;
+        let mut level = *history.last().expect("non-empty");
+        Ok(dfc
+            .into_iter()
+            .map(|d| {
+                level += d;
+                level
+            })
+            .collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "ARI"
+    }
+}
+
+/// Fits AR models of orders `1..=max_order` and selects the order with the
+/// lowest AIC (`n ln sigma^2 + 2p`).
+///
+/// # Errors
+///
+/// Propagates fit errors; returns [`TsError::InvalidParameter`] when
+/// `max_order == 0`.
+pub fn fit_best_order(series: &[f64], max_order: usize) -> Result<ArModel> {
+    if max_order == 0 {
+        return Err(TsError::InvalidParameter {
+            name: "max_order",
+            reason: "must be >= 1".into(),
+        });
+    }
+    let n = series.len() as f64;
+    let mut best: Option<(f64, ArModel)> = None;
+    let mut last_err = None;
+    for p in 1..=max_order {
+        match ArModel::fit(series, p) {
+            Ok(m) => {
+                let aic = n * m.innovation_variance().max(f64::EPSILON).ln() + 2.0 * p as f64;
+                if best.as_ref().is_none_or(|(b, _)| aic < *b) {
+                    best = Some((aic, m));
+                }
+            }
+            Err(e) => last_err = Some(e),
+        }
+    }
+    match best {
+        Some((_, m)) => Ok(m),
+        None => Err(last_err.unwrap_or(TsError::SeriesTooShort {
+            needed: 4,
+            got: series.len(),
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ar1_series(phi: f64, n: usize) -> Vec<f64> {
+        // Deterministic pseudo-noise so the test is reproducible without rand.
+        let mut x = 0.0f64;
+        let mut out = Vec::with_capacity(n);
+        let mut state = 0x2545f4914f6cdd1du64;
+        for _ in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let noise = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+            x = phi * x + noise;
+            out.push(x);
+        }
+        out
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let series = ar1_series(0.7, 5000);
+        let model = ArModel::fit(&series, 1).unwrap();
+        assert!(
+            (model.coefficients()[0] - 0.7).abs() < 0.05,
+            "phi = {}",
+            model.coefficients()[0]
+        );
+        assert!(model.is_stationary());
+    }
+
+    #[test]
+    fn autocovariance_lag0_is_variance() {
+        let series = [1.0, 2.0, 3.0, 4.0];
+        let ac = autocovariance(&series, 2);
+        // variance of [1,2,3,4] (population) = 1.25
+        assert!((ac[0] - 1.25).abs() < 1e-12);
+        assert_eq!(ac.len(), 3);
+    }
+
+    #[test]
+    fn forecast_decays_toward_mean() {
+        let series = ar1_series(0.9, 2000);
+        let model = ArModel::fit(&series, 1).unwrap();
+        let fc = model.forecast(&series, 50).unwrap();
+        // Long-horizon forecasts converge to the series mean.
+        let last = fc.last().unwrap();
+        assert!((last - model.mean()).abs() < 0.05);
+    }
+
+    #[test]
+    fn fit_rejects_short_series() {
+        assert!(matches!(
+            ArModel::fit(&[1.0, 2.0], 3),
+            Err(TsError::SeriesTooShort { .. })
+        ));
+    }
+
+    #[test]
+    fn fit_rejects_constant_series() {
+        let series = vec![5.0; 100];
+        assert!(matches!(
+            ArModel::fit(&series, 2),
+            Err(TsError::NumericalError(_))
+        ));
+    }
+
+    #[test]
+    fn fit_rejects_order_zero() {
+        let series = ar1_series(0.5, 100);
+        assert!(ArModel::fit(&series, 0).is_err());
+    }
+
+    #[test]
+    fn forecast_validates_args() {
+        let series = ar1_series(0.5, 100);
+        let model = ArModel::fit(&series, 2).unwrap();
+        assert!(model.forecast(&series, 0).is_err());
+        assert!(model.forecast(&[1.0], 3).is_err());
+    }
+
+    #[test]
+    fn differencing_recovers_linear_trend() {
+        // x_t = 2t: differences are constant 2; ARI should extrapolate the
+        // trend. A constant diff series breaks AR fitting, so add tiny
+        // wiggle.
+        let series: Vec<f64> = (0..200)
+            .map(|t| 2.0 * t as f64 + 0.01 * ((t % 7) as f64))
+            .collect();
+        let model = ArModel::fit(&DiffForecaster::<ArModel>::difference(&series), 3).unwrap();
+        let ari = DiffForecaster::new(model);
+        let fc = ari.forecast(&series, 3).unwrap();
+        for (i, v) in fc.iter().enumerate() {
+            let expect = 2.0 * (200 + i) as f64;
+            assert!((v - expect).abs() < 1.0, "step {i}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn best_order_selection_runs() {
+        let series = ar1_series(0.6, 1000);
+        let model = fit_best_order(&series, 6).unwrap();
+        assert!(model.order() >= 1 && model.order() <= 6);
+    }
+
+    #[test]
+    fn levinson_matches_direct_solution_order2() {
+        // Known AR(2): phi = (0.5, -0.3). Build theoretical autocovariance
+        // from the Yule-Walker equations and verify recovery.
+        // rho_1 = phi1 / (1 - phi2); rho_2 = phi1*rho1 + phi2
+        let (phi1, phi2) = (0.5f64, -0.3f64);
+        let rho1 = phi1 / (1.0 - phi2);
+        let rho2 = phi1 * rho1 + phi2;
+        let autocov = [1.0, rho1, rho2];
+        let (phi, _) = levinson_durbin(&autocov, 2).unwrap();
+        assert!((phi[0] - phi1).abs() < 1e-10);
+        assert!((phi[1] - phi2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn stationarity_check_flags_unit_root() {
+        let model = ArModel {
+            coefficients: vec![1.2],
+            mean: 0.0,
+            innovation_variance: 1.0,
+        };
+        assert!(!model.is_stationary());
+    }
+}

@@ -1,0 +1,52 @@
+use std::fmt;
+
+/// Errors produced by `tscast` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TsError {
+    /// The series is too short for the requested model order or horizon.
+    SeriesTooShort {
+        /// Minimum number of observations required.
+        needed: usize,
+        /// Number of observations supplied.
+        got: usize,
+    },
+    /// An invalid parameter value was supplied.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// A numeric operation produced a non-finite or singular result.
+    NumericalError(String),
+}
+
+impl fmt::Display for TsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TsError::SeriesTooShort { needed, got } => {
+                write!(f, "series too short: need at least {needed} observations, got {got}")
+            }
+            TsError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            TsError::NumericalError(msg) => write!(f, "numerical error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TsError::SeriesTooShort { needed: 10, got: 3 };
+        assert!(e.to_string().contains("need at least 10"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TsError>();
+    }
+}

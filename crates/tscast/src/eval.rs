@@ -1,0 +1,140 @@
+//! Walk-forward backtesting of forecasters.
+
+use crate::{Forecaster, Result, TsError};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate forecast-error metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ForecastErrors {
+    /// Mean absolute error.
+    pub mae: f64,
+    /// Root mean squared error.
+    pub rmse: f64,
+    /// Mean absolute percentage error (skips zero actuals).
+    pub mape: f64,
+    /// Number of (forecast, actual) pairs evaluated.
+    pub n: usize,
+}
+
+/// Computes [`ForecastErrors`] from paired forecasts and actuals.
+///
+/// # Errors
+///
+/// Returns [`TsError::InvalidParameter`] when lengths differ or both are
+/// empty.
+pub fn forecast_errors(forecast: &[f64], actual: &[f64]) -> Result<ForecastErrors> {
+    if forecast.len() != actual.len() || forecast.is_empty() {
+        return Err(TsError::InvalidParameter {
+            name: "forecast",
+            reason: format!(
+                "need equal non-empty lengths, got {} and {}",
+                forecast.len(),
+                actual.len()
+            ),
+        });
+    }
+    let n = forecast.len();
+    let mut abs = 0.0;
+    let mut sq = 0.0;
+    let mut pct = 0.0;
+    let mut pct_n = 0usize;
+    for (&f, &a) in forecast.iter().zip(actual) {
+        let e = f - a;
+        abs += e.abs();
+        sq += e * e;
+        if a != 0.0 {
+            pct += (e / a).abs();
+            pct_n += 1;
+        }
+    }
+    Ok(ForecastErrors {
+        mae: abs / n as f64,
+        rmse: (sq / n as f64).sqrt(),
+        mape: if pct_n == 0 { 0.0 } else { pct / pct_n as f64 },
+        n,
+    })
+}
+
+/// Walk-forward backtest: at every step `t` in the evaluation window, fit
+/// nothing new but call `model.forecast(&series[..t], horizon)` and compare
+/// the first forecast against `series[t]`.
+///
+/// `min_history` observations are reserved before evaluation starts.
+///
+/// # Errors
+///
+/// Returns [`TsError::SeriesTooShort`] when no evaluation points remain and
+/// propagates forecaster errors.
+pub fn backtest<F: Forecaster>(
+    model: &F,
+    series: &[f64],
+    min_history: usize,
+) -> Result<ForecastErrors> {
+    if series.len() <= min_history {
+        return Err(TsError::SeriesTooShort {
+            needed: min_history + 1,
+            got: series.len(),
+        });
+    }
+    let mut forecasts = Vec::new();
+    let mut actuals = Vec::new();
+    for t in min_history..series.len() {
+        let fc = model.forecast(&series[..t], 1)?;
+        forecasts.push(fc[0]);
+        actuals.push(series[t]);
+    }
+    forecast_errors(&forecasts, &actuals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::smooth::Ewma;
+
+    #[test]
+    fn errors_zero_for_perfect_forecast() {
+        let e = forecast_errors(&[1.0, 2.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(e.mae, 0.0);
+        assert_eq!(e.rmse, 0.0);
+        assert_eq!(e.mape, 0.0);
+        assert_eq!(e.n, 2);
+    }
+
+    #[test]
+    fn errors_hand_computed() {
+        let e = forecast_errors(&[2.0, 4.0], &[1.0, 2.0]).unwrap();
+        assert_eq!(e.mae, 1.5);
+        assert!((e.rmse - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(e.mape, 1.0); // |1/1| and |2/2| -> mean 1.0
+    }
+
+    #[test]
+    fn errors_validate_inputs() {
+        assert!(forecast_errors(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(forecast_errors(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn mape_skips_zero_actuals() {
+        let e = forecast_errors(&[1.0, 3.0], &[0.0, 2.0]).unwrap();
+        assert_eq!(e.mape, 0.5);
+    }
+
+    #[test]
+    fn backtest_constant_series_is_perfect_for_ewma() {
+        let model = Ewma::new(0.5).unwrap();
+        let series = vec![4.0; 30];
+        let e = backtest(&model, &series, 5).unwrap();
+        assert!(e.mae < 1e-12);
+        assert_eq!(e.n, 25);
+    }
+
+    #[test]
+    fn backtest_needs_evaluation_points() {
+        let model = Ewma::new(0.5).unwrap();
+        assert!(matches!(
+            backtest(&model, &[1.0, 2.0], 5),
+            Err(TsError::SeriesTooShort { .. })
+        ));
+    }
+}

@@ -1,0 +1,56 @@
+//! `tscast` — small time-series forecasting toolkit.
+//!
+//! The paper's prediction framework (§VI-A, §VIII) notes that some input
+//! features — the temperature and power profile *during* a run — are not
+//! known before the run starts, and proposes forecasting them with
+//! time-series tools (ARMA/ARIMA and friends). This crate provides those
+//! tools:
+//!
+//! * [`ar::ArModel`] — autoregressive AR(p) models fit by Yule-Walker
+//!   equations solved with Levinson-Durbin recursion,
+//! * [`ar::DiffForecaster`] — first-order differencing around any
+//!   forecaster (an "ARI" model) for trend removal,
+//! * [`smooth::Ewma`] and [`smooth::HoltLinear`] — exponential smoothing,
+//! * [`eval`] — walk-forward backtesting with MAE/RMSE/MAPE.
+//!
+//! # Example
+//!
+//! ```
+//! use tscast::ar::ArModel;
+//! use tscast::Forecaster;
+//!
+//! // A noiseless AR(1) process x_t = 0.8 x_{t-1}.
+//! let mut series = vec![1.0f64];
+//! for _ in 0..200 {
+//!     series.push(series.last().unwrap() * 0.8);
+//! }
+//! let model = ArModel::fit(&series, 1)?;
+//! let next = model.forecast(&series, 1)?[0];
+//! assert!((next - series.last().unwrap() * 0.8).abs() < 0.05);
+//! # Ok::<(), tscast::TsError>(())
+//! ```
+
+pub mod ar;
+pub mod eval;
+pub mod smooth;
+
+mod error;
+
+pub use error::TsError;
+
+/// Crate-wide `Result` alias using [`TsError`].
+pub type Result<T> = std::result::Result<T, TsError>;
+
+/// A forecaster that extends a history `horizon` steps into the future.
+pub trait Forecaster {
+    /// Forecasts `horizon` future values given the observed `history`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the history is shorter than the model's
+    /// requirement or `horizon` is zero.
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>>;
+
+    /// Short human-readable name of the method.
+    fn name(&self) -> &'static str;
+}

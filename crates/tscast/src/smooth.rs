@@ -1,0 +1,184 @@
+//! Exponential smoothing forecasters.
+
+use crate::{Forecaster, Result, TsError};
+use serde::{Deserialize, Serialize};
+
+/// Simple exponential smoothing (EWMA): flat forecasts at the smoothed
+/// level `l_t = alpha x_t + (1 - alpha) l_{t-1}`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+}
+
+impl Ewma {
+    /// Creates an EWMA smoother.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidParameter`] unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Result<Ewma> {
+        if !(alpha > 0.0 && alpha <= 1.0) {
+            return Err(TsError::InvalidParameter {
+                name: "alpha",
+                reason: format!("must be in (0, 1], got {alpha}"),
+            });
+        }
+        Ok(Ewma { alpha })
+    }
+
+    /// The smoothing weight.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The smoothed level after consuming the whole history.
+    pub fn level(&self, history: &[f64]) -> Option<f64> {
+        let mut it = history.iter();
+        let mut level = *it.next()?;
+        for &x in it {
+            level = self.alpha * x + (1.0 - self.alpha) * level;
+        }
+        Some(level)
+    }
+}
+
+impl Forecaster for Ewma {
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if horizon == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "horizon",
+                reason: "must be >= 1".into(),
+            });
+        }
+        let level = self.level(history).ok_or(TsError::SeriesTooShort {
+            needed: 1,
+            got: 0,
+        })?;
+        Ok(vec![level; horizon])
+    }
+
+    fn name(&self) -> &'static str {
+        "EWMA"
+    }
+}
+
+/// Holt's linear trend method: level + trend smoothing, linear forecasts.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct HoltLinear {
+    alpha: f64,
+    beta: f64,
+}
+
+impl HoltLinear {
+    /// Creates a Holt smoother.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TsError::InvalidParameter`] unless both weights are in
+    /// `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> Result<HoltLinear> {
+        for (name, v) in [("alpha", alpha), ("beta", beta)] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(TsError::InvalidParameter {
+                    name: if name == "alpha" { "alpha" } else { "beta" },
+                    reason: format!("must be in (0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(HoltLinear { alpha, beta })
+    }
+
+    /// Final `(level, trend)` after consuming the history.
+    ///
+    /// Returns `None` for histories shorter than two observations.
+    pub fn state(&self, history: &[f64]) -> Option<(f64, f64)> {
+        if history.len() < 2 {
+            return None;
+        }
+        let mut level = history[0];
+        let mut trend = history[1] - history[0];
+        for &x in &history[1..] {
+            let prev_level = level;
+            level = self.alpha * x + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+        }
+        Some((level, trend))
+    }
+}
+
+impl Forecaster for HoltLinear {
+    fn forecast(&self, history: &[f64], horizon: usize) -> Result<Vec<f64>> {
+        if horizon == 0 {
+            return Err(TsError::InvalidParameter {
+                name: "horizon",
+                reason: "must be >= 1".into(),
+            });
+        }
+        let (level, trend) = self.state(history).ok_or(TsError::SeriesTooShort {
+            needed: 2,
+            got: history.len(),
+        })?;
+        Ok((1..=horizon).map(|h| level + trend * h as f64).collect())
+    }
+
+    fn name(&self) -> &'static str {
+        "Holt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_constant_series_is_identity() {
+        let e = Ewma::new(0.3).unwrap();
+        let fc = e.forecast(&[5.0; 20], 3).unwrap();
+        assert_eq!(fc, vec![5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn ewma_level_tracks_recent_values() {
+        let e = Ewma::new(0.5).unwrap();
+        // Step from 0 to 10: level should be much closer to 10 at the end.
+        let mut series = vec![0.0; 10];
+        series.extend(vec![10.0; 10]);
+        let level = e.level(&series).unwrap();
+        assert!(level > 9.9);
+    }
+
+    #[test]
+    fn ewma_validates() {
+        assert!(Ewma::new(0.0).is_err());
+        assert!(Ewma::new(1.5).is_err());
+        let e = Ewma::new(0.5).unwrap();
+        assert!(e.forecast(&[], 1).is_err());
+        assert!(e.forecast(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn holt_extrapolates_linear_trend() {
+        let h = HoltLinear::new(0.8, 0.8).unwrap();
+        let series: Vec<f64> = (0..50).map(|t| 3.0 * t as f64 + 1.0).collect();
+        let fc = h.forecast(&series, 3).unwrap();
+        for (i, v) in fc.iter().enumerate() {
+            let expect = 3.0 * (50 + i) as f64 + 1.0;
+            assert!((v - expect).abs() < 0.5, "step {i}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn holt_validates() {
+        assert!(HoltLinear::new(0.0, 0.5).is_err());
+        assert!(HoltLinear::new(0.5, 2.0).is_err());
+        let h = HoltLinear::new(0.5, 0.5).unwrap();
+        assert!(h.forecast(&[1.0], 2).is_err());
+        assert!(h.forecast(&[1.0, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn forecaster_names() {
+        assert_eq!(Ewma::new(0.2).unwrap().name(), "EWMA");
+        assert_eq!(HoltLinear::new(0.2, 0.2).unwrap().name(), "Holt");
+    }
+}

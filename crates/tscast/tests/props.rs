@@ -1,0 +1,72 @@
+//! Property-based tests for the forecasting substrate.
+
+use proptest::prelude::*;
+use tscast::ar::{autocovariance, ArModel};
+use tscast::smooth::{Ewma, HoltLinear};
+use tscast::Forecaster;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn autocovariance_lag0_dominates(
+        xs in prop::collection::vec(-100.0f64..100.0, 4..200),
+        lag in 1usize..4,
+    ) {
+        let ac = autocovariance(&xs, lag);
+        // |gamma(k)| <= gamma(0) (Cauchy-Schwarz).
+        prop_assert!(ac[lag].abs() <= ac[0] + 1e-9);
+    }
+
+    #[test]
+    fn ewma_level_stays_within_history_range(
+        xs in prop::collection::vec(-100.0f64..100.0, 1..100),
+        alpha in 0.01f64..1.0,
+    ) {
+        let e = Ewma::new(alpha).expect("valid alpha");
+        let level = e.level(&xs).expect("non-empty");
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(level >= lo - 1e-9 && level <= hi + 1e-9);
+    }
+
+    #[test]
+    fn holt_forecast_is_affine_in_horizon(
+        xs in prop::collection::vec(-100.0f64..100.0, 2..100),
+        alpha in 0.05f64..1.0,
+        beta in 0.05f64..1.0,
+    ) {
+        let h = HoltLinear::new(alpha, beta).expect("valid weights");
+        let fc = h.forecast(&xs, 4).expect("forecasts");
+        // Consecutive differences of a linear forecast are constant.
+        let d1 = fc[1] - fc[0];
+        let d2 = fc[2] - fc[1];
+        let d3 = fc[3] - fc[2];
+        prop_assert!((d1 - d2).abs() < 1e-9 * (1.0 + d1.abs()));
+        prop_assert!((d2 - d3).abs() < 1e-9 * (1.0 + d2.abs()));
+    }
+
+    #[test]
+    fn ar_fit_coefficients_finite(
+        seed in 1u64..10_000,
+        order in 1usize..6,
+    ) {
+        // Pseudo-random wiggle with guaranteed variance.
+        let mut state = seed;
+        let series: Vec<f64> = (0..200)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect();
+        let model = ArModel::fit(&series, order).expect("fits");
+        for &c in model.coefficients() {
+            prop_assert!(c.is_finite());
+        }
+        prop_assert!(model.innovation_variance() >= 0.0);
+        let fc = model.forecast(&series, 8).expect("forecasts");
+        prop_assert!(fc.iter().all(|v| v.is_finite()));
+    }
+}

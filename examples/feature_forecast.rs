@@ -1,0 +1,62 @@
+//! Feature forecasting: predict a run's temperature/power statistics
+//! *before* it executes (the paper's §VI-A "second approach" / §VIII),
+//! then feed the forecasts into the trained classifier.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example feature_forecast
+//! ```
+
+use gpu_error_prediction::sbepred::experiments::{extensions, Lab};
+use gpu_error_prediction::sbepred::forecast::{forecast_series_stats, FORECAST_LOOKBACK_MIN};
+use gpu_error_prediction::titan_sim::config::SimConfig;
+use gpu_error_prediction::titan_sim::engine::{generate, TelemetryQueryEngine};
+use gpu_error_prediction::titan_sim::telemetry::{window_stats, SeriesKind};
+use gpu_error_prediction::tscast::ar::ArModel;
+use gpu_error_prediction::tscast::eval::backtest;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let trace = generate(&SimConfig::tiny(7))?;
+    let engine = TelemetryQueryEngine::new(&trace)?;
+
+    // Pick a long-ish run that starts after enough telemetry history.
+    let sample = trace
+        .samples()
+        .iter()
+        .find(|s| {
+            let run = trace.aprun(s.aprun).expect("valid id");
+            run.start_min > FORECAST_LOOKBACK_MIN && run.runtime_min() >= 60
+        })
+        .expect("a suitable run exists");
+    let run = trace.aprun(sample.aprun)?;
+    let (start, end) = (run.start_min, run.end_min);
+
+    // 1. Raw one-step AR accuracy on the pre-run temperature series.
+    let pre_temp =
+        engine.node_series(sample.node, SeriesKind::GpuTemp, start - FORECAST_LOOKBACK_MIN, start)?;
+    let hist: Vec<f64> = pre_temp.iter().map(|&v| v as f64).collect();
+    let model = ArModel::fit(&hist, 4)?;
+    let errors = backtest(&model, &hist, 30)?;
+    println!(
+        "AR(4) one-step backtest on {} pre-run minutes of node {} temperature:",
+        hist.len(),
+        sample.node
+    );
+    println!("  MAE = {:.3} C, RMSE = {:.3} C over {} points", errors.mae, errors.rmse, errors.n);
+
+    // 2. Forecast the run window's statistics and compare to the truth.
+    let horizon = (end - start) as usize;
+    let forecast = forecast_series_stats(&pre_temp, horizon);
+    let actual = window_stats(engine.node_series(sample.node, SeriesKind::GpuTemp, start, end)?.as_slice());
+    println!("\nrun-window temperature statistics ({horizon} minutes ahead):");
+    println!("  forecast: mean {:.2} C, std {:.2}", forecast.mean, forecast.std);
+    println!("  actual:   mean {:.2} C, std {:.2}", actual.mean, actual.std);
+
+    // 3. End-to-end: measured vs forecast features through the trained
+    //    classifier (the ext_forecast experiment).
+    let lab = Lab::new(&trace)?;
+    let out = extensions::ext_forecast(&lab)?;
+    println!("\n{out}");
+    Ok(())
+}

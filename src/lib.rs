@@ -1,0 +1,17 @@
+//! `gpu-error-prediction` — facade crate for the DSN 2018 reproduction.
+//!
+//! Re-exports the workspace members so examples and integration tests can
+//! use one coherent namespace:
+//!
+//! * [`titan_sim`] — the Titan-like trace simulator substrate,
+//! * [`mlkit`] — the from-scratch machine-learning substrate,
+//! * [`tscast`] — time-series forecasting substrate,
+//! * [`sbepred`] — the paper's contribution: feature engineering, the
+//!   TwoStage prediction method, baselines, and experiment drivers.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use mlkit;
+pub use sbepred;
+pub use titan_sim;
+pub use tscast;

@@ -1,0 +1,78 @@
+//! Serialisation round-trips: trained models, configurations, and trace
+//! records must survive serde (the deployment path: train offline every
+//! two weeks, ship the model to the scheduler).
+
+use gpu_error_prediction::mlkit::dataset::Dataset;
+use gpu_error_prediction::mlkit::gbdt::Gbdt;
+use gpu_error_prediction::mlkit::linear::LogisticRegression;
+use gpu_error_prediction::mlkit::model::Classifier;
+use gpu_error_prediction::mlkit::scaler::StandardScaler;
+use gpu_error_prediction::titan_sim::config::SimConfig;
+use gpu_error_prediction::titan_sim::engine::generate;
+
+fn toy_dataset() -> Dataset {
+    let rows: Vec<Vec<f32>> = (0..120)
+        .map(|i| vec![(i % 10) as f32, ((i * 3) % 7) as f32])
+        .collect();
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|r| if r[0] + r[1] > 8.0 { 1.0 } else { 0.0 })
+        .collect();
+    Dataset::from_rows(&rows, &y).expect("valid dataset")
+}
+
+#[test]
+fn gbdt_round_trips_through_json() {
+    let ds = toy_dataset();
+    let mut model = Gbdt::new().n_trees(20).max_depth(4).min_samples_leaf(2);
+    model.fit(&ds).expect("fits");
+    let before = model.predict_proba(&ds).expect("predicts");
+
+    let json = serde_json::to_string(&model).expect("serialises");
+    let restored: Gbdt = serde_json::from_str(&json).expect("deserialises");
+    let after = restored.predict_proba(&ds).expect("predicts");
+    assert_eq!(before, after);
+}
+
+#[test]
+fn logistic_regression_round_trips_through_json() {
+    let ds = toy_dataset();
+    let mut model = LogisticRegression::new().epochs(30);
+    model.fit(&ds).expect("fits");
+    let before = model.predict_proba(&ds).expect("predicts");
+    let json = serde_json::to_string(&model).expect("serialises");
+    let restored: LogisticRegression = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(before, restored.predict_proba(&ds).expect("predicts"));
+}
+
+#[test]
+fn scaler_round_trips_through_json() {
+    let ds = toy_dataset();
+    let scaler = StandardScaler::fit(&ds).expect("fits");
+    let json = serde_json::to_string(&scaler).expect("serialises");
+    let restored: StandardScaler = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(
+        scaler.transform(&ds).expect("transforms").x().as_slice(),
+        restored.transform(&ds).expect("transforms").x().as_slice()
+    );
+}
+
+#[test]
+fn sim_config_round_trips_and_regenerates_identically() {
+    let cfg = SimConfig::tiny(77);
+    let json = serde_json::to_string(&cfg).expect("serialises");
+    let restored: SimConfig = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(cfg, restored);
+    let a = generate(&cfg).expect("generates");
+    let b = generate(&restored).expect("generates");
+    assert_eq!(a.samples(), b.samples());
+}
+
+#[test]
+fn trace_samples_serialise() {
+    let t = generate(&SimConfig::tiny(7)).expect("generates");
+    let json = serde_json::to_string(&t.samples()[..10]).expect("serialises");
+    let restored: Vec<gpu_error_prediction::titan_sim::trace::SampleRecord> =
+        serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(&t.samples()[..10], restored.as_slice());
+}
