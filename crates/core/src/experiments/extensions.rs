@@ -440,7 +440,10 @@ mod tests {
     use titan_sim::trace::TraceSet;
 
     fn trace() -> TraceSet {
-        generate(&SimConfig::tiny(3)).unwrap()
+        // Seed 13: under the in-repo RNG streams (see DESIGN.md "Parallel
+        // execution & determinism"), seed 3's retrain windows can end up
+        // single-class, which the GBDT rightly refuses to train on.
+        generate(&SimConfig::tiny(13)).unwrap()
     }
 
     #[test]

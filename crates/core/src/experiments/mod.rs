@@ -125,18 +125,40 @@ pub struct Lab<'a> {
     trace: &'a TraceSet,
     samples: Vec<LabeledSample>,
     fx: FeatureExtractor<'a>,
+    threads: parkit::Threads,
 }
 
 impl<'a> Lab<'a> {
-    /// Builds the context for a trace.
+    /// Builds the context for a trace with the automatic thread policy.
     ///
     /// # Errors
     ///
     /// Propagates sample/extractor construction errors.
     pub fn new(trace: &'a TraceSet) -> Result<Lab<'a>> {
+        Lab::with_threads(trace, parkit::Threads::Auto)
+    }
+
+    /// Builds the context with an explicit thread policy for the model
+    /// grids. Results are identical under any policy; only wall-clock
+    /// time changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sample/extractor construction errors.
+    pub fn with_threads(trace: &'a TraceSet, threads: parkit::Threads) -> Result<Lab<'a>> {
         let samples = build_samples(trace)?;
         let fx = FeatureExtractor::new(trace, &samples)?;
-        Ok(Lab { trace, samples, fx })
+        Ok(Lab {
+            trace,
+            samples,
+            fx,
+            threads,
+        })
+    }
+
+    /// The thread policy experiment grids fan out with.
+    pub fn threads(&self) -> parkit::Threads {
+        self.threads
     }
 
     /// The trace under study.

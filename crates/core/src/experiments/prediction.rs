@@ -29,6 +29,15 @@ fn run_kind(prepared: &Prepared, kind: ModelKind) -> Result<TwoStageOutcome> {
     run_classifier(prepared, &mut model)
 }
 
+/// Runs a model grid over one prepared split, fanning the kinds out
+/// across the lab's worker threads. Outcomes come back in `kinds` order,
+/// and every model seeds its own RNG from the frozen [`MODEL_SEED`], so
+/// the results are identical to a serial loop under any thread policy
+/// (see DESIGN.md "Parallel execution & determinism").
+fn run_kinds(lab: &Lab<'_>, prepared: &Prepared, kinds: &[ModelKind]) -> Result<Vec<TwoStageOutcome>> {
+    parkit::try_par_map(lab.threads(), kinds, |&kind| run_kind(prepared, kind))
+}
+
 /// Basic A's confusion matrix over a split's test window.
 fn basic_a(lab: &Lab<'_>, split: &DsSplit) -> Result<ConfusionMatrix> {
     let (ts, te) = split.test_window();
@@ -109,8 +118,11 @@ pub fn fig10(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         "precision": cm.precision(), "recall": cm.recall(),
     }));
 
-    for kind in ModelKind::all() {
-        let out = run_kind(&prepared, kind)?;
+    // The four models are independent given the shared `prepared` split
+    // (each builds its own classifier from the frozen MODEL_SEED), so the
+    // grid fans out; outputs come back in presentation order.
+    let outs = run_kinds(lab, &prepared, &ModelKind::all())?;
+    for (kind, out) in ModelKind::all().into_iter().zip(outs) {
         let cm = out.sbe_metrics();
         table.push_row([
             kind.name().to_string(),
@@ -152,8 +164,8 @@ pub fn table2_table3(lab: &Lab<'_>) -> Result<(ExperimentOutput, ExperimentOutpu
         let mut jrow = serde_json::Map::new();
         jrow.insert("dataset".into(), json!(split.name()));
         jrow.insert("Basic A".into(), json!(basic.f1()));
-        for kind in ModelKind::all() {
-            let out = run_kind(&prepared, kind)?;
+        let outs = run_kinds(lab, &prepared, &ModelKind::all())?;
+        for (kind, out) in ModelKind::all().into_iter().zip(outs) {
             let cm = out.sbe_metrics();
             row.push(format!("{:.2}", cm.f1()));
             jrow.insert(kind.name().into(), json!(cm.f1()));
@@ -212,9 +224,13 @@ pub fn fig11(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         let mut row = vec![split.name().to_string()];
         let mut jrow = serde_json::Map::new();
         jrow.insert("dataset".into(), json!(split.name()));
-        for (name, spec) in &groups {
+        // Each feature group preps and trains independently; fan out and
+        // collect in presentation order.
+        let outs = parkit::try_par_map(lab.threads(), &groups, |(_, spec)| {
             let prepared = prep(lab, &split, spec)?;
-            let out = run_kind(&prepared, ModelKind::Gbdt)?;
+            run_kind(&prepared, ModelKind::Gbdt)
+        })?;
+        for ((name, _), out) in groups.iter().zip(outs) {
             let improvement = (out.sbe_metrics().f1() - base) / base * 100.0;
             row.push(format!("{improvement:+.1}%"));
             jrow.insert((*name).into(), json!(improvement));
@@ -246,9 +262,11 @@ pub fn table4(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     ];
     let mut table = Table::new(["Feature Set", "Precision", "Recall", "F1 Score"]);
     let mut rows = Vec::new();
-    for (name, spec) in &sets {
+    let outs = parkit::try_par_map(lab.threads(), &sets, |(_, spec)| {
         let prepared = prep(lab, &split, spec)?;
-        let out = run_kind(&prepared, ModelKind::Gbdt)?;
+        run_kind(&prepared, ModelKind::Gbdt)
+    })?;
+    for ((name, _), out) in sets.iter().zip(outs) {
         let cm = out.sbe_metrics();
         table.push_row([
             name.to_string(),
@@ -499,7 +517,10 @@ mod tests {
     use titan_sim::trace::TraceSet;
 
     fn trace() -> TraceSet {
-        generate(&SimConfig::tiny(3)).unwrap()
+        // Seed 13: under the in-repo RNG streams (see DESIGN.md "Parallel
+        // execution & determinism"), seed 3's test windows hold zero
+        // positive samples, degenerating recall/F1 assertions.
+        generate(&SimConfig::tiny(13)).unwrap()
     }
 
     #[test]

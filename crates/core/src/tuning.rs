@@ -18,13 +18,38 @@ pub struct ThresholdPoint {
 }
 
 /// Sweeps every distinct score as a threshold, returning the metric curve
-/// sorted by ascending threshold.
+/// sorted by ascending threshold. Uses the automatic thread policy; see
+/// [`threshold_sweep_with`].
 ///
 /// # Errors
 ///
 /// Returns [`PredError::InvalidInput`] for empty or mismatched inputs or
 /// when a class is absent.
 pub fn threshold_sweep(truth: &[f32], scores: &[f32]) -> Result<Vec<ThresholdPoint>> {
+    threshold_sweep_with(truth, scores, parkit::Threads::Auto)
+}
+
+/// Minimum tie-group count below which the sweep runs inline — the two
+/// parallel passes only pay off on large curves.
+const PAR_SWEEP_MIN_GROUPS: usize = 4_096;
+
+/// [`threshold_sweep`] with an explicit thread policy.
+///
+/// The sweep decomposes into: a serial sort, tie-group discovery, a
+/// parallel per-group counting pass, a serial prefix sum over groups, and
+/// a parallel point-emission pass. The counts are exact integers and the
+/// prefix sum is serial, so every thread policy produces an identical
+/// curve.
+///
+/// # Errors
+///
+/// Returns [`PredError::InvalidInput`] for empty or mismatched inputs or
+/// when a class is absent.
+pub fn threshold_sweep_with(
+    truth: &[f32],
+    scores: &[f32],
+    threads: parkit::Threads,
+) -> Result<Vec<ThresholdPoint>> {
     if truth.len() != scores.len() || truth.is_empty() {
         return Err(PredError::InvalidInput {
             reason: format!(
@@ -50,20 +75,45 @@ pub fn threshold_sweep(truth: &[f32], scores: &[f32]) -> Result<Vec<ThresholdPoi
             .unwrap_or(std::cmp::Ordering::Equal)
     });
 
-    let mut out = Vec::new();
-    let mut tp = 0u64;
-    let mut predicted_pos = 0u64;
+    // Tie-group boundaries: all samples with the same score flip together.
+    let mut groups: Vec<(usize, usize)> = Vec::new();
     let mut i = 0;
     while i < order.len() {
-        // Absorb ties: all samples with the same score flip together.
         let score = scores[order[i]];
+        let start = i;
         while i < order.len() && scores[order[i]] == score {
-            predicted_pos += 1;
-            if truth[order[i]] == 1.0 {
-                tp += 1;
-            }
             i += 1;
         }
+        groups.push((start, i));
+    }
+
+    let threads = if groups.len() < PAR_SWEEP_MIN_GROUPS {
+        parkit::Threads::Serial
+    } else {
+        threads
+    };
+
+    // Pass 1 (parallel): per-group positive/total counts — exact integers,
+    // so summation order cannot matter.
+    let counts: Vec<(u64, u64)> = parkit::par_map(threads, &groups, |&(s, e)| {
+        let pos = order[s..e].iter().filter(|&&i| truth[i] == 1.0).count() as u64;
+        (pos, (e - s) as u64)
+    });
+
+    // Pass 2 (serial): prefix sums give cumulative tp / predicted-positive
+    // at the end of each group.
+    let mut prefix = Vec::with_capacity(groups.len());
+    let mut tp = 0u64;
+    let mut predicted_pos = 0u64;
+    for &(pos, n) in &counts {
+        tp += pos;
+        predicted_pos += n;
+        prefix.push((tp, predicted_pos));
+    }
+
+    // Pass 3 (parallel): emit the metric point of each group.
+    let mut out = parkit::par_map_indexed(threads, &groups, |gi, &(s, _)| {
+        let (tp, predicted_pos) = prefix[gi];
         let precision = tp as f64 / predicted_pos as f64;
         let recall = tp as f64 / total_pos as f64;
         let f1 = if precision + recall == 0.0 {
@@ -71,15 +121,15 @@ pub fn threshold_sweep(truth: &[f32], scores: &[f32]) -> Result<Vec<ThresholdPoi
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        out.push(ThresholdPoint {
-            threshold: score,
+        ThresholdPoint {
+            threshold: scores[order[s]],
             metrics: Prf {
                 precision,
                 recall,
                 f1,
             },
-        });
-    }
+        }
+    });
     out.reverse(); // ascending thresholds
     Ok(out)
 }

@@ -273,7 +273,10 @@ mod tests {
     use titan_sim::engine::generate;
 
     fn trace() -> TraceSet {
-        generate(&SimConfig::tiny(3)).unwrap()
+        // Seed 13: under the in-repo RNG streams (see DESIGN.md "Parallel
+        // execution & determinism"), seed 3's DS1 test window holds zero
+        // positive samples, making F1 assertions degenerate.
+        generate(&SimConfig::tiny(13)).unwrap()
     }
 
     #[test]

@@ -112,6 +112,9 @@ impl CrossValScores {
 /// Runs stratified k-fold cross-validation with a classifier factory
 /// (a fresh model per fold).
 ///
+/// Equivalent to [`cross_validate_with`] at [`parkit::Threads::Serial`],
+/// kept for `FnMut` factories that cannot be shared across threads.
+///
 /// # Errors
 ///
 /// Propagates split and classifier errors.
@@ -128,14 +131,53 @@ where
     let folds = stratified_k_fold(ds, k, seed)?;
     let mut out = Vec::with_capacity(k);
     for (train_idx, test_idx) in folds {
-        let train = ds.select(&train_idx);
-        let test = ds.select(&test_idx);
-        let mut model = factory();
-        model.fit(&train)?;
-        let pred = model.predict(&test)?;
-        out.push(ConfusionMatrix::from_predictions(test.y(), &pred)?);
+        out.push(run_fold(ds, &train_idx, &test_idx, &mut factory)?);
     }
     Ok(CrossValScores { folds: out })
+}
+
+/// Runs stratified k-fold cross-validation with folds fanned out across
+/// worker threads. Folds are independent (each gets a fresh model from
+/// `factory` and deterministic index splits), and the per-fold confusion
+/// matrices come back in fold order, so any thread policy — including
+/// [`parkit::Threads::Serial`] — produces identical scores.
+///
+/// # Errors
+///
+/// Propagates split and classifier errors; on multiple fold failures the
+/// error of the lowest-numbered fold is returned, matching a serial run.
+pub fn cross_validate_with<C, F>(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    threads: parkit::Threads,
+    factory: F,
+) -> Result<CrossValScores>
+where
+    C: Classifier,
+    F: Fn() -> C + Sync,
+{
+    let folds = stratified_k_fold(ds, k, seed)?;
+    let out = parkit::try_par_map(threads, &folds, |(train_idx, test_idx)| {
+        let mut factory = &factory;
+        run_fold(ds, train_idx, test_idx, &mut factory)
+    })?;
+    Ok(CrossValScores { folds: out })
+}
+
+/// Trains and scores one fold.
+fn run_fold<C: Classifier>(
+    ds: &Dataset,
+    train_idx: &[usize],
+    test_idx: &[usize],
+    factory: &mut impl FnMut() -> C,
+) -> Result<ConfusionMatrix> {
+    let train = ds.select(train_idx);
+    let test = ds.select(test_idx);
+    let mut model = factory();
+    model.fit(&train)?;
+    let pred = model.predict(&test)?;
+    ConfusionMatrix::from_predictions(test.y(), &pred)
 }
 
 #[cfg(test)]

@@ -57,6 +57,11 @@ pub struct Gbdt {
     n_bins: usize,
     pos_weight: f32,
     seed: u64,
+    /// Worker-thread policy for split finding, score updates, and
+    /// prediction. Execution detail — results are identical under any
+    /// policy — so fitted-model serialization excludes it.
+    #[serde(skip)]
+    threads: parkit::Threads,
     // Fitted state.
     binner: Option<QuantileBinner>,
     trees: Vec<RegressionTree>,
@@ -85,6 +90,7 @@ impl Gbdt {
             n_bins: 64,
             pos_weight: 1.0,
             seed: 42,
+            threads: parkit::Threads::Auto,
             binner: None,
             trees: Vec::new(),
             base_score: 0.0,
@@ -152,6 +158,14 @@ impl Gbdt {
         self
     }
 
+    /// Sets the worker-thread policy. Training and prediction results are
+    /// bit-identical under any policy (see `parkit`); this only changes
+    /// wall-clock time.
+    pub fn threads(mut self, threads: parkit::Threads) -> Gbdt {
+        self.threads = threads;
+        self
+    }
+
     /// Number of fitted trees (0 before fitting).
     pub fn n_fitted_trees(&self) -> usize {
         self.trees.len()
@@ -197,6 +211,18 @@ impl Gbdt {
         Ok(())
     }
 
+    /// Effective thread policy for an `n`-row pass: small batches run
+    /// inline — spawning would cost more than the work saves. Results are
+    /// identical either way; this is purely a scheduling choice.
+    fn row_pass_threads(&self, n: usize) -> parkit::Threads {
+        const PAR_ROW_MIN: usize = 4_096;
+        if n < PAR_ROW_MIN {
+            parkit::Threads::Serial
+        } else {
+            self.threads
+        }
+    }
+
     /// Raw additive score (log-odds) for one feature row.
     fn raw_score_row(&self, row: &[f32]) -> f32 {
         let mut s = self.base_score;
@@ -239,6 +265,7 @@ impl Classifier for Gbdt {
             min_gain: 1e-6,
             lambda: self.lambda,
             colsample: self.colsample,
+            threads: self.threads,
         };
 
         self.trees.clear();
@@ -263,10 +290,14 @@ impl Classifier for Gbdt {
                 &all_idx
             };
             let tree = RegressionTree::fit(&binned, &binner, &grad, &hess, idx, params, &mut rng)?;
-            // Update raw scores for every sample (not just the subsample):
-            for (i, r) in raw.iter_mut().enumerate() {
-                *r += self.learning_rate * tree.predict_row(train.x().row(i));
-            }
+            // Update raw scores for every sample (not just the subsample).
+            // Each element is touched exactly once, so the chunked
+            // parallel pass equals the serial loop bit for bit.
+            parkit::par_apply_chunks(self.row_pass_threads(n), &mut raw, |offset, chunk| {
+                for (k, r) in chunk.iter_mut().enumerate() {
+                    *r += self.learning_rate * tree.predict_row(train.x().row(offset + k));
+                }
+            });
             self.trees.push(tree);
         }
         self.binner = Some(binner);
@@ -283,11 +314,10 @@ impl Classifier for Gbdt {
                 found: format!("{} features", data.n_features()),
             });
         }
-        Ok(data
-            .x()
-            .rows_iter()
-            .map(|row| sigmoid(self.raw_score_row(row)))
-            .collect())
+        let rows: Vec<usize> = (0..data.len()).collect();
+        Ok(parkit::par_map(self.row_pass_threads(rows.len()), &rows, |&i| {
+            sigmoid(self.raw_score_row(data.x().row(i)))
+        }))
     }
 
     fn name(&self) -> &'static str {

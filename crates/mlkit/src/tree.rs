@@ -192,6 +192,11 @@ pub struct TreeParams {
     pub lambda: f64,
     /// Fraction of features considered at each split (`(0, 1]`).
     pub colsample: f64,
+    /// Worker-thread policy for per-feature split evaluation. Execution
+    /// detail only — any policy yields identical trees — so it is not
+    /// serialized with fitted models.
+    #[serde(skip)]
+    pub threads: parkit::Threads,
 }
 
 impl Default for TreeParams {
@@ -202,6 +207,7 @@ impl Default for TreeParams {
             min_gain: 1e-6,
             lambda: 1.0,
             colsample: 1.0,
+            threads: parkit::Threads::Serial,
         }
     }
 }
@@ -387,6 +393,67 @@ fn score(g: f64, h: f64, lambda: f64) -> f64 {
     g * g / (h + lambda)
 }
 
+/// Minimum `samples × features` workload below which per-feature split
+/// evaluation stays inline — thread spawns would dominate smaller nodes.
+const PAR_SPLIT_MIN_WORK: usize = 32_768;
+
+/// Best candidate split for a single feature: histogram the node's
+/// gradients/hessians by bin, then scan cut points left to right.
+///
+/// Pure per feature, so features can be evaluated on any thread: the
+/// result depends only on (`indices`, `j`) and the candidate kept under
+/// the strict `gain >` rule is the first-best in bin order, exactly as
+/// the serial scan keeps it.
+fn best_split_for_feature(
+    ctx: &BuildCtx<'_>,
+    indices: &[usize],
+    j: usize,
+    g_total: f64,
+    h_total: f64,
+    parent_score: f64,
+) -> Option<SplitCandidate> {
+    let nb = ctx.binner.n_bins_for(j);
+    if nb < 2 {
+        return None;
+    }
+    let mut hg = [0.0f64; MAX_BINS];
+    let mut hh = [0.0f64; MAX_BINS];
+    let mut hc = [0u32; MAX_BINS];
+    for &i in indices {
+        let b = ctx.binned.get(i, j) as usize;
+        hg[b] += ctx.grad[i] as f64;
+        hh[b] += ctx.hess[i] as f64;
+        hc[b] += 1;
+    }
+    let mut best: Option<SplitCandidate> = None;
+    let mut gl = 0.0f64;
+    let mut hl = 0.0f64;
+    let mut cl = 0u32;
+    for b in 0..nb - 1 {
+        gl += hg[b];
+        hl += hh[b];
+        cl += hc[b];
+        let cr = indices.len() as u32 - cl;
+        if (cl as usize) < ctx.params.min_samples_leaf
+            || (cr as usize) < ctx.params.min_samples_leaf
+        {
+            continue;
+        }
+        let gr = g_total - gl;
+        let hr = h_total - hl;
+        let gain =
+            score(gl, hl, ctx.params.lambda) + score(gr, hr, ctx.params.lambda) - parent_score;
+        if gain > ctx.params.min_gain && best.as_ref().is_none_or(|b2| gain > b2.gain) {
+            best = Some(SplitCandidate {
+                feature: j,
+                bin: (b + 1) as u8,
+                gain,
+            });
+        }
+    }
+    best
+}
+
 fn find_best_split(
     ctx: &BuildCtx<'_>,
     indices: &[usize],
@@ -403,53 +470,28 @@ fn find_best_split(
     }
 
     let parent_score = score(g_total, h_total, ctx.params.lambda);
+
+    // Per-feature evaluation is independent; fan out when the node is big
+    // enough to pay for it. Either path reduces candidates in feature-list
+    // order under the same strict `gain >` comparison, so the chosen split
+    // (ties included) is identical to the serial scan.
+    let threads = ctx.params.threads;
+    let candidates: Vec<Option<SplitCandidate>> =
+        if threads.is_serial() || indices.len() * features.len() < PAR_SPLIT_MIN_WORK {
+            features
+                .iter()
+                .map(|&j| best_split_for_feature(ctx, indices, j, g_total, h_total, parent_score))
+                .collect()
+        } else {
+            parkit::par_map(threads, &features, |&j| {
+                best_split_for_feature(ctx, indices, j, g_total, h_total, parent_score)
+            })
+        };
+
     let mut best: Option<SplitCandidate> = None;
-
-    // Reusable histogram buffers.
-    let mut hg = [0.0f64; MAX_BINS];
-    let mut hh = [0.0f64; MAX_BINS];
-    let mut hc = [0u32; MAX_BINS];
-
-    for &j in &features {
-        let nb = ctx.binner.n_bins_for(j);
-        if nb < 2 {
-            continue;
-        }
-        hg[..nb].fill(0.0);
-        hh[..nb].fill(0.0);
-        hc[..nb].fill(0);
-        for &i in indices {
-            let b = ctx.binned.get(i, j) as usize;
-            hg[b] += ctx.grad[i] as f64;
-            hh[b] += ctx.hess[i] as f64;
-            hc[b] += 1;
-        }
-        let mut gl = 0.0f64;
-        let mut hl = 0.0f64;
-        let mut cl = 0u32;
-        for b in 0..nb - 1 {
-            gl += hg[b];
-            hl += hh[b];
-            cl += hc[b];
-            let cr = indices.len() as u32 - cl;
-            if (cl as usize) < ctx.params.min_samples_leaf
-                || (cr as usize) < ctx.params.min_samples_leaf
-            {
-                continue;
-            }
-            let gr = g_total - gl;
-            let hr = h_total - hl;
-            let gain = score(gl, hl, ctx.params.lambda) + score(gr, hr, ctx.params.lambda)
-                - parent_score;
-            if gain > ctx.params.min_gain
-                && best.as_ref().is_none_or(|b2| gain > b2.gain)
-            {
-                best = Some(SplitCandidate {
-                    feature: j,
-                    bin: (b + 1) as u8,
-                    gain,
-                });
-            }
+    for cand in candidates.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b2| cand.gain > b2.gain) {
+            best = Some(cand);
         }
     }
     best

@@ -1,0 +1,354 @@
+//! `parkit` — a small deterministic execution layer over
+//! [`std::thread::scope`].
+//!
+//! Every hot path in this workspace (GBDT split finding, k-fold CV,
+//! threshold sweeps, trace generation) is embarrassingly parallel, but
+//! parallelism is only admissible here if it cannot change results: the
+//! repro claim rests on bit-for-bit determinism. `parkit` therefore
+//! provides *order-preserving* primitives only:
+//!
+//! * [`par_map`] / [`par_map_indexed`] — map over a slice on worker
+//!   threads; the output `Vec` is in input order regardless of thread
+//!   scheduling. Work is handed out in chunks from an atomic cursor, so
+//!   imbalanced items still load-balance.
+//! * [`try_par_map`] / [`try_par_map_indexed`] — fallible variants with
+//!   **first-error propagation**: the returned error is the one produced
+//!   at the *lowest input index*, exactly what a serial loop would
+//!   return. (Later items may still be evaluated — callers must not rely
+//!   on short-circuiting for side effects.)
+//! * [`par_apply_chunks`] — in-place parallel mutation of disjoint
+//!   contiguous chunks (static partition, deterministic by
+//!   construction).
+//!
+//! The [`Threads`] policy picks the worker count: [`Threads::Serial`]
+//! runs inline on the calling thread (no pool, no spawn), so a
+//! `Serial` run and an N-thread run of any `parkit` primitive are
+//! bit-for-bit identical as long as the mapped function is pure. The
+//! `SBE_THREADS` environment variable overrides [`Threads::Auto`].
+//!
+//! ```
+//! use parkit::{par_map, Threads};
+//!
+//! let squares = par_map(Threads::Fixed(4), &[1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-count policy for `parkit` primitives.
+///
+/// Serialization note: structs embedding a `Threads` mark the field
+/// `#[serde(skip)]` — the thread policy is an execution detail and must
+/// not leak into serialized artifacts (the parallel-equivalence tests
+/// compare serialized outputs across policies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Threads {
+    /// Run inline on the calling thread; never spawns.
+    Serial,
+    /// Exactly this many workers (clamped to at least 1).
+    Fixed(usize),
+    /// `SBE_THREADS` if set and valid, else all available cores.
+    #[default]
+    Auto,
+}
+
+impl Threads {
+    /// The effective worker count for this policy.
+    pub fn resolve(self) -> usize {
+        match self {
+            Threads::Serial => 1,
+            Threads::Fixed(n) => n.max(1),
+            Threads::Auto => env_override().unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, usize::from)
+            }),
+        }
+    }
+
+    /// Whether this policy runs strictly inline.
+    pub fn is_serial(self) -> bool {
+        self.resolve() <= 1
+    }
+}
+
+/// Parses `SBE_THREADS`; `0`, empty, or garbage means "not set".
+fn env_override() -> Option<usize> {
+    std::env::var("SBE_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Order-preserving parallel map.
+pub fn par_map<T, U, F>(threads: Threads, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(threads, items, |_, t| f(t))
+}
+
+/// Order-preserving parallel map with the item index.
+pub fn par_map_indexed<T, U, F>(threads: Threads, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    // Infallible: route through the fallible core with an uninhabited
+    // error type so there is exactly one execution path to test.
+    match try_par_map_indexed(threads, items, |i, t| Ok::<U, Never>(f(i, t))) {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+enum Never {}
+
+/// Fallible order-preserving parallel map. See [`try_par_map_indexed`].
+///
+/// # Errors
+///
+/// Returns the error produced at the lowest failing input index.
+pub fn try_par_map<T, U, E, F>(threads: Threads, items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    try_par_map_indexed(threads, items, |_, t| f(t))
+}
+
+/// Fallible order-preserving parallel map with the item index.
+///
+/// Results come back in input order. On failure the error returned is
+/// the one at the lowest failing index — identical to what a serial
+/// `for` loop over the same pure function would surface — regardless of
+/// which worker hit it first. Chunk size is picked automatically; use
+/// [`try_par_map_chunked`] to pin it.
+///
+/// # Errors
+///
+/// Returns the error produced at the lowest failing input index.
+pub fn try_par_map_indexed<T, U, E, F>(
+    threads: Threads,
+    items: &[T],
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    // Four chunks per worker amortises the atomic cursor while keeping
+    // tail imbalance low.
+    let workers = threads.resolve().min(items.len().max(1));
+    let chunk = items.len().div_ceil(workers.max(1) * 4).max(1);
+    try_par_map_chunked(threads, chunk, items, f)
+}
+
+/// [`try_par_map_indexed`] with an explicit chunk size (the unit of work
+/// handed to a worker at a time). Output is identical for every chunk
+/// size; only scheduling granularity changes.
+///
+/// # Errors
+///
+/// Returns the error produced at the lowest failing input index.
+///
+/// # Panics
+///
+/// Re-raises panics from worker threads on the calling thread.
+pub fn try_par_map_chunked<T, U, E, F>(
+    threads: Threads,
+    chunk: usize,
+    items: &[T],
+    f: F,
+) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<U, E> + Sync,
+{
+    let n = items.len();
+    let workers = threads.resolve().min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = chunk.max(1);
+    let cursor = AtomicUsize::new(0);
+    let f = &f;
+    let cursor = &cursor;
+
+    let locals: Vec<Vec<(usize, Result<U, E>)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        for (k, item) in items[start..end].iter().enumerate() {
+                            let i = start + k;
+                            local.push((i, f(i, item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+
+    let mut out: Vec<Option<U>> = std::iter::repeat_with(|| None).take(n).collect();
+    let mut first_err: Option<(usize, E)> = None;
+    for local in locals {
+        for (i, r) in local {
+            match r {
+                Ok(v) => out[i] = Some(v),
+                Err(e) => {
+                    if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_err = Some((i, e));
+                    }
+                }
+            }
+        }
+    }
+    if let Some((_, e)) = first_err {
+        return Err(e);
+    }
+    Ok(out
+        .into_iter()
+        .map(|slot| slot.expect("parkit: every index visited exactly once"))
+        .collect())
+}
+
+/// Applies `f` to disjoint contiguous chunks of `data` in parallel.
+///
+/// `f` receives the chunk's starting offset into `data` and the mutable
+/// chunk itself. The partition is static (one contiguous region per
+/// worker), so for a pure-per-element `f` the result is identical to a
+/// serial pass.
+pub fn par_apply_chunks<T, F>(threads: Threads, data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let n = data.len();
+    let workers = threads.resolve().min(n);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let chunk_len = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (k, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            scope.spawn(move || f(k * chunk_len, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_policies() {
+        assert_eq!(Threads::Serial.resolve(), 1);
+        assert_eq!(Threads::Fixed(3).resolve(), 3);
+        assert_eq!(Threads::Fixed(0).resolve(), 1);
+        assert!(Threads::Auto.resolve() >= 1);
+        assert!(Threads::Serial.is_serial());
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [Threads::Serial, Threads::Fixed(2), Threads::Fixed(8)] {
+            let out = par_map(threads, &items, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_correct_indices() {
+        let items = vec!["a"; 257];
+        let out = par_map_indexed(Threads::Fixed(4), &items, |i, _| i);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_error_wins_regardless_of_schedule() {
+        let items: Vec<u32> = (0..500).collect();
+        for threads in [Threads::Serial, Threads::Fixed(8)] {
+            let res: Result<Vec<u32>, String> =
+                try_par_map(threads, &items, |&x| {
+                    if x >= 123 {
+                        Err(format!("bad {x}"))
+                    } else {
+                        Ok(x)
+                    }
+                });
+            assert_eq!(res.unwrap_err(), "bad 123");
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = par_map(Threads::Fixed(8), &[] as &[u8], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn chunked_variants_agree() {
+        let items: Vec<i64> = (0..97).map(|i| i * 7 - 300).collect();
+        let serial: Vec<i64> = items.iter().map(|x| x.wrapping_mul(11)).collect();
+        for chunk in [1, 2, 3, 16, 97, 1000] {
+            let out = try_par_map_chunked(Threads::Fixed(5), chunk, &items, |_, x| {
+                Ok::<i64, ()>(x.wrapping_mul(11))
+            })
+            .unwrap();
+            assert_eq!(out, serial, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn apply_chunks_matches_serial() {
+        let mut par: Vec<u64> = (0..1003).collect();
+        let mut ser = par.clone();
+        par_apply_chunks(Threads::Fixed(7), &mut par, |offset, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (*v).wrapping_mul((offset + k) as u64 + 1);
+            }
+        });
+        par_apply_chunks(Threads::Serial, &mut ser, |offset, chunk| {
+            for (k, v) in chunk.iter_mut().enumerate() {
+                *v = (*v).wrapping_mul((offset + k) as u64 + 1);
+            }
+        });
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(Threads::Fixed(4), &[1u8, 2, 3, 4, 5, 6, 7, 8], |&x| {
+                assert!(x != 5, "boom");
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

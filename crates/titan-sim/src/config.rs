@@ -195,6 +195,12 @@ pub struct SimConfig {
     pub telemetry: TelemetryConfig,
     /// Fault-process parameters.
     pub fault: FaultConfig,
+    /// Worker-thread policy for generation and telemetry queries. An
+    /// execution detail, not part of the simulated world: any policy
+    /// produces bit-identical traces (see `parkit`), so it is excluded
+    /// from serialized configs.
+    #[serde(skip)]
+    pub threads: parkit::Threads,
 }
 
 impl SimConfig {
@@ -208,7 +214,15 @@ impl SimConfig {
             workload: WorkloadConfig::default(),
             telemetry: TelemetryConfig::default(),
             fault: FaultConfig::default(),
+            threads: parkit::Threads::Auto,
         }
+    }
+
+    /// Sets the worker-thread policy (builder style).
+    #[must_use]
+    pub fn with_threads(mut self, threads: parkit::Threads) -> SimConfig {
+        self.threads = threads;
+        self
     }
 
     /// Full-Titan geometry (19,200 node positions). Expensive; provided

@@ -67,11 +67,6 @@ pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
     let timelines = schedule.node_timelines(n_nodes);
 
     let n_slots = cfg.topology.n_slots();
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(n_slots as usize)
-        .max(1);
 
     struct Shard {
         samples: Vec<SampleRecord>,
@@ -130,36 +125,25 @@ pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
         Ok(())
     };
 
-    // Slots are independent; shard them across threads.
-    let shards: Vec<Result<Shard>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n_threads);
-        for t in 0..n_threads {
-            let process_slot = &process_slot;
-            handles.push(scope.spawn(move || {
-                let mut shard = Shard {
-                    samples: Vec::new(),
-                    cum_temp: Vec::new(),
-                    cum_power: Vec::new(),
-                };
-                let mut slot = t as u32;
-                while slot < n_slots {
-                    process_slot(SlotId(slot), &mut shard)?;
-                    slot += n_threads as u32;
-                }
-                Ok(shard)
-            }));
-        }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("telemetry worker panicked"))
-            .collect()
-    });
+    // Slots are independent; fan them out with the order-preserving
+    // parallel map. Each slot's RNG substreams are keyed by node id, so
+    // any thread count produces bit-identical shards; merging in slot
+    // order keeps the overall sample sequence deterministic too.
+    let slots: Vec<u32> = (0..n_slots).collect();
+    let shards: Vec<Shard> = parkit::try_par_map(cfg.threads, &slots, |&slot| {
+        let mut shard = Shard {
+            samples: Vec::new(),
+            cum_temp: Vec::new(),
+            cum_power: Vec::new(),
+        };
+        process_slot(SlotId(slot), &mut shard)?;
+        Ok::<Shard, SimError>(shard)
+    })?;
 
     let mut samples = Vec::new();
     let mut cum_temp = vec![0.0f64; n_nodes];
     let mut cum_power = vec![0.0f64; n_nodes];
     for shard in shards {
-        let shard = shard?;
         samples.extend(shard.samples);
         for (node, v) in shard.cum_temp {
             cum_temp[node.0 as usize] = v;
@@ -240,65 +224,44 @@ impl<'a> TelemetryQueryEngine<'a> {
         let mut slots: Vec<u32> = by_slot.keys().copied().collect();
         slots.sort_unstable();
 
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(slots.len().max(1));
-
+        // Each slot is simulated once by whichever worker claims it;
+        // workers return (query index, result) pairs that merge into the
+        // input-ordered output, so the thread policy cannot affect results.
         let mut out = vec![SampleTelemetry::default(); pairs.len()];
-        // Workers return (query index, result) pairs; merge at the end.
-        let results: Vec<Result<Vec<(usize, SampleTelemetry)>>> = std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n_threads);
-            for t in 0..n_threads {
-                let slots = &slots;
-                let by_slot = &by_slot;
-                let this = &self;
-                handles.push(scope.spawn(move || {
-                    let mut acc = Vec::new();
-                    let mut si = t;
-                    while si < slots.len() {
-                        let slot = SlotId(slots[si]);
-                        let series = this.sim.simulate_slot(slot)?;
-                        for &qi in &by_slot[&slots[si]] {
-                            let (aprun, node) = pairs[qi];
-                            let run = this.trace.aprun(aprun)?;
-                            let (s, e) = (run.start_min, run.end_min);
-                            let mut st = SampleTelemetry {
-                                aprun,
-                                node,
-                                run_temp: series.stats(node, SeriesKind::GpuTemp, s, e)?,
-                                run_power: series.stats(node, SeriesKind::GpuPower, s, e)?,
-                                cpu_temp: series.stats(node, SeriesKind::CpuTemp, s, e)?,
-                                nei_temp: series
-                                    .neighbor_stats(node, SeriesKind::GpuTemp, s, e)?,
-                                nei_power: series
-                                    .neighbor_stats(node, SeriesKind::GpuPower, s, e)?,
-                                prev_temp: [WindowStats::default(); 4],
-                                prev_power: [WindowStats::default(); 4],
-                            };
-                            for (w, &win) in LOOKBACK_WINDOWS_MIN.iter().enumerate() {
-                                let lo = s.saturating_sub(win);
-                                if lo < s {
-                                    st.prev_temp[w] =
-                                        series.stats(node, SeriesKind::GpuTemp, lo, s)?;
-                                    st.prev_power[w] =
-                                        series.stats(node, SeriesKind::GpuPower, lo, s)?;
-                                }
-                            }
-                            acc.push((qi, st));
+        let per_slot: Vec<Vec<(usize, SampleTelemetry)>> =
+            parkit::try_par_map(self.trace.config().threads, &slots, |&slot_id| {
+                let slot = SlotId(slot_id);
+                let series = self.sim.simulate_slot(slot)?;
+                let mut acc = Vec::with_capacity(by_slot[&slot_id].len());
+                for &qi in &by_slot[&slot_id] {
+                    let (aprun, node) = pairs[qi];
+                    let run = self.trace.aprun(aprun)?;
+                    let (s, e) = (run.start_min, run.end_min);
+                    let mut st = SampleTelemetry {
+                        aprun,
+                        node,
+                        run_temp: series.stats(node, SeriesKind::GpuTemp, s, e)?,
+                        run_power: series.stats(node, SeriesKind::GpuPower, s, e)?,
+                        cpu_temp: series.stats(node, SeriesKind::CpuTemp, s, e)?,
+                        nei_temp: series.neighbor_stats(node, SeriesKind::GpuTemp, s, e)?,
+                        nei_power: series.neighbor_stats(node, SeriesKind::GpuPower, s, e)?,
+                        prev_temp: [WindowStats::default(); 4],
+                        prev_power: [WindowStats::default(); 4],
+                    };
+                    for (w, &win) in LOOKBACK_WINDOWS_MIN.iter().enumerate() {
+                        let lo = s.saturating_sub(win);
+                        if lo < s {
+                            st.prev_temp[w] = series.stats(node, SeriesKind::GpuTemp, lo, s)?;
+                            st.prev_power[w] =
+                                series.stats(node, SeriesKind::GpuPower, lo, s)?;
                         }
-                        si += n_threads;
                     }
-                    Ok(acc)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("telemetry query worker panicked"))
-                .collect()
-        });
-        for r in results {
-            for (qi, st) in r? {
+                    acc.push((qi, st));
+                }
+                Ok::<_, SimError>(acc)
+            })?;
+        for acc in per_slot {
+            for (qi, st) in acc {
                 out[qi] = st;
             }
         }

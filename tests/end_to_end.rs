@@ -15,8 +15,16 @@ use gpu_error_prediction::titan_sim::config::SimConfig;
 use gpu_error_prediction::titan_sim::engine::{generate, generate_full};
 use gpu_error_prediction::titan_sim::trace::TraceSet;
 
+// Seed choice: the statistical assertions below (DESIGN.md §5 calibration
+// properties) need the DS1 test window to contain SBE-positive samples.
+// Under the in-repo RNG streams (vendor/rand, xoshiro256++ — see
+// DESIGN.md "Parallel execution & determinism"), seed 3 yields a tiny
+// trace whose final 2-day test window happens to hold zero positives,
+// making recall/F1 degenerate (0/0). Seed 13 produces a well-populated
+// window (20+ positives) while keeping the positive rate in the
+// realistic minority band asserted by `positive_rate_is_a_small_minority`.
 fn trace() -> TraceSet {
-    generate(&SimConfig::tiny(3)).expect("trace generates")
+    generate(&SimConfig::tiny(13)).expect("trace generates")
 }
 
 #[test]

@@ -1,0 +1,98 @@
+//! Golden regression test: the tiny pipeline's headline numbers are
+//! pinned to `results/golden_tiny.json`. Any change to the simulator,
+//! feature extraction, or the models that moves these metrics shows up
+//! here before it shows up in the paper tables.
+//!
+//! Regenerate after an intentional change with
+//! `cargo test --release --test golden -- --ignored regenerate_golden`
+//! and commit the new file alongside the change that explains it.
+
+use gpu_error_prediction::sbepred::experiments::{prediction, Lab};
+use gpu_error_prediction::titan_sim::config::SimConfig;
+use gpu_error_prediction::titan_sim::engine::generate;
+use serde_json::Value;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/results/golden_tiny.json");
+
+/// Cross-platform slack for transcendental libm differences; the metrics
+/// themselves are deterministic integer-ratio style quantities.
+const TOLERANCE: f64 = 1e-6;
+
+/// Computes the pinned metric set from scratch. Train times are
+/// deliberately excluded — they are the one nondeterministic field.
+fn compute() -> Value {
+    let t = generate(&SimConfig::tiny(13)).expect("trace generates");
+    let lab = Lab::new(&t).expect("lab builds");
+    let fig10 = prediction::fig10(&lab).expect("fig10 runs");
+    let models: Vec<Value> = fig10.json["rows"]
+        .as_array()
+        .expect("fig10 rows")
+        .iter()
+        .map(|row| {
+            serde_json::json!({
+                "model": row["model"].as_str().expect("model name"),
+                "f1": row["f1"].as_f64().expect("f1"),
+                "precision": row["precision"].as_f64().expect("precision"),
+                "recall": row["recall"].as_f64().expect("recall"),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "config": "SimConfig::tiny(13)",
+        "n_samples": t.samples().len() as u64,
+        "total_sbes": t.total_sbes(),
+        "total_dbes": t.total_dbes(),
+        "positive_rate": t.positive_rate(),
+        "n_offender_nodes": t.offender_nodes().len() as u64,
+        "ds1_models": models,
+    })
+}
+
+/// Recursively compares two JSON values, allowing `tol` on numbers.
+fn assert_close(path: &str, got: &Value, want: &Value) {
+    match (got, want) {
+        (Value::Object(g), Value::Object(w)) => {
+            let gk: Vec<&String> = g.iter().map(|(k, _)| k).collect();
+            let wk: Vec<&String> = w.iter().map(|(k, _)| k).collect();
+            assert_eq!(gk, wk, "key set mismatch at {path}");
+            for (k, wv) in w.iter() {
+                let gv = g.get(k).expect("key present by the check above");
+                assert_close(&format!("{path}.{k}"), gv, wv);
+            }
+        }
+        (Value::Array(g), Value::Array(w)) => {
+            assert_eq!(g.len(), w.len(), "array length mismatch at {path}");
+            for (i, (gv, wv)) in g.iter().zip(w).enumerate() {
+                assert_close(&format!("{path}[{i}]"), gv, wv);
+            }
+        }
+        _ => {
+            if let (Some(g), Some(w)) = (got.as_f64(), want.as_f64()) {
+                assert!(
+                    (g - w).abs() <= TOLERANCE,
+                    "numeric drift at {path}: got {g}, golden {w} (tol {TOLERANCE})"
+                );
+            } else {
+                assert_eq!(got, want, "value mismatch at {path}");
+            }
+        }
+    }
+}
+
+#[test]
+fn tiny_pipeline_matches_golden() {
+    let golden_text = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("results/golden_tiny.json is committed; regenerate with the ignored test");
+    let golden: Value = serde_json::from_str(&golden_text).expect("golden parses");
+    let got = compute();
+    assert_close("$", &got, &golden);
+}
+
+/// Rewrites the golden file from the current pipeline. Run explicitly
+/// (`-- --ignored regenerate_golden`) after an intentional metric change.
+#[test]
+#[ignore = "regenerates the golden file; run on intentional metric changes"]
+fn regenerate_golden() {
+    let text = serde_json::to_string_pretty(&compute()).expect("serializes");
+    std::fs::write(GOLDEN_PATH, text + "\n").expect("golden file writes");
+}

@@ -1,0 +1,108 @@
+//! Parallel-vs-serial equivalence suite.
+//!
+//! The contract of the parkit layer (DESIGN.md "Parallel execution &
+//! determinism") is that the thread policy is an execution detail: every
+//! result in this workspace is bit-identical whether computed inline,
+//! with one worker, or with many. These tests lock that contract down at
+//! the three layers where parkit is wired in — trace generation, GBDT
+//! training/prediction, and cross-validation — by running each at
+//! 1, 2, and 8 threads and demanding byte- or value-identical output.
+
+use gpu_error_prediction::mlkit::crossval::{cross_validate, cross_validate_with};
+use gpu_error_prediction::mlkit::dataset::Dataset;
+use gpu_error_prediction::mlkit::gbdt::Gbdt;
+use gpu_error_prediction::mlkit::model::Classifier;
+use gpu_error_prediction::parkit::Threads;
+use gpu_error_prediction::titan_sim::config::SimConfig;
+use gpu_error_prediction::titan_sim::engine::generate;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A deterministic, learnable dataset big enough to cross the parallel
+/// work-size gates in the GBDT split finder (samples × features ≥ 32768).
+fn synthetic_dataset(n: usize, d: usize) -> Dataset {
+    let rows: Vec<Vec<f32>> = (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| (((i * 31 + j * 17) % 97) as f32) / 97.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|r| if r[0] + r[1] > r[2] + 0.5 { 1.0 } else { 0.0 })
+        .collect();
+    Dataset::from_rows(&rows, &y).expect("dataset builds")
+}
+
+#[test]
+fn trace_generation_is_thread_count_invariant() {
+    let reference = {
+        let cfg = SimConfig::tiny(3).with_threads(Threads::Serial);
+        let t = generate(&cfg).expect("trace generates");
+        serde_json::to_string(&t).expect("trace serializes")
+    };
+    for n in THREAD_COUNTS {
+        let cfg = SimConfig::tiny(3).with_threads(Threads::Fixed(n));
+        let t = generate(&cfg).expect("trace generates");
+        let s = serde_json::to_string(&t).expect("trace serializes");
+        assert_eq!(s, reference, "trace diverged at {n} threads");
+    }
+}
+
+#[test]
+fn gbdt_predictions_are_thread_count_invariant() {
+    let train = synthetic_dataset(1_200, 30); // 36_000 > split-finder gate
+    let test = synthetic_dataset(400, 30);
+
+    let fit_predict = |threads: Threads| -> Vec<f32> {
+        let mut model = Gbdt::new()
+            .n_trees(25)
+            .max_depth(4)
+            .min_samples_leaf(5)
+            .subsample(0.8)
+            .seed(42)
+            .threads(threads);
+        model.fit(&train).expect("gbdt fits");
+        model.predict_proba(&test).expect("gbdt predicts")
+    };
+
+    let reference = fit_predict(Threads::Serial);
+    assert!(
+        reference.iter().any(|&p| p > 0.5) && reference.iter().any(|&p| p < 0.5),
+        "degenerate reference predictions"
+    );
+    for n in THREAD_COUNTS {
+        let probs = fit_predict(Threads::Fixed(n));
+        // Bit-exact, not approximate: the parallel split finder replicates
+        // the serial reduce order including tie-breaks.
+        assert_eq!(probs, reference, "predictions diverged at {n} threads");
+    }
+}
+
+#[test]
+fn cross_validation_folds_are_thread_count_invariant() {
+    let ds = synthetic_dataset(600, 8);
+    let factory = || Gbdt::new().n_trees(10).max_depth(3).min_samples_leaf(2).seed(7);
+
+    let reference = cross_validate(&ds, 5, 11, factory)
+        .expect("serial cv runs")
+        .folds;
+    for n in THREAD_COUNTS {
+        let folds = cross_validate_with(&ds, 5, 11, Threads::Fixed(n), factory)
+            .expect("parallel cv runs")
+            .folds;
+        // Per-fold confusion matrices in fold order, not just aggregates.
+        assert_eq!(folds, reference, "cv folds diverged at {n} threads");
+    }
+}
+
+#[test]
+fn sbe_threads_env_override_is_parsed() {
+    // Auto resolves through SBE_THREADS; don't mutate the process env in a
+    // parallel test binary — just check the explicit policies resolve sanely.
+    assert_eq!(Threads::Serial.resolve(), 1);
+    assert_eq!(Threads::Fixed(0).resolve(), 1);
+    assert_eq!(Threads::Fixed(6).resolve(), 6);
+    assert!(Threads::Auto.resolve() >= 1);
+}

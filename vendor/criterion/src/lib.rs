@@ -1,0 +1,214 @@
+//! Offline, dependency-free replacement for the subset of `criterion`
+//! this workspace uses: `criterion_group!`/`criterion_main!`,
+//! benchmark groups, `Bencher::iter`/`iter_batched` and `black_box`.
+//!
+//! Statistics are intentionally simple — per benchmark it reports the
+//! minimum, mean, and median of `sample_size` wall-clock samples. That
+//! is enough for the serial-vs-parallel speedup comparisons in
+//! `crates/bench`; it makes no attempt at criterion's outlier analysis
+//! or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target accumulated measurement time per sample batch.
+const TARGET_BATCH: Duration = Duration::from_millis(25);
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench -- <filter>` passes the filter as a free argument;
+        // flags like `--bench` are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a standalone benchmark (no group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_bench(self.filter.as_deref(), id, 20, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for API compatibility;
+    /// this implementation sizes batches automatically.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion.filter.as_deref(), &full, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The hint is accepted
+/// for API compatibility; batches are always one setup per routine call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it enough times per sample to amortise
+    /// clock overhead.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Estimate a batch size hitting ~TARGET_BATCH per sample.
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(50));
+        let per_sample = (TARGET_BATCH.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample);
+        }
+    }
+
+    /// Times `routine` on fresh inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, sample_size: usize, mut f: F) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher { samples: Vec::new(), sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "{id:<48} min {:>12?}  mean {:>12?}  median {:>12?}  ({} samples)",
+        min,
+        mean,
+        median,
+        b.samples.len()
+    );
+}
+
+/// Groups benchmark functions under one registry function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion { filter: None };
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(5);
+        let mut count = 0u64;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                count
+            })
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut ran = false;
+        c.bench_function("other", |b| {
+            ran = true;
+            b.iter(|| 1)
+        });
+        assert!(!ran);
+    }
+}

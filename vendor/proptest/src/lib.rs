@@ -1,0 +1,125 @@
+//! Offline, dependency-free replacement for the subset of `proptest`
+//! this workspace uses.
+//!
+//! Provides the `proptest!` test macro, `prop_assert*`/`prop_assume!`,
+//! `ProptestConfig::with_cases`, range/tuple/`collection::vec`
+//! strategies and `prop_filter_map`/`prop_map` combinators.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the generated inputs' `Debug` form), and generation is deterministic
+//! per test binary (override with `PROPTEST_SEED`).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// What the upstream crate calls the prelude.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `#[test] fn name(pat in strategy, ...)`
+/// runs `cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:pat in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run_cases(&($cfg), stringify!($name), |__rng| {
+                let __vals = ( $(
+                    match $crate::strategy::Strategy::generate(&($strat), __rng) {
+                        ::std::option::Option::Some(v) => v,
+                        ::std::option::Option::None => {
+                            return $crate::test_runner::CaseResult::Reject;
+                        }
+                    },
+                )* );
+                let __dbg = ::std::format!("{:?}", __vals);
+                let ( $($arg,)* ) = __vals;
+                let __res = (move || -> $crate::test_runner::CaseResult {
+                    $body
+                    $crate::test_runner::CaseResult::Pass
+                })();
+                match __res {
+                    $crate::test_runner::CaseResult::Fail(msg) => {
+                        $crate::test_runner::CaseResult::Fail(::std::format!(
+                            "{msg}\n  inputs: {}", __dbg
+                        ))
+                    }
+                    other => other,
+                }
+            });
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Fails the current case (without panicking out of the runner) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return $crate::test_runner::CaseResult::Fail(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Equality assertion; prints both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+            stringify!($lhs), stringify!($rhs), __l, __r
+        );
+    }};
+}
+
+/// Inequality assertion; prints both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (__l, __r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: {} != {}\n  left: {:?}\n  right: {:?}",
+            stringify!($lhs), stringify!($rhs), __l, __r
+        );
+    }};
+}
+
+/// Discards the current case (it is regenerated, not failed) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return $crate::test_runner::CaseResult::Reject;
+        }
+    };
+}

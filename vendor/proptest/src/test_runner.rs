@@ -1,0 +1,128 @@
+//! The case runner behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+    /// Give up after this many rejected candidates in a row.
+    pub max_local_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases, ..ProptestConfig::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256, max_local_rejects: 65_536 }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum CaseResult {
+    /// The property held.
+    Pass,
+    /// The inputs were filtered out (`prop_assume!` / filters).
+    Reject,
+    /// The property failed.
+    Fail(String),
+}
+
+/// Runs `f` until `cfg.cases` cases pass, panicking on the first
+/// failure. Generation is deterministic: the stream is seeded from the
+/// test name (override the base seed with `PROPTEST_SEED`).
+pub fn run_cases(
+    cfg: &ProptestConfig,
+    name: &str,
+    mut f: impl FnMut(&mut StdRng) -> CaseResult,
+) {
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5BE_CA5E5u64);
+    let name_hash = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+        });
+    let mut rng = StdRng::seed_from_u64(base ^ name_hash);
+
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    while passed < cfg.cases {
+        match f(&mut rng) {
+            CaseResult::Pass => {
+                passed = passed.saturating_add(1);
+                rejects = 0;
+            }
+            CaseResult::Reject => {
+                rejects = rejects.saturating_add(1);
+                assert!(
+                    rejects <= cfg.max_local_rejects,
+                    "proptest `{name}`: too many rejected candidates \
+                     ({rejects}); loosen the filter or the strategy"
+                );
+            }
+            CaseResult::Fail(msg) => {
+                panic!("proptest `{name}` failed after {passed} passing cases:\n  {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..10, y in -5i32..5, f in 0.25f64..0.75) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(xs in prop::collection::vec(0u8..255, 2..7)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 7);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn filter_map_applies(x in (0u32..50).prop_filter_map("evens", |v| {
+            if v % 2 == 0 { Some(v * 2) } else { None }
+        })) {
+            prop_assert_eq!(x % 4, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed after")]
+    // The nested proptest! expansion defines a #[test] fn inside a fn
+    // body on purpose: we invoke it directly to observe the panic.
+    #[allow(unnameable_test_items)]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #[test]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100, "x was {}", x);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,52 @@
+//! Concrete generators.
+
+use crate::{splitmix64, RngCore, SeedableRng};
+
+/// The workspace's standard generator: xoshiro256++.
+///
+/// Fast, 256-bit state, passes BigCrush; seeded from a single `u64`
+/// through SplitMix64 like the upstream xoshiro reference code. Not the
+/// same stream as the upstream `rand::rngs::StdRng` (ChaCha12) — see the
+/// crate docs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut st = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut st);
+        }
+        // All-zero state is a fixed point; SplitMix64 cannot produce four
+        // zero outputs in a row, but keep the guard for clarity.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Alias kept for API compatibility with `rand::rngs::SmallRng`.
+pub type SmallRng = StdRng;

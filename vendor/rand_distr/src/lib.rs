@@ -1,0 +1,273 @@
+//! Offline, dependency-free replacement for the subset of `rand_distr`
+//! this workspace uses: [`Distribution`], [`Normal`], [`LogNormal`] and
+//! [`Poisson`].
+//!
+//! Implemented from the standard published algorithms (Box–Muller for
+//! the normal; Knuth inversion and Hörmann's PTRS transformed-rejection
+//! for the Poisson), not from the upstream crate sources. Sample streams
+//! therefore differ from upstream `rand_distr`; the workspace's
+//! statistical assertions are calibrated against these (see DESIGN.md).
+
+// The PTRS constants below are quoted at full published precision; the
+// excess digits document the source even where f64 rounds them.
+#![allow(clippy::excessive_precision)]
+
+use rand::RngCore;
+
+/// Types that can produce samples of `T` from a random source.
+pub trait Distribution<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter-validation error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error {
+    what: &'static str,
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Uniform in the open interval `(0, 1)` — never exactly zero, so it is
+/// safe under `ln`.
+#[inline]
+fn open01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// One standard-normal draw (Box–Muller).
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    let u1 = open01(rng);
+    let u2 = open01(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `std_dev` is negative or either parameter
+    /// is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
+        if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(Error { what: "Normal requires finite mean and std_dev >= 0" });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution with the given location and
+    /// scale of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `sigma` is negative or either parameter is
+    /// non-finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
+        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// Poisson distribution with rate `lambda`.
+///
+/// Sampling is exact for all supported rates: Knuth's product-of-
+/// uniforms inversion below `lambda = 12`, and Hörmann's PTRS
+/// transformed-rejection algorithm above (O(1) per sample even at the
+/// simulator's clamped maximum intensity of 1e6).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Creates a Poisson distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when `lambda` is not finite and strictly
+    /// positive.
+    pub fn new(lambda: f64) -> Result<Poisson, Error> {
+        if !lambda.is_finite() || lambda <= 0.0 {
+            return Err(Error { what: "Poisson requires finite lambda > 0" });
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.lambda < 12.0 {
+            sample_poisson_knuth(self.lambda, rng)
+        } else {
+            sample_poisson_ptrs(self.lambda, rng)
+        }
+    }
+}
+
+/// Knuth inversion: count uniforms until their product drops below
+/// `exp(-lambda)`. O(lambda) but only used for small rates.
+fn sample_poisson_knuth<R: RngCore + ?Sized>(lambda: f64, rng: &mut R) -> f64 {
+    let limit = (-lambda).exp();
+    let mut product = open01(rng);
+    let mut count = 0u64;
+    while product > limit {
+        count += 1;
+        product *= open01(rng);
+    }
+    count as f64
+}
+
+/// Hörmann (1993) PTRS: transformed rejection with squeeze. Exact and
+/// O(1) for `lambda >= ~10`.
+fn sample_poisson_ptrs<R: RngCore + ?Sized>(lambda: f64, rng: &mut R) -> f64 {
+    let log_lambda = lambda.ln();
+    let b = 0.931 + 2.53 * lambda.sqrt();
+    let a = -0.059 + 0.024_83 * b;
+    let inv_alpha = 1.123_9 + 1.132_8 / (b - 3.4);
+    let v_r = 0.927_7 - 3.622_4 / (b - 2.0);
+
+    loop {
+        let u = open01(rng) - 0.5;
+        let v = open01(rng);
+        let us = 0.5 - u.abs();
+        let k = ((2.0 * a / us + b) * u + lambda + 0.445).floor();
+        if us >= 0.07 && v <= v_r {
+            return k;
+        }
+        if k < 0.0 || (us < 0.013 && v > us) {
+            continue;
+        }
+        let log_accept = (v * inv_alpha / (a / (us * us) + b)).ln();
+        if log_accept <= k * log_lambda - lambda - ln_gamma(k + 1.0) {
+            return k;
+        }
+    }
+}
+
+/// Natural log of the gamma function (Lanczos approximation, g = 7,
+/// n = 9), accurate to ~1e-13 for positive arguments.
+fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_571_6e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (std::f64::consts::TAU).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(LogNormal::new(0.0, f64::NAN).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Poisson::new(-3.0).is_err());
+        assert!(Poisson::new(1e6).is_ok());
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1u64..20 {
+            let exact: f64 = (1..n).map(|k| (k as f64).ln()).sum();
+            assert!((ln_gamma(n as f64) - exact).abs() < 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.03, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        let d = LogNormal::new(1.0, 0.9).unwrap();
+        let mut rng = StdRng::seed_from_u64(12);
+        let n = 100_000;
+        let mut xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[n / 2];
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        assert!((median - 1.0f64.exp()).abs() < 0.08, "median {median}");
+    }
+
+    #[test]
+    fn poisson_moments_small_and_large() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for &lambda in &[0.5, 4.0, 18.0, 260.0, 2600.0] {
+            let d = Poisson::new(lambda).unwrap();
+            let n = 60_000;
+            let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            // Poisson mean == variance == lambda; allow ~4 sigma of
+            // estimator noise.
+            let tol = 4.0 * (lambda / n as f64).sqrt() + 0.02 * lambda.max(1.0);
+            assert!((mean - lambda).abs() < tol, "lambda={lambda} mean={mean}");
+            assert!((var - lambda).abs() < 6.0 * tol, "lambda={lambda} var={var}");
+            assert!(xs.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
+        }
+    }
+}

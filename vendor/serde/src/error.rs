@@ -1,0 +1,28 @@
+//! Deserialization error type.
+
+/// Error produced when a [`crate::Value`] does not match the expected
+/// shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn custom(msg: impl Into<String>) -> DeError {
+        DeError { msg: msg.into() }
+    }
+
+    /// Builds a "expected X while reading Y" error.
+    pub fn expected(what: &str, ctx: &str) -> DeError {
+        DeError { msg: format!("{ctx}: expected {what}") }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}

@@ -1,0 +1,381 @@
+//! `Serialize` / `Deserialize` implementations for std types.
+
+use crate::{DeError, Deserialize, Map, Number, Serialize, Value};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------- scalars
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U64(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected(stringify!($t), "number"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = *self as i64;
+                if n >= 0 {
+                    Value::Number(Number::U64(n as u64))
+                } else {
+                    Value::Number(Number::I64(n))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                v.as_i64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected(stringify!($t), "number"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Number(Number::F64(*self))
+        } else {
+            // JSON has no NaN/inf; mirror serde_json's `null`.
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<f64, DeError> {
+        match v {
+            Value::Null => Ok(f64::NAN),
+            _ => v.as_f64().ok_or_else(|| DeError::expected("f64", "number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // Exact widening; narrowing back in `Deserialize` recovers the
+        // identical f32 bit pattern for finite values.
+        if self.is_finite() {
+            Value::Number(Number::F64(f64::from(*self)))
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<f32, DeError> {
+        match v {
+            Value::Null => Ok(f32::NAN),
+            _ => v
+                .as_f64()
+                .map(|x| x as f32)
+                .ok_or_else(|| DeError::expected("f32", "number")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+// ------------------------------------------------------------- containers
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+
+    fn on_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<[T; N], DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let got = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::custom(format!("expected array of {N}, got {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($($name:ident : $idx:tt),+ ; $len:expr) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let a = v
+                    .as_array()
+                    .ok_or_else(|| DeError::expected("array", "tuple"))?;
+                if a.len() != $len {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {}, got {}",
+                        $len,
+                        a.len()
+                    )));
+                }
+                Ok(($($name::from_value(&a[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(A: 0; 1);
+impl_tuple!(A: 0, B: 1; 2);
+impl_tuple!(A: 0, B: 1, C: 2; 3);
+impl_tuple!(A: 0, B: 1, C: 2, D: 3; 4);
+
+/// Types usable as JSON-object keys.
+pub trait MapKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key_string(&self) -> String;
+    /// Parses the key back.
+    fn parse_key(s: &str) -> Option<Self>;
+}
+
+macro_rules! impl_int_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key_string(&self) -> String {
+                self.to_string()
+            }
+            fn parse_key(s: &str) -> Option<$t> {
+                s.parse().ok()
+            }
+        }
+    )*};
+}
+
+impl_int_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for String {
+    fn to_key_string(&self) -> String {
+        self.clone()
+    }
+    fn parse_key(s: &str) -> Option<String> {
+        Some(s.to_owned())
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for HashMap<K, V> {
+    /// Entries are sorted by key so output is deterministic regardless
+    /// of hasher state — required by the equivalence test suite.
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(&K, &V)> = self.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k.to_key_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<HashMap<K, V>, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "HashMap"))?;
+        let mut out = HashMap::with_capacity(obj.len());
+        for (k, val) in obj.iter() {
+            let key = K::parse_key(k)
+                .ok_or_else(|| DeError::custom(format!("bad map key `{k}`")))?;
+            out.insert(key, V::from_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Box<T>, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+// ------------------------------------------------------------------ Value
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for Map {
+    fn to_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(self.as_secs_f64()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(x: T) {
+        let v = x.to_value();
+        assert_eq!(T::from_value(&v).unwrap(), x);
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(42u64);
+        roundtrip(u64::MAX);
+        roundtrip(-7i64);
+        roundtrip(3.5f64);
+        roundtrip(1.1f32);
+        roundtrip(true);
+        roundtrip(String::from("hi"));
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip(Some(5u8));
+        roundtrip(Option::<u8>::None);
+        roundtrip((1u64, 2u64));
+        roundtrip([1.0f32, 2.0, 3.0, 4.0]);
+        roundtrip(vec![(1u32, 2u32), (3, 4)]);
+        let mut m = HashMap::new();
+        m.insert(3u32, 0.5f32);
+        m.insert(1u32, 1.5f32);
+        roundtrip(m);
+    }
+
+    #[test]
+    fn hashmap_serialization_is_sorted() {
+        let mut m = HashMap::new();
+        for k in [9u32, 1, 5, 3] {
+            m.insert(k, k);
+        }
+        let v = m.to_value();
+        let keys: Vec<&str> =
+            v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ["1", "3", "5", "9"]);
+    }
+
+    #[test]
+    fn option_is_optional_field() {
+        assert_eq!(Option::<u32>::on_missing(), Some(None));
+        assert_eq!(u32::on_missing(), None);
+    }
+}

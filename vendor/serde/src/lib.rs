@@ -1,0 +1,78 @@
+//! Offline, dependency-free replacement for the subset of `serde` this
+//! workspace uses.
+//!
+//! The build container has no network access, so the real `serde` cannot
+//! be downloaded. This crate keeps the *spelling* of the serde API the
+//! workspace relies on — `use serde::{Serialize, Deserialize}` plus the
+//! derive macros — while using a much simpler data model underneath:
+//! values serialize into an in-memory JSON [`Value`] tree, and
+//! deserialize back out of one. The companion `serde_json` vendor crate
+//! supplies the text layer (`to_string`, `from_str`, `json!`).
+//!
+//! Design notes:
+//!
+//! * [`Value::Object`] keeps insertion order (backed by a `Vec`), and
+//!   `HashMap` serialization sorts by key, so serialized output is fully
+//!   deterministic — a property the parallel-equivalence test suite
+//!   depends on (serialized traces are compared across thread counts).
+//! * Numbers are a tagged union ([`Number`]) so `u64` seeds above 2^53
+//!   survive round-trips exactly.
+//! * `#[serde(skip)]` is supported on named struct fields: skipped on
+//!   serialize, filled from `Default` on deserialize.
+
+mod error;
+mod impls;
+mod value;
+
+pub use error::DeError;
+pub use impls::MapKey;
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A type that can be converted into a [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// A type that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the value's shape does not match.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+
+    /// What to produce when a struct field is absent from the input.
+    ///
+    /// `None` means "absence is an error" (the default); `Option<T>`
+    /// overrides this to yield `None`, matching serde's treatment of
+    /// optional fields.
+    fn on_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Support code referenced by the derive macros; not part of the public
+/// API contract.
+pub mod de {
+    use super::{DeError, Deserialize, Map};
+
+    /// Looks up and deserializes one struct field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the field is missing (and has no
+    /// `on_missing` fallback) or has the wrong shape.
+    pub fn field<T: Deserialize>(m: &Map, key: &str, ty: &str) -> Result<T, DeError> {
+        match m.get(key) {
+            Some(v) => T::from_value(v)
+                .map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
+            None => T::on_missing()
+                .ok_or_else(|| DeError::custom(format!("{ty}: missing field `{key}`"))),
+        }
+    }
+}

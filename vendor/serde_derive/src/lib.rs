@@ -1,0 +1,446 @@
+//! Offline replacement for serde's derive macros.
+//!
+//! Generates implementations of the vendored `serde::Serialize` /
+//! `serde::Deserialize` traits (the simplified `Value`-tree model — see
+//! the vendored `serde` crate docs). The input item is parsed directly
+//! from the `proc_macro::TokenStream` so no `syn`/`quote` dependency is
+//! needed.
+//!
+//! Supported shapes (everything this workspace derives):
+//!
+//! * structs with named fields, tuple structs (newtype and general),
+//!   unit structs
+//! * enums with unit variants, struct variants, and newtype variants
+//!   (externally tagged, like serde's default)
+//! * `#[serde(skip)]` on named struct fields: omitted on serialize,
+//!   `Default::default()` on deserialize
+//!
+//! Generic parameters are intentionally unsupported — nothing in the
+//! workspace derives serde on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Which::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Which {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, which: Which) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => match which {
+            Which::Serialize => gen_serialize(&item),
+            Which::Deserialize => gen_deserialize(&item),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive emitted invalid Rust")
+}
+
+// --------------------------------------------------------------- parsing
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// True when the token is the `#` that starts an attribute.
+fn is_pound(t: &TokenTree) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == '#')
+}
+
+/// Consumes attributes from the front of `toks`, returning whether any
+/// of them was exactly `#[serde(skip)]`.
+fn eat_attrs(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    while toks.peek().map(is_pound).unwrap_or(false) {
+        toks.next();
+        if let Some(TokenTree::Group(g)) = toks.next() {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let [TokenTree::Ident(id), TokenTree::Group(args)] = inner.as_slice() {
+                if id.to_string() == "serde"
+                    && args
+                        .stream()
+                        .into_iter()
+                        .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+                {
+                    skip = true;
+                }
+            }
+        }
+    }
+    skip
+}
+
+/// Consumes `pub`, `pub(...)` if present.
+fn eat_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Skips one field *type* (tokens up to a top-level `,`), tracking
+/// angle-bracket depth so commas inside generics don't terminate early.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<Field>, String> {
+    let mut toks = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = eat_attrs(&mut toks);
+        eat_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&mut toks);
+        toks.next(); // the comma, if any
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated items in a tuple-field group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut toks = group.into_iter().peekable();
+    if toks.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut depth = 0i32;
+    let mut trailing = true;
+    for t in toks {
+        trailing = false;
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                trailing = true;
+            }
+            _ => {}
+        }
+    }
+    if trailing {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut toks = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        eat_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in enum: {other}")),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                if fields.iter().any(|f| f.skip) {
+                    return Err("`#[serde(skip)]` is not supported in enum variants".into());
+                }
+                toks.next();
+                VariantKind::Struct(fields.into_iter().map(|f| f.name).collect())
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                if n != 1 {
+                    return Err(format!(
+                        "variant `{name}`: only newtype tuple variants are supported"
+                    ));
+                }
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the comma.
+        let mut depth = 0i32;
+        for t in toks.by_ref() {
+            match &t {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut toks = input.into_iter().peekable();
+    eat_attrs(&mut toks);
+    eat_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "cannot derive serde for generic type `{name}` with this vendored macro"
+        ));
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+            other => return Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream())?)
+            }
+            other => return Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive serde for `{other}` items")),
+    };
+    Ok(Item { name, shape })
+}
+
+// --------------------------------------------------------------- codegen
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut s = format!(
+                "let mut __m = ::serde::Map::with_capacity({});\n",
+                live.len()
+            );
+            for f in live {
+                s.push_str(&format!(
+                    "__m.insert(::std::string::String::from({:?}), \
+                     ::serde::Serialize::to_value(&self.{}));\n",
+                    f.name, f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(__m)");
+            s
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Unit => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\
+                         ::std::string::String::from({v:?})),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(__x) => {{\
+                         let mut __m = ::serde::Map::with_capacity(1);\
+                         __m.insert(::std::string::String::from({v:?}), \
+                         ::serde::Serialize::to_value(__x));\
+                         ::serde::Value::Object(__m) }}\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let pat = fields.join(", ");
+                        let mut inner = format!(
+                            "let mut __f = ::serde::Map::with_capacity({});\n",
+                            fields.len()
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__f.insert(::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {pat} }} => {{\
+                             {inner}\
+                             let mut __m = ::serde::Map::with_capacity(1);\
+                             __m.insert(::std::string::String::from({v:?}), \
+                             ::serde::Value::Object(__f));\
+                             ::serde::Value::Object(__m) }}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let __m = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{\n"
+            );
+            for f in fields {
+                if f.skip {
+                    s.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    s.push_str(&format!(
+                        "{}: ::serde::de::field(__m, {:?}, {:?})?,\n",
+                        f.name, f.name, name
+                    ));
+                }
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let mut s = format!(
+                "let __a = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", {name:?}))?;\n\
+                 if __a.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"array of {n}\", {name:?})); }}\n\
+                 ::std::result::Result::Ok({name}(\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Deserialize::from_value(&__a[{i}])?,\n"));
+            }
+            s.push_str("))");
+            s
+        }
+        Shape::Unit => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{v:?} => return ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Newtype => tagged_arms.push_str(&format!(
+                        "{v:?} => return ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n",
+                        v = v.name
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let mut inner = format!(
+                            "{v:?} => {{\n\
+                             let __f = __inner.as_object().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", {v:?}))?;\n\
+                             return ::std::result::Result::Ok({name}::{v} {{\n",
+                            v = v.name
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "{f}: ::serde::de::field(__f, {f:?}, {:?})?,\n",
+                                v.name
+                            ));
+                        }
+                        inner.push_str("});\n}\n");
+                        tagged_arms.push_str(&inner);
+                    }
+                }
+            }
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 match __s {{\n{unit_arms}\
+                 _ => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__s}}` of {name}\"))),\n}}\n}}\n\
+                 if let ::std::option::Option::Some(__m) = __v.as_object() {{\n\
+                 if let ::std::option::Option::Some((__tag, __inner)) = __m.iter().next() {{\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 _ => return ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__tag}}` of {name}\"))),\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::DeError::expected(\"enum value\", {name:?}))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,137 @@
+//! Offline, dependency-free replacement for the subset of `serde_json`
+//! this workspace uses: [`to_string`], [`to_string_pretty`],
+//! [`from_str`], [`Value`]/[`Map`]/[`Number`] and the [`json!`] macro.
+//!
+//! Text format notes:
+//!
+//! * floats print via Rust's shortest round-trip `Display`, so every
+//!   finite value parses back bit-identically;
+//! * object key order is preserved (see the vendored `serde` crate), so
+//!   output is deterministic — the parallel-equivalence tests compare
+//!   serialized traces across thread counts.
+
+mod read;
+mod write;
+
+pub use read::from_str;
+pub use serde::{Map, Number, Value};
+pub use write::{to_string, to_string_pretty};
+
+/// Error for serialization or parsing failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Error {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Error {
+        Error::new(e.to_string())
+    }
+}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(v: &T) -> Value {
+    v.to_value()
+}
+
+/// Builds a [`Value`] with JSON-like syntax.
+///
+/// Supports the workspace's usage: object literals with string-literal
+/// keys and expression values, array literals, `null`, and bare
+/// expressions (anything implementing the vendored `serde::Serialize`).
+/// Nested structure is written with nested `json!` calls.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:tt : $val:expr),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __map = $crate::Map::new();
+        $( __map.insert(::std::string::String::from($key), $crate::to_value(&$val)); )*
+        $crate::Value::Object(__map)
+    }};
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![ $( $crate::to_value(&$val) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(to_string(&json!({})).unwrap(), "{}");
+        let v = json!({"a": 1, "b": [1.5, 2.5], "c": json!({"d": "x"})});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":1,"b":[1.5,2.5],"c":{"d":"x"}}"#
+        );
+        assert_eq!(json!(3u64), Value::Number(Number::U64(3)));
+    }
+
+    #[test]
+    fn roundtrip_via_text() {
+        let v = json!({"seed": u64::MAX, "xs": json!([1u64, -2i64, 3.25]), "s": "a\"b\n"});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let s = to_string_pretty(&json!({"x": 1})).unwrap();
+        assert_eq!(s, "{\n  \"x\": 1\n}");
+    }
+
+    #[test]
+    fn typed_roundtrip() {
+        let xs = vec![(1u64, 2u64), (3, 4)];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<(u64, u64)> = from_str(&s).unwrap();
+        assert_eq!(back, xs);
+    }
+
+    #[test]
+    fn float_shortest_roundtrip() {
+        for &x in &[0.1f64, 1.0 / 3.0, 1e-8, 12345.6789, f64::MAX] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+        for &x in &[0.1f32, 1.1f32, f32::MAX] {
+            let s = to_string(&x).unwrap();
+            let back: f32 = from_str(&s).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<u32>("\"hi\"").is_err());
+    }
+}
