@@ -23,7 +23,10 @@ fn bench_extraction(c: &mut Criterion) {
         ("all_features", FeatureSpec::all()),
     ] {
         group.bench_function(name, |b| {
-            b.iter(|| fx.extract(std::hint::black_box(subset), &spec).expect("extracts"))
+            b.iter(|| {
+                fx.extract(std::hint::black_box(subset), &spec)
+                    .expect("extracts")
+            })
         });
     }
     group.finish();

@@ -18,7 +18,11 @@ fn synthetic_dataset(n: usize, d: usize, pos_rate: f64, seed: u64) -> Dataset {
     let mut y = Vec::with_capacity(n);
     for _ in 0..n {
         rows.push((0..d).map(|_| rng.gen::<f32>()).collect::<Vec<f32>>());
-        y.push(if rng.gen::<f64>() < pos_rate { 1.0 } else { 0.0 });
+        y.push(if rng.gen::<f64>() < pos_rate {
+            1.0
+        } else {
+            0.0
+        });
     }
     Dataset::from_rows(&rows, &y).expect("valid dataset")
 }
@@ -38,15 +42,22 @@ fn bench_matrix(c: &mut Criterion) {
 
 fn bench_metrics(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
-    let truth: Vec<f32> = (0..10_000).map(|_| if rng.gen::<f32>() < 0.1 { 1.0 } else { 0.0 }).collect();
+    let truth: Vec<f32> = (0..10_000)
+        .map(|_| if rng.gen::<f32>() < 0.1 { 1.0 } else { 0.0 })
+        .collect();
     let scores: Vec<f32> = (0..10_000).map(|_| rng.gen()).collect();
-    let pred: Vec<f32> = scores.iter().map(|&s| if s > 0.5 { 1.0 } else { 0.0 }).collect();
+    let pred: Vec<f32> = scores
+        .iter()
+        .map(|&s| if s > 0.5 { 1.0 } else { 0.0 })
+        .collect();
     let xs: Vec<f64> = (0..10_000).map(|_| rng.gen()).collect();
     let ys: Vec<f64> = xs.iter().map(|&x| x + rng.gen::<f64>()).collect();
 
     let mut group = c.benchmark_group("metrics");
     group.bench_function("confusion_10k", |b| {
-        b.iter(|| ConfusionMatrix::from_predictions(&truth, std::hint::black_box(&pred)).expect("valid"))
+        b.iter(|| {
+            ConfusionMatrix::from_predictions(&truth, std::hint::black_box(&pred)).expect("valid")
+        })
     });
     group.bench_function("roc_auc_10k", |b| {
         b.iter(|| roc_auc(&truth, std::hint::black_box(&scores)).expect("valid"))
@@ -80,5 +91,11 @@ fn bench_kmeans(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_matrix, bench_metrics, bench_sampling, bench_kmeans);
+criterion_group!(
+    benches,
+    bench_matrix,
+    bench_metrics,
+    bench_sampling,
+    bench_kmeans
+);
 criterion_main!(benches);

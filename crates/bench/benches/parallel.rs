@@ -82,7 +82,11 @@ fn bench_crossval(c: &mut Criterion) {
         group.bench_function(id, |b| {
             b.iter(|| {
                 cross_validate_with(std::hint::black_box(&ds), 4, 7, threads, || {
-                    Gbdt::new().n_trees(8).max_depth(4).min_samples_leaf(5).seed(3)
+                    Gbdt::new()
+                        .n_trees(8)
+                        .max_depth(4)
+                        .min_samples_leaf(5)
+                        .seed(3)
                 })
                 .expect("cv runs")
             })
@@ -95,8 +99,12 @@ fn bench_threshold_sweep(c: &mut Criterion) {
     // Many distinct scores → many tie groups, well past the sweep's
     // serial-inline gate.
     let n = 200_000usize;
-    let truth: Vec<f32> = (0..n).map(|i| if i % 11 == 0 { 1.0 } else { 0.0 }).collect();
-    let scores: Vec<f32> = (0..n).map(|i| ((i * 2_654_435_761) % n) as f32 / n as f32).collect();
+    let truth: Vec<f32> = (0..n)
+        .map(|i| if i % 11 == 0 { 1.0 } else { 0.0 })
+        .collect();
+    let scores: Vec<f32> = (0..n)
+        .map(|i| ((i * 2_654_435_761) % n) as f32 / n as f32)
+        .collect();
     let mut group = c.benchmark_group("par_threshold_sweep");
     group.sample_size(10);
     for (id, threads) in [("serial", Threads::Serial), ("threads4", PAR)] {

@@ -27,7 +27,10 @@ fn bench_slot_simulation(c: &mut Criterion) {
     group.sample_size(20);
     // Full 30-day horizon for one 4-node slot = ~173k simulated minutes.
     group.bench_function("slot_full_horizon", |b| {
-        b.iter(|| sim.simulate_slot(std::hint::black_box(SlotId(1))).expect("simulates"))
+        b.iter(|| {
+            sim.simulate_slot(std::hint::black_box(SlotId(1)))
+                .expect("simulates")
+        })
     });
     group.finish();
 }
@@ -52,5 +55,10 @@ fn bench_query_engine(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_generate, bench_slot_simulation, bench_query_engine);
+criterion_group!(
+    benches,
+    bench_generate,
+    bench_slot_simulation,
+    bench_query_engine
+);
 criterion_main!(benches);

@@ -37,7 +37,12 @@ fn bench_training(c: &mut Criterion) {
 
     group.bench_function("lr", |b| {
         b.iter_batched(
-            || LogisticRegression::new().learning_rate(0.5).epochs(40).batch_size(256),
+            || {
+                LogisticRegression::new()
+                    .learning_rate(0.5)
+                    .epochs(40)
+                    .batch_size(256)
+            },
             |mut m| m.fit(&ds).expect("lr fits"),
             BatchSize::SmallInput,
         )
@@ -58,7 +63,13 @@ fn bench_training(c: &mut Criterion) {
     });
     group.bench_function("svm", |b| {
         b.iter_batched(
-            || SvmRbf::new().gamma(0.02).c(5.0).max_samples(800).max_iters(40),
+            || {
+                SvmRbf::new()
+                    .gamma(0.02)
+                    .c(5.0)
+                    .max_samples(800)
+                    .max_iters(40)
+            },
             |mut m| m.fit(&ds).expect("svm fits"),
             BatchSize::SmallInput,
         )
@@ -75,10 +86,16 @@ fn bench_prediction(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("predict");
     group.bench_function("gbdt_proba", |b| {
-        b.iter(|| gbdt.predict_proba(std::hint::black_box(&ds)).expect("predicts"))
+        b.iter(|| {
+            gbdt.predict_proba(std::hint::black_box(&ds))
+                .expect("predicts")
+        })
     });
     group.bench_function("lr_proba", |b| {
-        b.iter(|| lr.predict_proba(std::hint::black_box(&ds)).expect("predicts"))
+        b.iter(|| {
+            lr.predict_proba(std::hint::black_box(&ds))
+                .expect("predicts")
+        })
     });
     group.finish();
 }

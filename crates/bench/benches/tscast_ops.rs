@@ -36,7 +36,11 @@ fn bench_ar(c: &mut Criterion) {
     });
     let model = ArModel::fit(&hist, 4).expect("fits");
     group.bench_function("forecast_120steps", |b| {
-        b.iter(|| model.forecast(std::hint::black_box(&hist), 120).expect("forecasts"))
+        b.iter(|| {
+            model
+                .forecast(std::hint::black_box(&hist), 120)
+                .expect("forecasts")
+        })
     });
     group.finish();
 }
@@ -47,10 +51,16 @@ fn bench_smoothers(c: &mut Criterion) {
     let holt = HoltLinear::new(0.5, 0.3).expect("valid weights");
     let mut group = c.benchmark_group("smooth");
     group.bench_function("ewma_500pts", |b| {
-        b.iter(|| ewma.forecast(std::hint::black_box(&hist), 10).expect("forecasts"))
+        b.iter(|| {
+            ewma.forecast(std::hint::black_box(&hist), 10)
+                .expect("forecasts")
+        })
     });
     group.bench_function("holt_500pts", |b| {
-        b.iter(|| holt.forecast(std::hint::black_box(&hist), 10).expect("forecasts"))
+        b.iter(|| {
+            holt.forecast(std::hint::black_box(&hist), 10)
+                .expect("forecasts")
+        })
     });
     group.finish();
 }

@@ -22,11 +22,15 @@ const CHARACTERIZATION: [&str; 8] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
 ];
 const PREDICTION: [&str; 10] = [
-    "table1", "fig10", "table2", "table3", "fig11", "table4", "fig12", "fig13", "table5",
-    "table6",
+    "table1", "fig10", "table2", "table3", "fig11", "table4", "fig12", "fig13", "table5", "table6",
 ];
-const EXTENSIONS: [&str; 5] =
-    ["ext_forecast", "ext_imbalance", "ext_retrain", "ext_oracle", "ext_importance"];
+const EXTENSIONS: [&str; 5] = [
+    "ext_forecast",
+    "ext_imbalance",
+    "ext_retrain",
+    "ext_oracle",
+    "ext_importance",
+];
 
 fn usage() -> ExitCode {
     eprintln!(

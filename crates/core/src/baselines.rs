@@ -20,7 +20,7 @@ use mlkit::metrics::ConfusionMatrix;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// The basic prediction schemes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,18 +73,24 @@ pub fn predict_scheme(
                 .collect())
         }
         BasicScheme::A => {
-            let offenders: HashSet<u32> = history
+            let offenders: BTreeSet<u32> = history
                 .offender_nodes_before(train_end)
                 .into_iter()
                 .map(|n| n.0)
                 .collect();
             Ok(test
                 .iter()
-                .map(|s| if offenders.contains(&s.node.0) { 1.0 } else { 0.0 })
+                .map(|s| {
+                    if offenders.contains(&s.node.0) {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                })
                 .collect())
         }
         BasicScheme::B => {
-            let apps: HashSet<u32> = history
+            let apps: BTreeSet<u32> = history
                 .offender_apps_before(train_end)
                 .into_iter()
                 .filter(|&(app, _)| history.app_between(app, train_start, train_end) > 0)
@@ -106,7 +112,7 @@ pub fn predict_scheme(
                 .collect();
             apps.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
             let keep = (apps.len() as f64 * 0.2).ceil() as usize;
-            let top: HashSet<u32> = apps.into_iter().take(keep).map(|(a, _)| a).collect();
+            let top: BTreeSet<u32> = apps.into_iter().take(keep).map(|(a, _)| a).collect();
             Ok(test
                 .iter()
                 .map(|s| if top.contains(&s.app.0) { 1.0 } else { 0.0 })
@@ -153,8 +159,7 @@ mod tests {
         let (_, ss, h, split) = setup();
         let (ts, te) = split.test_window();
         let test = in_window(&ss, ts, te);
-        let pred =
-            predict_scheme(BasicScheme::Random { seed: 1 }, &h, &split, &test).unwrap();
+        let pred = predict_scheme(BasicScheme::Random { seed: 1 }, &h, &split, &test).unwrap();
         let pos = pred.iter().filter(|&&p| p == 1.0).count() as f64 / pred.len() as f64;
         assert!((pos - 0.5).abs() < 0.1, "positive fraction {pos}");
     }
@@ -165,7 +170,7 @@ mod tests {
         let (ts, te) = split.test_window();
         let test = in_window(&ss, ts, te);
         let pred = predict_scheme(BasicScheme::A, &h, &split, &test).unwrap();
-        let offenders: HashSet<u32> = h
+        let offenders: BTreeSet<u32> = h
             .offender_nodes_before(split.train_end_min())
             .into_iter()
             .map(|n| n.0)

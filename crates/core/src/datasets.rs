@@ -77,13 +77,13 @@ impl DsSplit {
         let days = trace.config().days as u64;
         let train_days = (days * PAPER_TRAIN_DAYS / PAPER_TRACE_DAYS).max(5);
         let test_days = (days * PAPER_TEST_DAYS / PAPER_TRACE_DAYS).max(2);
-        let slack = days
-            .checked_sub(train_days + test_days)
-            .ok_or_else(|| PredError::SplitOutOfRange {
-                reason: format!(
+        let slack =
+            days.checked_sub(train_days + test_days)
+                .ok_or_else(|| PredError::SplitOutOfRange {
+                    reason: format!(
                     "trace of {days} days cannot hold train {train_days} + test {test_days} days"
                 ),
-            })?;
+                })?;
         let start = slack * (k - 1) / 2;
         DsSplit::from_days(format!("DS{k}"), trace, start, train_days, test_days)
     }
@@ -153,7 +153,9 @@ mod tests {
         let d1 = DsSplit::ds1(&t).unwrap();
         let d2 = DsSplit::ds2(&t).unwrap();
         let d3 = DsSplit::ds3(&t).unwrap();
-        assert!(d1.train_window().0 < d2.train_window().0 || d1.train_window().0 == d2.train_window().0);
+        assert!(
+            d1.train_window().0 < d2.train_window().0 || d1.train_window().0 == d2.train_window().0
+        );
         assert!(d2.test_window().1 <= d3.test_window().1);
         assert!(d3.test_window().1 <= t.config().total_minutes());
         // Windows maintain train/test ordering.
@@ -197,8 +199,14 @@ mod tests {
     fn explicit_days_work() {
         let t = trace();
         let d = DsSplit::from_days("custom", &t, 2, 10, 3).unwrap();
-        assert_eq!(d.train_window(), (2 * MINUTES_PER_DAY, 12 * MINUTES_PER_DAY));
-        assert_eq!(d.test_window(), (12 * MINUTES_PER_DAY, 15 * MINUTES_PER_DAY));
+        assert_eq!(
+            d.train_window(),
+            (2 * MINUTES_PER_DAY, 12 * MINUTES_PER_DAY)
+        );
+        assert_eq!(
+            d.test_window(),
+            (12 * MINUTES_PER_DAY, 15 * MINUTES_PER_DAY)
+        );
         assert_eq!(d.train_end_min(), 12 * MINUTES_PER_DAY);
     }
 }

@@ -65,7 +65,10 @@ mod tests {
         let e = PredError::from(mlkit::MlError::EmptyDataset);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("ml error"));
-        let e = PredError::from(titan_sim::SimError::UnknownEntity { kind: "node", id: 1 });
+        let e = PredError::from(titan_sim::SimError::UnknownEntity {
+            kind: "node",
+            id: 1,
+        });
         assert!(e.source().is_some());
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<PredError>();

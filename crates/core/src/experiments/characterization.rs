@@ -5,7 +5,7 @@ use crate::report::{render_heatmap, render_histogram, Table};
 use crate::Result;
 use mlkit::stats::{mean, spearman, Histogram};
 use serde_json::json;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use titan_sim::config::MINUTES_PER_DAY;
 use titan_sim::engine::TelemetryQueryEngine;
 use titan_sim::telemetry::SeriesKind;
@@ -13,14 +13,14 @@ use titan_sim::topology::NodeId;
 
 /// Per-cabinet aggregation helper: sums `per_node` values into the
 /// cabinet grid (row-major, `y * grid_x + x`).
-fn cabinet_grid(lab: &Lab<'_>, per_node: impl Fn(u32) -> f64) -> Vec<f64> {
+fn cabinet_grid(lab: &Lab<'_>, per_node: impl Fn(u32) -> f64) -> Result<Vec<f64>> {
     let topo = &lab.trace().config().topology;
     let mut grid = vec![0.0f64; topo.n_cabinets() as usize];
     for node in topo.nodes() {
-        let cab = topo.cabinet_index(node).expect("node ids are valid") as usize;
+        let cab = topo.cabinet_index(node)? as usize;
         grid[cab] += per_node(node.0);
     }
-    grid
+    Ok(grid)
 }
 
 /// Fig. 1 — non-uniform distribution of SBE offender nodes at cabinet
@@ -32,19 +32,19 @@ fn cabinet_grid(lab: &Lab<'_>, per_node: impl Fn(u32) -> f64) -> Vec<f64> {
 /// Propagates trace lookup errors.
 pub fn fig1(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let topo = &lab.trace().config().topology;
-    let offenders: HashSet<u32> = lab
+    let offenders: BTreeSet<u32> = lab
         .trace()
         .offender_nodes()
         .into_iter()
         .map(|n| n.0)
         .collect();
-    let grid = cabinet_grid(lab, |n| if offenders.contains(&n) { 1.0 } else { 0.0 });
+    let grid = cabinet_grid(lab, |n| if offenders.contains(&n) { 1.0 } else { 0.0 })?;
     let per_cab = topo.nodes_per_cabinet() as f64;
     let normalized: Vec<f64> = grid.iter().map(|&v| v / per_cab).collect();
 
     // Error-day concentration: for each offender node, the number of
     // distinct days with a visible SBE.
-    let mut node_days: HashMap<u32, HashSet<u64>> = HashMap::new();
+    let mut node_days: BTreeMap<u32, BTreeSet<u64>> = BTreeMap::new();
     for s in lab.samples() {
         if s.label {
             node_days
@@ -58,7 +58,7 @@ pub fn fig1(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         .values()
         .map(|d| d.len() as f64 / total_days)
         .collect();
-    day_fracs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    day_fracs.sort_by(|a, b| a.total_cmp(b));
     let p80 = day_fracs
         .get((day_fracs.len() as f64 * 0.8) as usize)
         .copied()
@@ -100,13 +100,13 @@ pub fn fig1(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 /// Propagates trace lookup errors.
 pub fn fig2(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let topo = &lab.trace().config().topology;
-    let mut per_node: HashMap<u32, f64> = HashMap::new();
+    let mut per_node: BTreeMap<u32, f64> = BTreeMap::new();
     for s in lab.samples() {
         if s.label {
             *per_node.entry(s.node.0).or_insert(0.0) += 1.0;
         }
     }
-    let grid = cabinet_grid(lab, |n| per_node.get(&n).copied().unwrap_or(0.0));
+    let grid = cabinet_grid(lab, |n| per_node.get(&n).copied().unwrap_or(0.0))?;
     let peak = grid.iter().copied().fold(0.0f64, f64::max).max(1.0);
     let normalized: Vec<f64> = grid.iter().map(|&v| v / peak).collect();
     let mut text = String::from("Normalized SBE-affected application runs per cabinet:\n");
@@ -129,15 +129,15 @@ pub fn fig2(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 
 /// Per-application aggregates used by Figs. 3 and 4.
 struct AppAgg {
-    sbe_norm: f64,       // total SBE count normalised by core-hours
-    total_runs: u64,     // distinct apruns
-    affected_runs: u64,  // distinct SBE-affected apruns
+    sbe_norm: f64,      // total SBE count normalised by core-hours
+    total_runs: u64,    // distinct apruns
+    affected_runs: u64, // distinct SBE-affected apruns
 }
 
-fn app_aggregates(lab: &Lab<'_>) -> Result<HashMap<u32, AppAgg>> {
-    let mut per_app: HashMap<u32, AppAgg> = HashMap::new();
+fn app_aggregates(lab: &Lab<'_>) -> Result<BTreeMap<u32, AppAgg>> {
+    let mut per_app: BTreeMap<u32, AppAgg> = BTreeMap::new();
     // Aggregate per aprun first (samples are per node).
-    let mut run_count: HashMap<u32, (u32, u64, bool)> = HashMap::new(); // aprun -> (app, count, affected)
+    let mut run_count: BTreeMap<u32, (u32, u64, bool)> = BTreeMap::new(); // aprun -> (app, count, affected)
     for s in lab.samples() {
         let e = run_count.entry(s.aprun.0).or_insert((s.app.0, 0, false));
         e.1 += s.sbe_count as u64;
@@ -170,16 +170,18 @@ fn app_aggregates(lab: &Lab<'_>) -> Result<HashMap<u32, AppAgg>> {
 pub fn fig3(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let per_app = app_aggregates(lab)?;
     let mut affected: Vec<&AppAgg> = per_app.values().filter(|a| a.sbe_norm > 0.0).collect();
-    affected.sort_by(|a, b| b.sbe_norm.partial_cmp(&a.sbe_norm).unwrap());
+    affected.sort_by(|a, b| b.sbe_norm.total_cmp(&a.sbe_norm));
     let total: f64 = affected.iter().map(|a| a.sbe_norm).sum();
 
     // (a) cumulative share held by the top X% of affected apps.
     let mut table_a = Table::new(["Top % of SBE-affected apps", "Share of total SBEs"]);
     let mut shares = Vec::new();
     for pct in [10, 20, 40, 60, 80, 100] {
-        let k = ((affected.len() * pct).div_ceil(100)).max(1).min(affected.len().max(1));
-        let share: f64 = affected.iter().take(k).map(|a| a.sbe_norm).sum::<f64>()
-            / total.max(f64::MIN_POSITIVE);
+        let k = ((affected.len() * pct).div_ceil(100))
+            .max(1)
+            .min(affected.len().max(1));
+        let share: f64 =
+            affected.iter().take(k).map(|a| a.sbe_norm).sum::<f64>() / total.max(f64::MIN_POSITIVE);
         table_a.push_row([format!("{pct}%"), format!("{:.1}%", share * 100.0)]);
         shares.push((pct, share));
     }
@@ -235,7 +237,7 @@ pub fn fig3(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 /// Propagates trace lookup and correlation errors.
 pub fn fig4(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     // Per affected aprun: total count, core-hours, aggregate memory.
-    let mut runs: HashMap<u32, u64> = HashMap::new();
+    let mut runs: BTreeMap<u32, u64> = BTreeMap::new();
     for s in lab.samples() {
         if s.sbe_count > 0 {
             *runs.entry(s.aprun.0).or_insert(0) += s.sbe_count as u64;
@@ -281,8 +283,8 @@ pub fn fig5(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let topo = &lab.trace().config().topology;
     let cum_t = lab.trace().node_cum_temp();
     let cum_p = lab.trace().node_cum_power();
-    let grid_t = cabinet_grid(lab, |n| cum_t[n as usize]);
-    let grid_p = cabinet_grid(lab, |n| cum_p[n as usize]);
+    let grid_t = cabinet_grid(lab, |n| cum_t[n as usize])?;
+    let grid_p = cabinet_grid(lab, |n| cum_p[n as usize])?;
     let norm = |g: &[f64]| -> Vec<f64> {
         let m = mean(g).max(f64::MIN_POSITIVE);
         g.iter().map(|&v| v / m).collect()
@@ -304,9 +306,17 @@ pub fn fig5(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let rho_apps = spearman(&cum_t_f, &node_aff)?;
 
     let mut text = String::from("Cumulative GPU temperature per cabinet (normalised):\n");
-    text.push_str(&render_heatmap(&gt, topo.grid_x() as usize, topo.grid_y() as usize));
+    text.push_str(&render_heatmap(
+        &gt,
+        topo.grid_x() as usize,
+        topo.grid_y() as usize,
+    ));
     text.push_str("\nCumulative GPU power per cabinet (normalised):\n");
-    text.push_str(&render_heatmap(&gp, topo.grid_x() as usize, topo.grid_y() as usize));
+    text.push_str(&render_heatmap(
+        &gp,
+        topo.grid_x() as usize,
+        topo.grid_y() as usize,
+    ));
     text.push_str(&format!(
         "\nSpearman(cumulative node temperature, node SBE count)      = {rho_nodes:.2} (paper: 0.07)\n\
          Spearman(cumulative node temperature, affected runs on node) = {rho_apps:.2} (paper: 0.15)\n"
@@ -340,7 +350,7 @@ fn period_distribution(
     sample_value: impl Fn(&titan_sim::trace::SampleRecord) -> f64,
     paper_shift: f64,
 ) -> Result<ExperimentOutput> {
-    let offenders: HashSet<u32> = lab
+    let offenders: BTreeSet<u32> = lab
         .trace()
         .offender_nodes()
         .into_iter()
@@ -435,7 +445,7 @@ pub fn fig7(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 /// [`crate::PredError::InvalidInput`] when no app repeats on a node.
 pub fn fig8(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     // Find an (app, node) pair with two runs separated in time.
-    let mut seen: HashMap<(u32, u32), Vec<(u64, u64)>> = HashMap::new();
+    let mut seen: BTreeMap<(u32, u32), Vec<(u64, u64)>> = BTreeMap::new();
     for s in lab.samples() {
         seen.entry((s.app.0, s.node.0))
             .or_default()

@@ -23,6 +23,7 @@ use crate::forecast::{apply_forecast_tp, forecast_run_stats};
 use crate::report::Table;
 use crate::samples::{in_window, labels, LabeledSample};
 use crate::twostage::{prepare_with_extractor, run_classifier};
+use crate::PredError;
 use crate::Result;
 use mlkit::dataset::Dataset;
 use mlkit::metrics::ConfusionMatrix;
@@ -45,7 +46,7 @@ pub fn ext_forecast(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 
     let mut model = ModelKind::Gbdt.build(MODEL_SEED);
     let known = run_classifier(&prepared, &mut model)?;
-    let cm_known = known.sbe_metrics();
+    let cm_known = known.confusion()?;
 
     // Re-extract raw stage-2 test features, substitute forecasts for the
     // run-window T/P statistics, and reuse the *same* trained model.
@@ -69,8 +70,10 @@ pub fn ext_forecast(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let cm_forecast = ConfusionMatrix::from_predictions(&truth, &predictions)?;
 
     let mut table = Table::new(["Features", "Precision", "Recall", "F1"]);
-    for (name, cm) in [("Measured (approach 1)", cm_known), ("Forecast (approach 2)", cm_forecast)]
-    {
+    for (name, cm) in [
+        ("Measured (approach 1)", cm_known),
+        ("Forecast (approach 2)", cm_forecast),
+    ] {
         table.push_row([
             name.to_string(),
             format!("{:.3}", cm.precision()),
@@ -149,14 +152,21 @@ pub fn ext_imbalance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let test_full = scaler.transform(&lab.extractor().extract(&test_samples, &spec)?)?;
     let truth = labels(&test_samples);
 
-    let mut table = Table::new(["Strategy", "Precision", "Recall", "F1", "Train size", "Fit time"]);
+    let mut table = Table::new([
+        "Strategy",
+        "Precision",
+        "Recall",
+        "F1",
+        "Train size",
+        "Fit time",
+    ]);
     let mut rows = Vec::new();
     let record = |name: &str,
-                      cm: ConfusionMatrix,
-                      n_train: usize,
-                      dt: std::time::Duration,
-                      table: &mut Table,
-                      rows: &mut Vec<serde_json::Value>| {
+                  cm: ConfusionMatrix,
+                  n_train: usize,
+                  dt: std::time::Duration,
+                  table: &mut Table,
+                  rows: &mut Vec<serde_json::Value>| {
         table.push_row([
             name.to_string(),
             format!("{:.3}", cm.precision()),
@@ -174,16 +184,37 @@ pub fn ext_imbalance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 
     // Raw single-stage (50:1-style imbalance).
     let (cm, dt) = single_stage(&train_full, &test_full, &truth)?;
-    record("Single-stage raw", cm, train_full.len(), dt, &mut table, &mut rows);
+    record(
+        "Single-stage raw",
+        cm,
+        train_full.len(),
+        dt,
+        &mut table,
+        &mut rows,
+    );
 
     // Resampled variants target the TwoStage-like 2:1 ratio.
     let under = random_undersample(&train_full, 2.0, MODEL_SEED)?;
     let (cm, dt) = single_stage(&under, &test_full, &truth)?;
-    record("Random under-sampling", cm, under.len(), dt, &mut table, &mut rows);
+    record(
+        "Random under-sampling",
+        cm,
+        under.len(),
+        dt,
+        &mut table,
+        &mut rows,
+    );
 
     let sm = smote(&train_full, 2.0, 5, MODEL_SEED)?;
     let (cm, dt) = single_stage(&sm, &test_full, &truth)?;
-    record("SMOTE over-sampling", cm, sm.len(), dt, &mut table, &mut rows);
+    record(
+        "SMOTE over-sampling",
+        cm,
+        sm.len(),
+        dt,
+        &mut table,
+        &mut rows,
+    );
 
     // K-means clustering of the majority class is O(n * k * d); shrink
     // the negative pool first so the ablation stays tractable.
@@ -195,14 +226,21 @@ pub fn ext_imbalance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     };
     let km = kmeans_undersample(&km_input, 2.0, MODEL_SEED)?;
     let (cm, dt) = single_stage(&km, &test_full, &truth)?;
-    record("K-means under-sampling", cm, km.len(), dt, &mut table, &mut rows);
+    record(
+        "K-means under-sampling",
+        cm,
+        km.len(),
+        dt,
+        &mut table,
+        &mut rows,
+    );
 
     // TwoStage on the same split.
     let prepared = prepare_with_extractor(lab.extractor(), lab.samples(), &split, &spec)?;
     let out = run_classifier(&prepared, &mut ModelKind::Gbdt.build(MODEL_SEED))?;
     record(
         "TwoStage (paper)",
-        out.sbe_metrics(),
+        out.confusion()?,
         prepared.train.len(),
         out.train_time,
         &mut table,
@@ -231,7 +269,14 @@ pub fn ext_retrain(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let test_days = (days / 21).max(2);
     let step = test_days.max(1);
     let spec = FeatureSpec::all();
-    let mut table = Table::new(["Window", "Train days", "Test days", "F1", "Precision", "Recall"]);
+    let mut table = Table::new([
+        "Window",
+        "Train days",
+        "Test days",
+        "F1",
+        "Precision",
+        "Recall",
+    ]);
     let mut rows = Vec::new();
     let mut start = 0u64;
     let mut f1s = Vec::new();
@@ -246,7 +291,7 @@ pub fn ext_retrain(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         match prepare_with_extractor(lab.extractor(), lab.samples(), &split, &spec) {
             Ok(prepared) => {
                 let out = run_classifier(&prepared, &mut ModelKind::Gbdt.build(MODEL_SEED))?;
-                let cm = out.sbe_metrics();
+                let cm = out.confusion()?;
                 table.push_row([
                     format!("day {start}..{}", start + train_days + test_days),
                     format!("{train_days}"),
@@ -296,7 +341,8 @@ pub fn ext_retrain(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 /// Propagates pipeline errors.
 pub fn ext_oracle(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let split = DsSplit::ds1(lab.trace())?;
-    let prepared = prepare_with_extractor(lab.extractor(), lab.samples(), &split, &FeatureSpec::all())?;
+    let prepared =
+        prepare_with_extractor(lab.extractor(), lab.samples(), &split, &FeatureSpec::all())?;
     let topo = &lab.trace().config().topology;
     let n_cab = topo.n_cabinets() as usize;
 
@@ -310,26 +356,22 @@ pub fn ext_oracle(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let cabinets: Vec<usize> = prepared
         .test_samples
         .iter()
-        .map(|s| {
-            topo.cabinet_index(s.node)
-                .expect("test samples reference valid nodes") as usize
-        })
-        .collect();
+        .map(|s| topo.cabinet_index(s.node).map(|c| c as usize))
+        .collect::<std::result::Result<_, _>>()?;
 
     // Per-cabinet F1 per model.
-    let per_cabinet_f1 = |pred: &[f32]| -> Vec<f64> {
+    let per_cabinet_f1 = |pred: &[f32]| -> Result<Vec<f64>> {
         let mut cms = vec![ConfusionMatrix::default(); n_cab];
         for (i, &cab) in cabinets.iter().enumerate() {
-            let one = ConfusionMatrix::from_predictions(&truth[i..=i], &pred[i..=i])
-                .expect("binary labels by construction");
+            let one = ConfusionMatrix::from_predictions(&truth[i..=i], &pred[i..=i])?;
             cms[cab].merge(&one);
         }
-        cms.iter().map(|cm| cm.f1()).collect()
+        Ok(cms.iter().map(|cm| cm.f1()).collect())
     };
     let f1s: Vec<Vec<f64>> = outcomes
         .iter()
         .map(|(_, out)| per_cabinet_f1(&out.predictions))
-        .collect();
+        .collect::<Result<_>>()?;
 
     // Oracle: per cabinet pick the best model; stitch its predictions.
     let mut best_model = vec![0usize; n_cab];
@@ -349,8 +391,10 @@ pub fn ext_oracle(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let gbdt_idx = outcomes
         .iter()
         .position(|(k, _)| *k == ModelKind::Gbdt)
-        .expect("gbdt is in the model list");
-    let gbdt_cm = outcomes[gbdt_idx].1.sbe_metrics();
+        .ok_or_else(|| PredError::InvalidInput {
+            reason: "ModelKind::all() does not include Gbdt".into(),
+        })?;
+    let gbdt_cm = outcomes[gbdt_idx].1.confusion()?;
     let gain = oracle_cm.f1() - gbdt_cm.f1();
 
     let non_gbdt_cabinets = best_model
@@ -401,7 +445,9 @@ pub fn ext_importance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     model.fit(&prepared.train)?;
     let importances = model
         .feature_importances()
-        .expect("fitted model has importances");
+        .ok_or_else(|| PredError::InvalidInput {
+            reason: "model has no feature importances despite a successful fit".into(),
+        })?;
     let names = prepared.train.feature_names();
     let mut ranked: Vec<(String, u32)> = names
         .iter()

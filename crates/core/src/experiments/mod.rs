@@ -60,7 +60,12 @@ pub enum ModelKind {
 impl ModelKind {
     /// All four models in the paper's presentation order.
     pub fn all() -> [ModelKind; 4] {
-        [ModelKind::Lr, ModelKind::Gbdt, ModelKind::Svm, ModelKind::Nn]
+        [
+            ModelKind::Lr,
+            ModelKind::Gbdt,
+            ModelKind::Svm,
+            ModelKind::Nn,
+        ]
     }
 
     /// Display name used in tables.

@@ -12,7 +12,7 @@ use crate::{PredError, Result};
 use mlkit::metrics::ConfusionMatrix;
 use mlkit::stats::{percentile, Ecdf};
 use serde_json::json;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Seed used for all experiment model builds (frozen, like the paper's
 /// fixed methodology).
@@ -34,7 +34,11 @@ fn run_kind(prepared: &Prepared, kind: ModelKind) -> Result<TwoStageOutcome> {
 /// and every model seeds its own RNG from the frozen [`MODEL_SEED`], so
 /// the results are identical to a serial loop under any thread policy
 /// (see DESIGN.md "Parallel execution & determinism").
-fn run_kinds(lab: &Lab<'_>, prepared: &Prepared, kinds: &[ModelKind]) -> Result<Vec<TwoStageOutcome>> {
+fn run_kinds(
+    lab: &Lab<'_>,
+    prepared: &Prepared,
+    kinds: &[ModelKind],
+) -> Result<Vec<TwoStageOutcome>> {
     parkit::try_par_map(lab.threads(), kinds, |&kind| run_kind(prepared, kind))
 }
 
@@ -123,7 +127,7 @@ pub fn fig10(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     // grid fans out; outputs come back in presentation order.
     let outs = run_kinds(lab, &prepared, &ModelKind::all())?;
     for (kind, out) in ModelKind::all().into_iter().zip(outs) {
-        let cm = out.sbe_metrics();
+        let cm = out.confusion()?;
         table.push_row([
             kind.name().to_string(),
             format!("{:.2}", cm.f1()),
@@ -154,7 +158,7 @@ pub fn fig10(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 pub fn table2_table3(lab: &Lab<'_>) -> Result<(ExperimentOutput, ExperimentOutput)> {
     let mut f1_rows: Vec<serde_json::Value> = Vec::new();
     let mut table2 = Table::new(["Dataset", "Basic A", "LR", "GBDT", "SVM", "NN"]);
-    let mut times: HashMap<&'static str, Vec<f64>> = HashMap::new();
+    let mut times: BTreeMap<&'static str, Vec<f64>> = BTreeMap::new();
 
     for k in 1..=3u64 {
         let split = DsSplit::ds(lab.trace(), k)?;
@@ -166,7 +170,7 @@ pub fn table2_table3(lab: &Lab<'_>) -> Result<(ExperimentOutput, ExperimentOutpu
         jrow.insert("Basic A".into(), json!(basic.f1()));
         let outs = run_kinds(lab, &prepared, &ModelKind::all())?;
         for (kind, out) in ModelKind::all().into_iter().zip(outs) {
-            let cm = out.sbe_metrics();
+            let cm = out.confusion()?;
             row.push(format!("{:.2}", cm.f1()));
             jrow.insert(kind.name().into(), json!(cm.f1()));
             times
@@ -231,7 +235,7 @@ pub fn fig11(lab: &Lab<'_>) -> Result<ExperimentOutput> {
             run_kind(&prepared, ModelKind::Gbdt)
         })?;
         for ((name, _), out) in groups.iter().zip(outs) {
-            let improvement = (out.sbe_metrics().f1() - base) / base * 100.0;
+            let improvement = (out.confusion()?.f1() - base) / base * 100.0;
             row.push(format!("{improvement:+.1}%"));
             jrow.insert((*name).into(), json!(improvement));
         }
@@ -267,7 +271,7 @@ pub fn table4(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         run_kind(&prepared, ModelKind::Gbdt)
     })?;
     for ((name, _), out) in sets.iter().zip(outs) {
-        let cm = out.sbe_metrics();
+        let cm = out.confusion()?;
         table.push_row([
             name.to_string(),
             format!("{:.3}", cm.precision()),
@@ -314,7 +318,7 @@ pub fn fig12(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         let split = DsSplit::ds(lab.trace(), k)?;
         let full = {
             let prepared = prep(lab, &split, &FeatureSpec::all())?;
-            run_kind(&prepared, ModelKind::Gbdt)?.sbe_metrics().f1()
+            run_kind(&prepared, ModelKind::Gbdt)?.confusion()?.f1()
         };
         let mut row = vec![split.name().to_string()];
         let mut jrow = serde_json::Map::new();
@@ -323,7 +327,7 @@ pub fn fig12(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         for (name, spec) in &ablations {
             let prepared = prep(lab, &split, spec)?;
             let out = run_kind(&prepared, ModelKind::Gbdt)?;
-            let decrement = (out.sbe_metrics().f1() - full) / full.max(1e-9) * 100.0;
+            let decrement = (out.confusion()?.f1() - full) / full.max(1e-9) * 100.0;
             row.push(format!("{decrement:+.1}%"));
             jrow.insert((*name).into(), json!(decrement));
         }
@@ -430,7 +434,7 @@ pub fn table5(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         }
         Ok(ConfusionMatrix::from_predictions(&truth, &pred)?)
     };
-    let all = out.sbe_metrics();
+    let all = out.confusion()?;
     let short = subset_cm(&|i| runtimes[i] <= q25)?;
     let long = subset_cm(&|i| runtimes[i] >= q75)?;
 
@@ -564,7 +568,10 @@ mod tests {
         let lab = Lab::new(&t).unwrap();
         let out = fig13(&lab).unwrap();
         let n_cab = t.config().topology.n_cabinets() as usize;
-        assert_eq!(out.json["truth_per_cabinet"].as_array().unwrap().len(), n_cab);
+        assert_eq!(
+            out.json["truth_per_cabinet"].as_array().unwrap().len(),
+            n_cab
+        );
         let frac = out.json["fraction_small_diff"].as_f64().unwrap();
         assert!((0.0..=1.0).contains(&frac));
     }

@@ -26,7 +26,7 @@ use crate::{PredError, Result};
 use mlkit::dataset::Dataset;
 use mlkit::matrix::Matrix;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use titan_sim::config::MINUTES_PER_DAY;
 use titan_sim::engine::{SampleTelemetry, TelemetryQueryEngine};
 use titan_sim::telemetry::WindowStats;
@@ -219,7 +219,9 @@ impl FeatureSpec {
             }
         }
         if self.location {
-            for n in ["loc_x", "loc_y", "loc_cage", "loc_slot", "loc_node", "loc_id"] {
+            for n in [
+                "loc_x", "loc_y", "loc_cage", "loc_slot", "loc_node", "loc_id",
+            ] {
                 names.push(n.to_string());
             }
         }
@@ -282,7 +284,7 @@ impl FeatureSpec {
 /// Target-encoding context fitted on the *training* window only.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EncoderContext {
-    app_rate: HashMap<u32, f32>,
+    app_rate: BTreeMap<u32, f32>,
     global_rate: f32,
 }
 
@@ -293,7 +295,7 @@ impl EncoderContext {
     /// Fits the application target encoding (smoothed positive rate) on
     /// training samples.
     pub fn fit(train: &[LabeledSample]) -> EncoderContext {
-        let mut per_app: HashMap<u32, (u64, u64)> = HashMap::new();
+        let mut per_app: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
         let mut pos = 0u64;
         for s in train {
             let e = per_app.entry(s.app.0).or_insert((0, 0));
@@ -311,8 +313,8 @@ impl EncoderContext {
         let app_rate = per_app
             .into_iter()
             .map(|(app, (p, n))| {
-                let rate = (p as f64 + ENCODE_SMOOTHING * global_rate)
-                    / (n as f64 + ENCODE_SMOOTHING);
+                let rate =
+                    (p as f64 + ENCODE_SMOOTHING * global_rate) / (n as f64 + ENCODE_SMOOTHING);
                 (app, rate as f32)
             })
             .collect();
@@ -341,7 +343,7 @@ pub struct FeatureExtractor<'a> {
     history: SbeHistory,
     /// Per node: chronological `(start_min, app)` of runs, for the
     /// previous-application feature.
-    node_runs: HashMap<u32, Vec<(u64, u32)>>,
+    node_runs: BTreeMap<u32, Vec<(u64, u32)>>,
 }
 
 impl<'a> FeatureExtractor<'a> {
@@ -355,7 +357,7 @@ impl<'a> FeatureExtractor<'a> {
     pub fn new(trace: &'a TraceSet, all_samples: &[LabeledSample]) -> Result<FeatureExtractor<'a>> {
         let query_engine = TelemetryQueryEngine::new(trace)?;
         let history = SbeHistory::build(all_samples)?;
-        let mut node_runs: HashMap<u32, Vec<(u64, u32)>> = HashMap::new();
+        let mut node_runs: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
         for s in all_samples {
             node_runs
                 .entry(s.node.0)
@@ -585,7 +587,10 @@ mod tests {
         assert_ne!(FeatureSpec::cur(), FeatureSpec::cur_prev());
         assert_ne!(FeatureSpec::cur_nei(), FeatureSpec::cur_prev_nei());
         assert_eq!(FeatureSpec::cur_prev_nei(), FeatureSpec::all());
-        assert!(FeatureSpec::only_hist().feature_names().len() < FeatureSpec::all().feature_names().len());
+        assert!(
+            FeatureSpec::only_hist().feature_names().len()
+                < FeatureSpec::all().feature_names().len()
+        );
         assert!(!FeatureSpec::only_hist().needs_telemetry());
         assert!(FeatureSpec::only_tp().needs_telemetry());
     }
@@ -595,7 +600,7 @@ mod tests {
         let (_, ss) = setup();
         let enc = EncoderContext::fit(&ss);
         // An app with many positives should encode above the global rate.
-        let mut per_app: HashMap<u32, (u32, u32)> = HashMap::new();
+        let mut per_app: BTreeMap<u32, (u32, u32)> = BTreeMap::new();
         for s in &ss {
             let e = per_app.entry(s.app.0).or_insert((0, 0));
             e.1 += 1;
@@ -623,7 +628,7 @@ mod tests {
         let fx = FeatureExtractor::new(&t, &ss).unwrap();
         // For every node's second run, previous_app equals the first run's
         // app.
-        let mut per_node: HashMap<u32, Vec<&LabeledSample>> = HashMap::new();
+        let mut per_node: BTreeMap<u32, Vec<&LabeledSample>> = BTreeMap::new();
         for s in &ss {
             per_node.entry(s.node.0).or_default().push(s);
         }
@@ -632,7 +637,10 @@ mod tests {
             runs.sort_by_key(|s| s.start_min);
             runs.dedup_by_key(|s| s.aprun);
             if runs.len() >= 2 && runs[0].start_min != runs[1].start_min {
-                assert_eq!(fx.previous_app(node, runs[1].start_min), Some(runs[0].app.0));
+                assert_eq!(
+                    fx.previous_app(node, runs[1].start_min),
+                    Some(runs[0].app.0)
+                );
                 checked += 1;
             }
             // No run before the first.

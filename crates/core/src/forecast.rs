@@ -43,16 +43,17 @@ pub fn forecast_series_stats(history: &[f32], horizon: usize) -> WindowStats {
     let hist: Vec<f64> = history.iter().map(|&v| v as f64).collect();
     let (path, innovation_std) = match fit_best_order(&hist, MAX_AR_ORDER) {
         Ok(model) => {
+            // Guarded: `history` was checked non-empty at entry.
+            let flat = hist.last().copied().unwrap_or_default();
             let path = model
                 .forecast(&hist, horizon)
-                .unwrap_or_else(|_| vec![*hist.last().expect("non-empty"); horizon]);
+                .unwrap_or_else(|_| vec![flat; horizon]);
             (path, model.innovation_variance().max(0.0).sqrt())
         }
         Err(_) => {
             // Constant/short history: flat EWMA forecast, no innovations.
             let level = Ewma::new(0.3)
-                .expect("static alpha is valid")
-                .forecast(&hist, horizon)
+                .and_then(|e| e.forecast(&hist, horizon))
                 .unwrap_or_else(|_| vec![hist[0]; horizon]);
             (level, 0.0)
         }
@@ -221,7 +222,11 @@ mod tests {
             assert!((15.0..90.0).contains(&f.temp.mean), "temp {}", f.temp.mean);
         }
         // Non-TP columns are untouched.
-        let app_idx = ds.feature_names().iter().position(|n| n == "app_id").unwrap();
+        let app_idx = ds
+            .feature_names()
+            .iter()
+            .position(|n| n == "app_id")
+            .unwrap();
         for i in 0..ds.len() {
             assert_eq!(swapped.x().get(i, app_idx), ds.x().get(i, app_idx));
         }

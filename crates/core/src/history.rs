@@ -11,7 +11,7 @@
 use crate::samples::LabeledSample;
 use crate::Result;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use titan_sim::apps::AppId;
 use titan_sim::topology::NodeId;
 
@@ -56,8 +56,8 @@ impl CumSeries {
 /// Index of observable SBE events over a trace.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SbeHistory {
-    node: HashMap<u32, CumSeries>,
-    app: HashMap<u32, CumSeries>,
+    node: BTreeMap<u32, CumSeries>,
+    app: BTreeMap<u32, CumSeries>,
     machine: CumSeries,
 }
 
@@ -72,25 +72,27 @@ impl SbeHistory {
     /// Infallible today; fallible for forward compatibility.
     pub fn build(samples: &[LabeledSample]) -> Result<SbeHistory> {
         // Last end per job.
-        let mut job_end: HashMap<u32, u64> = HashMap::new();
+        let mut job_end: BTreeMap<u32, u64> = BTreeMap::new();
         for s in samples {
             let e = job_end.entry(s.job.0).or_insert(0);
             *e = (*e).max(s.end_min);
         }
         // One event per positive (job, node): the attributed count is the
         // same on every aprun of the job, so keep the first seen.
-        let mut job_node: HashMap<(u32, u32), (u64, u32, u32)> = HashMap::new();
+        let mut job_node: BTreeMap<(u32, u32), (u64, u32, u32)> = BTreeMap::new();
         for s in samples {
             if s.sbe_count == 0 {
                 continue;
             }
-            job_node
-                .entry((s.job.0, s.node.0))
-                .or_insert((job_end[&s.job.0], s.sbe_count, s.app.0));
+            job_node.entry((s.job.0, s.node.0)).or_insert((
+                job_end[&s.job.0],
+                s.sbe_count,
+                s.app.0,
+            ));
         }
 
-        let mut node_events: HashMap<u32, Vec<(u64, u32)>> = HashMap::new();
-        let mut app_events: HashMap<u32, Vec<(u64, u32)>> = HashMap::new();
+        let mut node_events: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
+        let mut app_events: BTreeMap<u32, Vec<(u64, u32)>> = BTreeMap::new();
         let mut machine_events: Vec<(u64, u32)> = Vec::new();
         for (&(_job, node), &(t, c, app)) in &job_node {
             node_events.entry(node).or_default().push((t, c));
@@ -191,7 +193,7 @@ mod tests {
     fn machine_total_matches_job_level_sum() {
         let (ss, h) = setup();
         // Sum per (job, node) once.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut total = 0u64;
         for s in &ss {
             if s.sbe_count > 0 && seen.insert((s.job.0, s.node.0)) {

@@ -35,7 +35,7 @@
 //! let split = DsSplit::ds1(&trace)?;
 //! let mut model = TwoStage::new(Gbdt::new(), FeatureSpec::all());
 //! let outcome = model.run(&trace, &split)?;
-//! println!("F1 = {:.2}", outcome.sbe_metrics().f1());
+//! println!("F1 = {:.2}", outcome.confusion()?.f1());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 

@@ -100,7 +100,11 @@ pub fn render_heatmap(values: &[f64], width: usize, height: usize) -> String {
 /// Renders a histogram as horizontal bars with bin labels.
 pub fn render_histogram(centers: &[f64], probs: &[f64], max_width: usize) -> String {
     let mut out = String::new();
-    let peak = probs.iter().copied().fold(0.0f64, f64::max).max(f64::MIN_POSITIVE);
+    let peak = probs
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
     for (c, p) in centers.iter().zip(probs) {
         let w = (p / peak * max_width as f64).round() as usize;
         let _ = writeln!(out, "{c:>8.1} | {} {p:.3}", "#".repeat(w));

@@ -141,7 +141,7 @@ pub fn threshold_sweep_with(
 /// Same conditions as [`threshold_sweep`].
 pub fn best_f1_threshold(truth: &[f32], scores: &[f32]) -> Result<ThresholdPoint> {
     let sweep = threshold_sweep(truth, scores)?;
-    Ok(sweep
+    sweep
         .into_iter()
         .max_by(|a, b| {
             a.metrics
@@ -149,7 +149,9 @@ pub fn best_f1_threshold(truth: &[f32], scores: &[f32]) -> Result<ThresholdPoint
                 .partial_cmp(&b.metrics.f1)
                 .unwrap_or(std::cmp::Ordering::Equal)
         })
-        .expect("sweep is non-empty by construction"))
+        .ok_or_else(|| PredError::InvalidInput {
+            reason: "threshold sweep produced no candidate points".into(),
+        })
 }
 
 /// The lowest threshold (maximum recall) whose precision is at least
@@ -220,7 +222,9 @@ mod tests {
         let (truth, scores) = toy();
         // Precision 1.0 requires excluding the 0.9 negative: threshold
         // above 0.9 keeps only the 0.95 positive.
-        let p = max_recall_at_precision(&truth, &scores, 1.0).unwrap().unwrap();
+        let p = max_recall_at_precision(&truth, &scores, 1.0)
+            .unwrap()
+            .unwrap();
         assert!(p.threshold > 0.9);
         assert!((p.metrics.recall - 1.0 / 3.0).abs() < 1e-9);
         // An unreachable floor on inverted scores returns None.

@@ -20,7 +20,7 @@ use mlkit::dataset::Dataset;
 use mlkit::metrics::ConfusionMatrix;
 use mlkit::model::Classifier;
 use mlkit::scaler::StandardScaler;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 use titan_sim::trace::TraceSet;
 
@@ -87,14 +87,10 @@ impl TwoStageOutcome {
     ///
     /// Propagates metric-validation errors (never expected here).
     pub fn confusion(&self) -> Result<ConfusionMatrix> {
-        Ok(ConfusionMatrix::from_predictions(&self.truth, &self.predictions)?)
-    }
-
-    /// Convenience: the positive-class confusion matrix, panicking only on
-    /// internal inconsistency.
-    pub fn sbe_metrics(&self) -> ConfusionMatrix {
-        ConfusionMatrix::from_predictions(&self.truth, &self.predictions)
-            .expect("outcome vectors are consistent by construction")
+        Ok(ConfusionMatrix::from_predictions(
+            &self.truth,
+            &self.predictions,
+        )?)
     }
 }
 
@@ -105,11 +101,7 @@ impl TwoStageOutcome {
 ///
 /// Returns [`PredError::InvalidInput`] when the stage-2 training set is
 /// empty or single-class, and propagates extraction errors.
-pub fn prepare(
-    trace: &TraceSet,
-    split: &DsSplit,
-    spec: &FeatureSpec,
-) -> Result<Prepared> {
+pub fn prepare(trace: &TraceSet, split: &DsSplit, spec: &FeatureSpec) -> Result<Prepared> {
     let all = build_samples(trace)?;
     let fx = FeatureExtractor::new(trace, &all)?;
     prepare_with_extractor(&fx, &all, split, spec)
@@ -143,7 +135,7 @@ pub fn prepare_with_extractor(
     }
 
     // Stage 1: offender nodes as of the end of the training window.
-    let offenders: HashSet<u32> = fx
+    let offenders: BTreeSet<u32> = fx
         .history()
         .offender_nodes_before(train_end)
         .into_iter()
@@ -305,7 +297,7 @@ mod tests {
         let p = prepare(&t, &split, &FeatureSpec::all()).unwrap();
         let mut model = Gbdt::new().n_trees(20).min_samples_leaf(2);
         let out = run_classifier(&p, &mut model).unwrap();
-        let stage2: HashSet<usize> = p.stage2_test_idx.iter().copied().collect();
+        let stage2: BTreeSet<usize> = p.stage2_test_idx.iter().copied().collect();
         for (i, &pred) in out.predictions.iter().enumerate() {
             if !stage2.contains(&i) {
                 assert_eq!(pred, 0.0);
@@ -320,9 +312,12 @@ mod tests {
     fn one_shot_api_runs() {
         let t = trace();
         let split = DsSplit::ds1(&t).unwrap();
-        let mut ts = TwoStage::new(Gbdt::new().n_trees(20).min_samples_leaf(2), FeatureSpec::all());
+        let mut ts = TwoStage::new(
+            Gbdt::new().n_trees(20).min_samples_leaf(2),
+            FeatureSpec::all(),
+        );
         let out = ts.run(&t, &split).unwrap();
-        let cm = out.sbe_metrics();
+        let cm = out.confusion().unwrap();
         assert_eq!(cm.total() as usize, out.test_samples.len());
         // The learned model should beat a coin flip on F1 for this seed.
         assert!(cm.f1() > 0.1, "f1 {}", cm.f1());
@@ -345,7 +340,10 @@ mod tests {
     fn outcome_vectors_aligned() {
         let t = trace();
         let split = DsSplit::ds1(&t).unwrap();
-        let mut ts = TwoStage::new(Gbdt::new().n_trees(10).min_samples_leaf(2), FeatureSpec::all());
+        let mut ts = TwoStage::new(
+            Gbdt::new().n_trees(10).min_samples_leaf(2),
+            FeatureSpec::all(),
+        );
         let out = ts.run(&t, &split).unwrap();
         assert_eq!(out.predictions.len(), out.truth.len());
         assert_eq!(out.probabilities.len(), out.truth.len());

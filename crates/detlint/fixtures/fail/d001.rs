@@ -1,0 +1,20 @@
+//! D001 fail fixture: hash collections in a determinism-policed crate.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+//! `//~ D00X` marks each line the self-test expects a diagnostic on.
+
+use std::collections::HashMap; //~ D001
+use std::collections::HashSet; //~ D001
+
+pub fn word_ids(words: &[&str]) -> Vec<usize> {
+    let mut ids = HashMap::new(); //~ D001
+    for &w in words {
+        let next = ids.len();
+        ids.entry(w).or_insert(next);
+    }
+    words.iter().map(|w| ids[w]).collect()
+}
+
+pub fn distinct(xs: &[u32]) -> usize {
+    let seen: HashSet<u32> = xs.iter().copied().collect(); //~ D001
+    seen.len()
+}

@@ -1,0 +1,11 @@
+//! D002 fail fixture: wall-clock reads outside `crates/bench`.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+
+pub fn stamp_run() -> (u64, u64) {
+    let t0 = std::time::Instant::now(); //~ D002
+    let wall = std::time::SystemTime::now() //~ D002
+        .duration_since(std::time::UNIX_EPOCH) //~ D002
+        .map(|d| d.as_secs())
+        .unwrap_or_default();
+    (t0.elapsed().as_millis() as u64, wall)
+}

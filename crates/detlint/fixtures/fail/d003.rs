@@ -1,0 +1,21 @@
+//! D003 fail fixture: unseeded entropy sources.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+
+pub fn roll_dice() -> u8 {
+    let mut rng = rand::thread_rng(); //~ D003
+    rng.gen_range(1..=6)
+}
+
+pub fn fresh_stream() -> SmallRng {
+    SmallRng::from_entropy() //~ D003
+}
+
+pub fn os_bytes() -> [u8; 8] {
+    let mut buf = [0u8; 8];
+    OsRng.fill_bytes(&mut buf); //~ D003
+    buf
+}
+
+pub fn device_bytes() -> Vec<u8> {
+    std::fs::read("/dev/urandom").unwrap_or_default() //~ D003
+}

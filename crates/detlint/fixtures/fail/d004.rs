@@ -1,0 +1,11 @@
+//! D004 fail fixture: panicking escape hatches in library non-test code.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+
+pub fn read_config(path: &str) -> u32 {
+    let text = std::fs::read_to_string(path).unwrap(); //~ D004
+    let value = text.trim().parse::<u32>().expect("config is a number"); //~ D004
+    if value > 1_000 {
+        panic!("config value out of range"); //~ D004
+    }
+    value
+}

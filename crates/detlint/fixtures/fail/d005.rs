@@ -1,0 +1,19 @@
+//! D005 fail fixture: float reductions chained onto parallel-map results.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+//!
+//! Iterator `.sum()`/`.fold()` over a `par_map` result accumulates in an
+//! order the reader cannot see pinned; use `parkit::sum_in_order` /
+//! `parkit::fold_in_order` instead.
+
+pub fn total_energy(items: &[f64]) -> f64 {
+    let joules: f64 = parkit::par_map(parkit::Threads::Auto, items, |&x| x * 3.6)
+        .iter()
+        .sum(); //~ D005
+    joules
+}
+
+pub fn weighted(items: &[f64]) -> f64 {
+    parkit::par_map_indexed(parkit::Threads::Auto, items, |i, &x| x * i as f64)
+        .iter()
+        .fold(0.0, |acc, v| acc + v) //~ D005
+}

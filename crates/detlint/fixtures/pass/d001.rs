@@ -1,0 +1,26 @@
+//! D001 pass fixture: ordered collections, plus one reasoned waiver.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile) — must
+//! produce zero blocking diagnostics.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+pub fn histogram(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut counts = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts
+}
+
+pub fn distinct(xs: &[u32]) -> usize {
+    let seen: BTreeSet<u32> = xs.iter().copied().collect();
+    seen.len()
+}
+
+// A hash map whose contents never iterate into output may be waived —
+// with a written reason.
+// detlint: allow(D001) reason=lookup-only interner; iteration order never observed
+pub fn interner() -> std::collections::HashMap<&'static str, u32> {
+    std::collections::HashMap::new() // detlint: allow(D001) reason=lookup-only interner; iteration order never observed
+}

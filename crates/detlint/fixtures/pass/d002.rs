@@ -1,0 +1,16 @@
+//! D002 pass fixture: time *types* are fine; only clock reads are not.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+
+use std::time::Duration;
+use std::time::Instant;
+
+/// Holding an `Instant` handed in by a caller (e.g. the bench crate)
+/// is allowed — the library never reads the clock itself.
+pub struct Deadline {
+    pub at: Instant,
+    pub grace: Duration,
+}
+
+pub fn grace_of(d: &Deadline) -> Duration {
+    d.grace
+}

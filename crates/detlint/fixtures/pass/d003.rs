@@ -1,0 +1,13 @@
+//! D003 pass fixture: seeded, stream-split randomness.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+
+use rand::SeedableRng;
+
+pub fn seeded_stream(seed: u64) -> rand::rngs::SmallRng {
+    rand::rngs::SmallRng::seed_from_u64(seed)
+}
+
+pub fn derived(seed: u64, substream: u64) -> rand::rngs::SmallRng {
+    // Deterministic stream derivation in the titan_sim::rng style.
+    rand::rngs::SmallRng::seed_from_u64(seed ^ substream.wrapping_mul(0x9E37_79B9))
+}

@@ -1,0 +1,23 @@
+//! D004 pass fixture: fallible library code; panics confined to tests.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+
+pub fn read_config(path: &str) -> Result<u32, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    text.trim().parse::<u32>().map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_number() {
+        // `unwrap`/`expect`/`panic!` are all fine inside test regions.
+        let v = "42".trim().parse::<u32>().unwrap();
+        assert_eq!(v, 42);
+        let w = "7".parse::<u32>().expect("literal parses");
+        if w != 7 {
+            panic!("arithmetic broke");
+        }
+    }
+}

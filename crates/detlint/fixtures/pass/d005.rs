@@ -1,0 +1,21 @@
+//! D005 pass fixture: per-item reductions inside the mapped closure are
+//! fine; cross-item reductions use the fixed-order parkit helpers.
+//! Checked as if at `crates/core/src/fixture.rs` (strict profile).
+
+pub fn row_sums(rows: &[Vec<f64>]) -> Vec<f64> {
+    // `.sum()` here is *inside* the closure — one row at a time, no
+    // cross-item accumulation — and must not be flagged.
+    parkit::par_map(parkit::Threads::Auto, rows, |row| row.iter().sum::<f64>())
+}
+
+pub fn total(rows: &[Vec<f64>]) -> f64 {
+    let partials = parkit::par_map(parkit::Threads::Auto, rows, |row| {
+        row.iter().sum::<f64>()
+    });
+    parkit::sum_in_order(&partials)
+}
+
+pub fn product(xs: &[f64]) -> f64 {
+    let doubled = parkit::par_map(parkit::Threads::Auto, xs, |&x| x * 2.0);
+    parkit::fold_in_order(&doubled, 1.0, |acc, &v| acc * v)
+}

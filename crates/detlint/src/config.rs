@@ -1,0 +1,257 @@
+//! `detlint.toml` allowlist: vetted, *reasoned* exceptions to the rules.
+//!
+//! The parser covers exactly the subset of TOML the allowlist needs —
+//! comments, `[[allow]]` array-of-table headers, and `key = "string"` /
+//! `key = integer` pairs — because the workspace is offline and detlint
+//! takes no dependencies. Anything outside that subset is a hard error:
+//! a config file that silently half-parses would waive the wrong things.
+
+/// One vetted exception from `detlint.toml`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule id the exception applies to (e.g. `"D002"`).
+    pub rule: String,
+    /// Workspace-relative file path, or a directory prefix ending in `/`.
+    pub path: String,
+    /// Restricts the exception to one line when set.
+    pub line: Option<u32>,
+    /// Mandatory written justification.
+    pub reason: String,
+    /// 1-based line of the entry header in the config file (for
+    /// unused-entry reporting).
+    pub config_line: u32,
+}
+
+impl AllowEntry {
+    /// Whether this entry covers a diagnostic at `(rule, path, line)`.
+    pub fn covers(&self, rule: &str, path: &str, line: u32) -> bool {
+        if self.rule != rule {
+            return false;
+        }
+        let path_ok = if let Some(prefix) = self.path.strip_suffix('/') {
+            path.starts_with(prefix) && path[prefix.len()..].starts_with('/')
+        } else {
+            self.path == path
+        };
+        path_ok && self.line.is_none_or(|l| l == line)
+    }
+}
+
+/// Parsed allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// All `[[allow]]` entries, in file order.
+    pub allows: Vec<AllowEntry>,
+}
+
+/// A config-file syntax or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// 1-based line in the config file.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "detlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+struct Builder {
+    rule: Option<String>,
+    path: Option<String>,
+    line: Option<u32>,
+    reason: Option<String>,
+    config_line: u32,
+}
+
+impl Builder {
+    fn finish(self) -> Result<AllowEntry, ConfigError> {
+        let err = |msg: &str| ConfigError {
+            line: self.config_line,
+            message: msg.to_string(),
+        };
+        let rule = self.rule.ok_or_else(|| err("allow entry missing `rule`"))?;
+        if !is_known_rule(&rule) {
+            return Err(ConfigError {
+                line: self.config_line,
+                message: format!("unknown rule id `{rule}`"),
+            });
+        }
+        let path = self.path.ok_or_else(|| err("allow entry missing `path`"))?;
+        let reason = self.reason.ok_or_else(|| {
+            err("allow entry missing `reason` — every waiver must carry a written justification")
+        })?;
+        if reason.trim().is_empty() {
+            return Err(err("allow entry has an empty `reason`"));
+        }
+        Ok(AllowEntry {
+            rule,
+            path,
+            line: self.line,
+            reason,
+            config_line: self.config_line,
+        })
+    }
+}
+
+fn is_known_rule(rule: &str) -> bool {
+    matches!(rule, "D001" | "D002" | "D003" | "D004" | "D005")
+}
+
+/// Parses the `detlint.toml` allowlist text.
+pub fn parse(text: &str) -> Result<Config, ConfigError> {
+    let mut allows = Vec::new();
+    let mut current: Option<Builder> = None;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = (idx + 1) as u32;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            if let Some(b) = current.take() {
+                allows.push(b.finish()?);
+            }
+            current = Some(Builder {
+                rule: None,
+                path: None,
+                line: None,
+                reason: None,
+                config_line: lineno,
+            });
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(ConfigError {
+                line: lineno,
+                message: format!("unsupported table header `{line}` (only `[[allow]]`)"),
+            });
+        }
+        let Some(builder) = current.as_mut() else {
+            return Err(ConfigError {
+                line: lineno,
+                message: "key outside an `[[allow]]` entry".to_string(),
+            });
+        };
+        let (key, value) = split_kv(line, lineno)?;
+        match key {
+            "rule" => builder.rule = Some(parse_string(value, lineno)?),
+            "path" => builder.path = Some(parse_string(value, lineno)?),
+            "reason" => builder.reason = Some(parse_string(value, lineno)?),
+            "line" => {
+                builder.line = Some(value.trim().parse::<u32>().map_err(|_| ConfigError {
+                    line: lineno,
+                    message: format!("`line` must be an integer, got `{value}`"),
+                })?);
+            }
+            other => {
+                return Err(ConfigError {
+                    line: lineno,
+                    message: format!("unknown key `{other}` in allow entry"),
+                });
+            }
+        }
+    }
+    if let Some(b) = current.take() {
+        allows.push(b.finish()?);
+    }
+    Ok(Config { allows })
+}
+
+/// Strips a `#` comment, respecting `"…"` strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn split_kv(line: &str, lineno: u32) -> Result<(&str, &str), ConfigError> {
+    let Some(eq) = line.find('=') else {
+        return Err(ConfigError {
+            line: lineno,
+            message: format!("expected `key = value`, got `{line}`"),
+        });
+    };
+    Ok((line[..eq].trim(), line[eq + 1..].trim()))
+}
+
+fn parse_string(value: &str, lineno: u32) -> Result<String, ConfigError> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .ok_or_else(|| ConfigError {
+            line: lineno,
+            message: format!("expected a double-quoted string, got `{v}`"),
+        })?;
+    // The allowlist never needs escapes beyond `\"` and `\\`.
+    Ok(inner.replace("\\\"", "\"").replace("\\\\", "\\"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_entries() {
+        let cfg = parse(
+            "# vetted exceptions\n\
+             [[allow]]\n\
+             rule = \"D002\"\n\
+             path = \"crates/core/src/twostage.rs\"\n\
+             line = 206\n\
+             reason = \"train-time metadata only\"\n\
+             \n\
+             [[allow]]\n\
+             rule = \"D001\"\n\
+             path = \"crates/mlkit/src/\"  # prefix\n\
+             reason = \"keys sorted on output\"\n",
+        )
+        .expect("parses");
+        assert_eq!(cfg.allows.len(), 2);
+        assert_eq!(cfg.allows[0].line, Some(206));
+        assert!(cfg.allows[0].covers("D002", "crates/core/src/twostage.rs", 206));
+        assert!(!cfg.allows[0].covers("D002", "crates/core/src/twostage.rs", 207));
+        assert!(cfg.allows[1].covers("D001", "crates/mlkit/src/gbdt.rs", 1));
+        assert!(!cfg.allows[1].covers("D001", "crates/mlkit/src2/gbdt.rs", 1));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let err = parse("[[allow]]\nrule = \"D001\"\npath = \"x.rs\"\n").unwrap_err();
+        assert!(err.message.contains("reason"));
+    }
+
+    #[test]
+    fn unknown_rule_rejected() {
+        let err =
+            parse("[[allow]]\nrule = \"D099\"\npath = \"x.rs\"\nreason = \"r\"\n").unwrap_err();
+        assert!(err.message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let err = parse("[[allow]]\nrulez = \"D001\"\n").unwrap_err();
+        assert!(err.message.contains("unknown key"));
+    }
+
+    #[test]
+    fn prefix_requires_separator() {
+        let cfg = parse("[[allow]]\nrule = \"D004\"\npath = \"crates/core/\"\nreason = \"r\"\n")
+            .expect("parses");
+        assert!(cfg.allows[0].covers("D004", "crates/core/src/lib.rs", 9));
+        assert!(!cfg.allows[0].covers("D004", "crates/core2/src/lib.rs", 9));
+    }
+}

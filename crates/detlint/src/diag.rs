@@ -1,0 +1,200 @@
+//! Diagnostic model and the two output renderers (rustc-style text and
+//! machine-readable JSON).
+
+use std::fmt::Write as _;
+
+/// Severity of a diagnostic. Only `Error` diagnostics fail the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory only; never affects the exit code.
+    Warning,
+    /// A rule violation; fails the run unless waived.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in both renderers.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule id (`D001`..`D005`, or meta ids `D000`, `W001`, `W002`).
+    pub rule: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it (or how to waive it).
+    pub help: String,
+    /// Set when an inline waiver or a `detlint.toml` allow entry covers
+    /// this diagnostic; waived diagnostics never affect the exit code.
+    pub waived: bool,
+    /// The written justification attached to the waiver, when waived.
+    pub waive_reason: Option<String>,
+}
+
+impl Diagnostic {
+    /// True when this diagnostic should fail the run.
+    pub fn is_blocking(&self) -> bool {
+        self.severity == Severity::Error && !self.waived
+    }
+
+    /// Sort key: position first so output reads like a compiler's.
+    fn key(&self) -> (&str, u32, u32, &str) {
+        (&self.path, self.line, self.col, self.rule)
+    }
+}
+
+/// Sorts diagnostics into deterministic reporting order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| a.key().cmp(&b.key()));
+}
+
+/// Renders one diagnostic in rustc style.
+pub fn render_text(d: &Diagnostic) -> String {
+    let mut out = String::new();
+    let waived = if d.waived { " (waived)" } else { "" };
+    let _ = writeln!(
+        out,
+        "{}[{}]{}: {}",
+        d.severity.label(),
+        d.rule,
+        waived,
+        d.message
+    );
+    let _ = writeln!(out, "  --> {}:{}:{}", d.path, d.line, d.col);
+    if !d.help.is_empty() {
+        let _ = writeln!(out, "   = help: {}", d.help);
+    }
+    if let Some(reason) = &d.waive_reason {
+        let _ = writeln!(out, "   = waived: {reason}");
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full report as a single JSON object:
+/// `{"version":1,"diagnostics":[...],"summary":{...}}`.
+///
+/// Emitted by hand (the tool itself has no dependencies); the format is
+/// locked down by a round-trip test against the vendored `serde_json`.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
+    let mut out = String::from("{\"version\":1,\"diagnostics\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\
+             \"message\":\"{}\",\"help\":\"{}\",\"waived\":{}",
+            json_escape(d.rule),
+            d.severity.label(),
+            json_escape(&d.path),
+            d.line,
+            d.col,
+            json_escape(&d.message),
+            json_escape(&d.help),
+            d.waived,
+        );
+        if let Some(reason) = &d.waive_reason {
+            let _ = write!(out, ",\"waive_reason\":\"{}\"", json_escape(reason));
+        }
+        out.push('}');
+    }
+    let errors = diags.iter().filter(|d| d.is_blocking()).count();
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning && !d.waived)
+        .count();
+    let waived = diags.iter().filter(|d| d.waived).count();
+    let _ = write!(
+        out,
+        "],\"summary\":{{\"files_scanned\":{files_scanned},\"errors\":{errors},\
+         \"warnings\":{warnings},\"waived\":{waived}}}}}"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "D001",
+            severity: Severity::Error,
+            path: "crates/core/src/x.rs".into(),
+            line: 3,
+            col: 7,
+            message: "order-nondeterministic `HashMap`".into(),
+            help: "use `BTreeMap`".into(),
+            waived: false,
+            waive_reason: None,
+        }
+    }
+
+    #[test]
+    fn text_render_has_location() {
+        let t = render_text(&sample());
+        assert!(t.contains("error[D001]"));
+        assert!(t.contains("crates/core/src/x.rs:3:7"));
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn json_summary_counts() {
+        let mut w = sample();
+        w.waived = true;
+        w.waive_reason = Some("vetted".into());
+        let j = render_json(&[sample(), w], 2);
+        assert!(j.contains("\"errors\":1"));
+        assert!(j.contains("\"waived\":1"));
+        assert!(j.contains("\"files_scanned\":2"));
+    }
+
+    #[test]
+    fn sort_orders_by_position() {
+        let mut a = sample();
+        a.line = 10;
+        let b = sample();
+        let mut v = vec![a, b];
+        sort(&mut v);
+        assert_eq!(v[0].line, 3);
+    }
+}

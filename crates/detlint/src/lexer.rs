@@ -1,0 +1,472 @@
+//! A hand-rolled Rust lexer, just precise enough for lint rules.
+//!
+//! The goal is not full fidelity with `rustc`'s lexer but *no false
+//! positives from non-code text*: identifiers inside string literals,
+//! comments, and doc comments must never reach a rule. The lexer is
+//! infallible by design — malformed input (e.g. an unterminated string)
+//! degrades to a best-effort token stream rather than an error, because
+//! a linter that dies on weird-but-compiling code is worse than one
+//! that occasionally sees one odd token.
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// Lifetime such as `'a` (also `'_`).
+    Lifetime,
+    /// Numeric literal (integers and floats, loosely tokenized).
+    Number,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal: `'x'`, `b'\n'`.
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// Non-doc line comment `// …` (text includes the slashes).
+    LineComment,
+    /// Non-doc block comment `/* … */`.
+    BlockComment,
+    /// Doc comment (`///`, `//!`, `/** */`, `/*! */`).
+    DocComment,
+}
+
+/// One token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// The raw source text of the token.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the single punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// True for any comment kind (line, block, or doc).
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+        )
+    }
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consumes characters while `pred` holds, appending to `buf`.
+    fn take_while(&mut self, buf: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek(0) {
+            if !pred(c) {
+                break;
+            }
+            buf.push(c);
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenizes `src` into a flat stream, comments included.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        let tok = if c == '/' && lx.peek(1) == Some('/') {
+            lex_line_comment(&mut lx)
+        } else if c == '/' && lx.peek(1) == Some('*') {
+            lex_block_comment(&mut lx)
+        } else if is_raw_string_start(&lx) {
+            lex_string_like(&mut lx)
+        } else if is_ident_start(c) {
+            lex_ident(&mut lx)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut lx)
+        } else if c == '"' {
+            lex_quoted(&mut lx, TokKind::Str)
+        } else if c == '\'' {
+            lex_tick(&mut lx)
+        } else {
+            let mut text = String::new();
+            if let Some(p) = lx.bump() {
+                text.push(p);
+            }
+            (TokKind::Punct, text)
+        };
+        toks.push(Tok {
+            kind: tok.0,
+            text: tok.1,
+            line,
+            col,
+        });
+    }
+    toks
+}
+
+/// True when the cursor sits on a raw/byte/C string prefix such as
+/// `r"`, `r#"`, `br"`, `b"`, or `c"` (but not a raw identifier `r#ident`).
+fn is_raw_string_start(lx: &Lexer) -> bool {
+    let c0 = match lx.peek(0) {
+        Some(c) => c,
+        None => return false,
+    };
+    if !matches!(c0, 'r' | 'b' | 'c') {
+        return false;
+    }
+    // Scan past an optional second prefix letter (`br`, `cr`) and any
+    // number of `#` marks; a string starts only if a quote follows.
+    let mut k = 1;
+    if c0 == 'b' || c0 == 'c' {
+        if lx.peek(k) == Some('r') {
+            k += 1;
+        } else {
+            return lx.peek(k) == Some('"') || (c0 == 'b' && lx.peek(k) == Some('\''));
+        }
+    }
+    let mut hashes = 0;
+    while lx.peek(k) == Some('#') {
+        k += 1;
+        hashes += 1;
+        if hashes > 64 {
+            return false;
+        }
+    }
+    lx.peek(k) == Some('"')
+}
+
+/// Lexes a raw/byte/C string (cursor on the prefix letter) or a byte char.
+fn lex_string_like(lx: &mut Lexer) -> (TokKind, String) {
+    let mut text = String::new();
+    // Consume prefix letters.
+    while matches!(lx.peek(0), Some('r' | 'b' | 'c')) {
+        if let Some(c) = lx.bump() {
+            text.push(c);
+        }
+    }
+    if lx.peek(0) == Some('\'') {
+        // Byte char literal b'x'.
+        let (_, rest) = lex_tick(lx);
+        text.push_str(&rest);
+        return (TokKind::Char, text);
+    }
+    let mut hashes = 0usize;
+    while lx.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        lx.bump();
+    }
+    if lx.peek(0) != Some('"') {
+        // Not actually a string (e.g. `r#ident` with hashes consumed);
+        // fall through to an identifier continuation.
+        lx.take_while(&mut text, is_ident_continue);
+        return (TokKind::Ident, text);
+    }
+    text.push('"');
+    lx.bump();
+    if hashes == 0 && text.starts_with(['b', 'c']) && !text.contains('r') {
+        // Escaped (non-raw) byte/C string: delegate to escape-aware scan.
+        let (_, rest) = scan_escaped_until(lx, '"');
+        text.push_str(&rest);
+        return (TokKind::Str, text);
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks.
+    loop {
+        let c = match lx.bump() {
+            Some(c) => c,
+            None => return (TokKind::Str, text),
+        };
+        text.push(c);
+        if c == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if lx.peek(k) != Some('#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                for _ in 0..hashes {
+                    if let Some(h) = lx.bump() {
+                        text.push(h);
+                    }
+                }
+                return (TokKind::Str, text);
+            }
+        }
+    }
+}
+
+/// Scans an escape-aware literal body up to the closing `delim`
+/// (cursor just past the opening delimiter). Returns the consumed text
+/// including the closing delimiter.
+fn scan_escaped_until(lx: &mut Lexer, delim: char) -> (TokKind, String) {
+    let mut text = String::new();
+    while let Some(c) = lx.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(e) = lx.bump() {
+                text.push(e);
+            }
+            continue;
+        }
+        if c == delim {
+            break;
+        }
+    }
+    (TokKind::Str, text)
+}
+
+fn lex_quoted(lx: &mut Lexer, kind: TokKind) -> (TokKind, String) {
+    let mut text = String::new();
+    if let Some(q) = lx.bump() {
+        text.push(q);
+    }
+    let (_, rest) = scan_escaped_until(lx, '"');
+    text.push_str(&rest);
+    (kind, text)
+}
+
+/// Disambiguates lifetimes (`'a`) from char literals (`'a'`).
+fn lex_tick(lx: &mut Lexer) -> (TokKind, String) {
+    let mut text = String::new();
+    if let Some(t) = lx.bump() {
+        text.push(t);
+    }
+    let next = lx.peek(0);
+    let after = lx.peek(1);
+    let is_lifetime = match next {
+        Some(c) if is_ident_start(c) => after != Some('\''),
+        _ => false,
+    };
+    if is_lifetime {
+        lx.take_while(&mut text, is_ident_continue);
+        return (TokKind::Lifetime, text);
+    }
+    // Char literal: scan to the closing tick, honoring escapes. Bound
+    // the scan so a stray tick cannot swallow the rest of the file.
+    let mut budget = 64usize;
+    while let Some(c) = lx.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(e) = lx.bump() {
+                text.push(e);
+            }
+        } else if c == '\'' {
+            break;
+        }
+        budget -= 1;
+        if budget == 0 {
+            break;
+        }
+    }
+    (TokKind::Char, text)
+}
+
+fn lex_ident(lx: &mut Lexer) -> (TokKind, String) {
+    let mut text = String::new();
+    lx.take_while(&mut text, is_ident_continue);
+    (TokKind::Ident, text)
+}
+
+fn lex_number(lx: &mut Lexer) -> (TokKind, String) {
+    let mut text = String::new();
+    lx.take_while(&mut text, is_ident_continue);
+    // Consume a fractional part, but never a `..` range operator.
+    if lx.peek(0) == Some('.') && lx.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        text.push('.');
+        lx.bump();
+        lx.take_while(&mut text, is_ident_continue);
+    }
+    (TokKind::Number, text)
+}
+
+fn lex_line_comment(lx: &mut Lexer) -> (TokKind, String) {
+    let mut text = String::new();
+    lx.take_while(&mut text, |c| c != '\n');
+    let kind = if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!")
+    {
+        TokKind::DocComment
+    } else {
+        TokKind::LineComment
+    };
+    (kind, text)
+}
+
+fn lex_block_comment(lx: &mut Lexer) -> (TokKind, String) {
+    let mut text = String::new();
+    // Consume `/*`.
+    for _ in 0..2 {
+        if let Some(c) = lx.bump() {
+            text.push(c);
+        }
+    }
+    let mut depth = 1usize;
+    while depth > 0 {
+        match lx.bump() {
+            Some('/') if lx.peek(0) == Some('*') => {
+                text.push('/');
+                if let Some(c) = lx.bump() {
+                    text.push(c);
+                }
+                depth += 1;
+            }
+            Some('*') if lx.peek(0) == Some('/') => {
+                text.push('*');
+                if let Some(c) = lx.bump() {
+                    text.push(c);
+                }
+                depth -= 1;
+            }
+            Some(c) => text.push(c),
+            None => break,
+        }
+    }
+    let kind = if (text.starts_with("/**") && !text.starts_with("/***") && text.len() > 4)
+        || text.starts_with("/*!")
+    {
+        TokKind::DocComment
+    } else {
+        TokKind::BlockComment
+    };
+    (kind, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let ts = kinds("let x = foo.bar();");
+        assert_eq!(ts[0], (TokKind::Ident, "let".into()));
+        assert_eq!(ts[3], (TokKind::Ident, "foo".into()));
+        assert_eq!(ts[4], (TokKind::Punct, ".".into()));
+        assert_eq!(ts[5], (TokKind::Ident, "bar".into()));
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let ts = kinds(r#"let s = "HashMap::new() and .unwrap()";"#);
+        assert!(ts
+            .iter()
+            .all(|t| t.1 != "HashMap" || t.0 == TokKind::Str || t.1.contains('"')));
+        assert!(!ts.iter().any(|t| t.0 == TokKind::Ident && t.1 == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let ts = kinds(r##"let a = r#"thread_rng"#; let r#type = 1;"##);
+        assert!(!ts
+            .iter()
+            .any(|t| t.0 == TokKind::Ident && t.1 == "thread_rng"));
+        assert!(ts
+            .iter()
+            .any(|t| t.0 == TokKind::Ident && t.1.contains("type")));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(ts.iter().filter(|t| t.0 == TokKind::Lifetime).count(), 2);
+        assert_eq!(ts.iter().filter(|t| t.0 == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn comments_classified() {
+        let ts = kinds("// plain\n/// doc\n//! inner\n/* block */\n/** docblock */ code");
+        let cs: Vec<TokKind> = ts.iter().map(|t| t.0).collect();
+        assert_eq!(
+            &cs[..5],
+            &[
+                TokKind::LineComment,
+                TokKind::DocComment,
+                TokKind::DocComment,
+                TokKind::BlockComment,
+                TokKind::DocComment,
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let ts = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let ts = kinds("for i in 0..10 { let f = 1.5; }");
+        assert!(ts.iter().any(|t| t.0 == TokKind::Number && t.1 == "0"));
+        assert!(ts.iter().any(|t| t.0 == TokKind::Number && t.1 == "1.5"));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let ts = lex("a\n  b");
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_degrades() {
+        let ts = kinds("let s = \"oops");
+        assert_eq!(ts.last().map(|t| t.0), Some(TokKind::Str));
+    }
+}

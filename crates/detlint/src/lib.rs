@@ -1,0 +1,147 @@
+//! `detlint` — the workspace's determinism & numeric-safety lint pass.
+//!
+//! The PR-1 determinism contract (DESIGN.md §8) says every pipeline
+//! stage must produce bit-for-bit identical results for a fixed seed,
+//! regardless of thread count. That contract is easy to break silently:
+//! one `HashMap` iteration feeding a report, one `Instant::now()` in a
+//! feature, one `thread_rng()` in a simulator patch. `detlint` turns
+//! the contract into named, enforced rules:
+//!
+//! | rule | forbids |
+//! |------|---------|
+//! | D001 | `HashMap`/`HashSet` in crates whose iteration order feeds output |
+//! | D002 | wall-clock reads outside `crates/bench` |
+//! | D003 | unseeded entropy anywhere |
+//! | D004 | `unwrap()`/`expect()`/`panic!` in library non-test code |
+//! | D005 | iterator float reductions chained onto `par_map` results |
+//!
+//! Exceptions are explicit and reasoned: inline
+//! `// detlint: allow(D00X) reason=...` comments, or `[[allow]]`
+//! entries in `detlint.toml`. A waiver without a reason is itself a
+//! diagnostic.
+//!
+//! The analysis is a hand-rolled lexer plus a lightweight structural
+//! pass (attribute/test-region and brace tracking) — no external
+//! dependencies, no type information. Rules are tuned so that their
+//! false positives are rare and *loud*, never silent.
+
+pub mod config;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use config::{Config, ConfigError};
+pub use diag::{Diagnostic, Severity};
+pub use rules::{RuleInfo, RULES};
+
+use std::path::Path;
+
+/// Outcome of checking a set of files.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All diagnostics (including waived ones), in reporting order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many files were lexed and checked.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Number of non-waived errors — the exit-code driver.
+    pub fn blocking(&self) -> usize {
+        self.diagnostics.iter().filter(|d| d.is_blocking()).count()
+    }
+}
+
+/// Checks a single source text as if it lived at `rel_path` (which
+/// decides the rule profile). Used by the fixture self-tests.
+pub fn check_source(rel_path: &str, src: &str, cfg: &Config) -> Vec<Diagnostic> {
+    check_source_inner(rel_path, src, cfg, &mut Vec::new())
+}
+
+fn check_source_inner(
+    rel_path: &str,
+    src: &str,
+    cfg: &Config,
+    allow_used: &mut Vec<bool>,
+) -> Vec<Diagnostic> {
+    let Some(ruleset) = rules::classify(rel_path) else {
+        return Vec::new();
+    };
+    let all = lexer::lex(src);
+    let code: Vec<lexer::Tok> = all.iter().filter(|t| !t.is_comment()).cloned().collect();
+
+    let mut diags = rules::run_rules(rel_path, &code, ruleset);
+    let (mut waivers, mut malformed) = rules::inline_waivers(rel_path, &all, &code);
+    let unused = rules::apply_inline_waivers(rel_path, &mut diags, &mut waivers);
+    diags.append(&mut malformed);
+    diags.extend(unused);
+
+    // Config allowlist applies after inline waivers.
+    allow_used.resize(cfg.allows.len(), false);
+    for d in diags.iter_mut() {
+        if d.waived || d.severity != Severity::Error {
+            continue;
+        }
+        for (k, entry) in cfg.allows.iter().enumerate() {
+            if entry.covers(d.rule, &d.path, d.line) {
+                d.waived = true;
+                d.waive_reason = Some(entry.reason.clone());
+                allow_used[k] = true;
+                break;
+            }
+        }
+    }
+    diags
+}
+
+/// Checks every policed `.rs` file under `root` against `cfg`.
+///
+/// # Errors
+///
+/// Returns an error when the tree cannot be read or a file is not
+/// valid UTF-8 — never for rule violations (those are diagnostics).
+pub fn check_workspace(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let files =
+        walk::rust_sources(root).map_err(|e| format!("cannot walk {}: {e}", root.display()))?;
+    let mut report = Report::default();
+    let mut allow_used = vec![false; cfg.allows.len()];
+
+    for rel in &files {
+        if rules::classify(rel).is_none() {
+            continue;
+        }
+        let full = root.join(rel);
+        let src = std::fs::read_to_string(&full)
+            .map_err(|e| format!("cannot read {}: {e}", full.display()))?;
+        report.files_scanned += 1;
+        report
+            .diagnostics
+            .extend(check_source_inner(rel, &src, cfg, &mut allow_used));
+    }
+
+    // Stale allowlist entries are reported (as warnings) so the config
+    // shrinks as violations are fixed.
+    for (k, used) in allow_used.iter().enumerate() {
+        if !used {
+            let entry = &cfg.allows[k];
+            report.diagnostics.push(Diagnostic {
+                rule: "W001",
+                severity: Severity::Warning,
+                path: "detlint.toml".to_string(),
+                line: entry.config_line,
+                col: 1,
+                message: format!(
+                    "allow entry ({} at {}) matches no diagnostic",
+                    entry.rule, entry.path
+                ),
+                help: "remove the stale entry from detlint.toml".to_string(),
+                waived: false,
+                waive_reason: None,
+            });
+        }
+    }
+
+    diag::sort(&mut report.diagnostics);
+    Ok(report)
+}

@@ -1,0 +1,155 @@
+//! CLI driver: `detlint check [--root DIR] [--format text|json]
+//! [--config FILE]` and `detlint rules`.
+//!
+//! Exit codes: `0` clean (waived diagnostics and warnings are fine),
+//! `1` at least one non-waived error, `2` usage/config/IO failure.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use detlint::{config, diag, RULES};
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+}
+
+fn usage() -> &'static str {
+    "usage: detlint <check|rules> [--root DIR] [--config FILE] [--format text|json]\n\
+     \n\
+     check   lint all workspace sources against rules D001-D005\n\
+     rules   list the rules and what they enforce"
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let _bin = argv.next();
+    let Some(cmd) = argv.next() else {
+        return Err(usage().to_string());
+    };
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Text,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value_of = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value\n{}", usage()))
+        };
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value_of("--root")?),
+            "--config" => args.config = Some(PathBuf::from(value_of("--config")?)),
+            "--format" => {
+                args.format = match value_of("--format")?.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}` (text|json)")),
+                }
+            }
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok((cmd, args))
+}
+
+fn run_check(args: &Args) -> Result<ExitCode, String> {
+    let config_path = args
+        .config
+        .clone()
+        .unwrap_or_else(|| args.root.join("detlint.toml"));
+    let cfg = if config_path.exists() {
+        let text = std::fs::read_to_string(&config_path)
+            .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+        config::parse(&text).map_err(|e| e.to_string())?
+    } else {
+        config::Config::default()
+    };
+
+    if !args.root.join("Cargo.toml").exists() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml); pass --root",
+            args.root.display()
+        ));
+    }
+
+    let report = detlint::check_workspace(&args.root, &cfg)?;
+    match args.format {
+        Format::Json => println!(
+            "{}",
+            diag::render_json(&report.diagnostics, report.files_scanned)
+        ),
+        Format::Text => {
+            for d in &report.diagnostics {
+                if d.waived {
+                    continue;
+                }
+                print!("{}", diag::render_text(d));
+            }
+            let blocking = report.blocking();
+            let waived = report.diagnostics.iter().filter(|d| d.waived).count();
+            let by_rule = detlint::rules::count_by_rule(&report.diagnostics);
+            let breakdown: Vec<String> = by_rule.iter().map(|(r, n)| format!("{r}:{n}")).collect();
+            println!(
+                "detlint: {} files scanned, {} error(s){}, {} waived",
+                report.files_scanned,
+                blocking,
+                if breakdown.is_empty() {
+                    String::new()
+                } else {
+                    format!(" [{}]", breakdown.join(" "))
+                },
+                waived,
+            );
+        }
+    }
+    Ok(if report.blocking() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn run_rules_listing() {
+    println!("detlint rules:");
+    for r in &RULES {
+        println!("  {}  {}", r.id, r.summary);
+        println!("        fix: {}", r.help);
+    }
+    println!(
+        "\nwaivers: `// detlint: allow(D00X) reason=...` inline, or `[[allow]]` entries\n\
+         (rule/path/reason, optional line) in detlint.toml; reasons are mandatory."
+    );
+}
+
+fn main() -> ExitCode {
+    let (cmd, args) = match parse_args(std::env::args()) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd.as_str() {
+        "check" => match run_check(&args) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("detlint: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        "rules" => {
+            run_rules_listing();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

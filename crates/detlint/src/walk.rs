@@ -1,0 +1,66 @@
+//! Deterministic workspace traversal.
+//!
+//! `read_dir` order is OS-dependent; detlint's own output must not be,
+//! so every directory listing is sorted before descent.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into: build output, vendored deps, VCS
+/// metadata, lint self-test corpora, and experiment artifacts.
+const SKIP_DIRS: [&str; 6] = [
+    "target",
+    "vendor",
+    ".git",
+    "fixtures",
+    "results",
+    "node_modules",
+];
+
+/// Collects every `.rs` file under `root`, as sorted workspace-relative
+/// paths with forward slashes.
+pub fn rust_sources(root: &Path) -> Result<Vec<String>, std::io::Error> {
+    let mut out = Vec::new();
+    let mut stack: Vec<PathBuf> = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            entries.push(entry?.path());
+        }
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_str()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                if let Ok(rel) = path.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_crate_deterministically() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_sources(root).expect("walk");
+        assert!(files.iter().any(|f| f.ends_with("src/walk.rs")));
+        // fixtures/ is excluded from traversal.
+        assert!(files.iter().all(|f| !f.contains("fixtures/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

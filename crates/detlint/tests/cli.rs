@@ -1,0 +1,102 @@
+//! End-to-end acceptance test for the `detlint` binary: a scratch
+//! workspace seeded with one violation of every rule must fail the check
+//! with the right rule ids at the right `file:line` locations, and the
+//! same tree exits clean once the violations are fixed or waived.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("detlint-cli-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("crates/core/src")).expect("mkdir scratch tree");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("write Cargo.toml");
+    dir
+}
+
+fn run(root: &Path, extra: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_detlint"))
+        .arg("check")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn detlint");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    (out.status.code().unwrap_or(-1), text)
+}
+
+/// One violation of each rule, on known lines.
+const VIOLATIONS: &str = "\
+use std::collections::HashMap;
+pub fn all_five() -> u64 {
+    let t = std::time::Instant::now();
+    let mut rng = rand::thread_rng();
+    let n: u64 = \"7\".parse().unwrap();
+    let s: f64 = parkit::par_map(parkit::Threads::Auto, &[1.0], |&x| x).iter().sum();
+    n + t.elapsed().as_secs() + s as u64
+}
+";
+
+#[test]
+fn one_violation_per_rule_fails_with_correct_locations() {
+    let root = scratch_root("fail");
+    let file = root.join("crates/core/src/lib.rs");
+    std::fs::write(&file, VIOLATIONS).expect("write violations");
+
+    let (code, text) = run(&root, &[]);
+    assert_eq!(code, 1, "expected exit 1, output:\n{text}");
+    for (rule, line) in [
+        ("D001", 1),
+        ("D002", 3),
+        ("D003", 4),
+        ("D004", 5),
+        ("D005", 6),
+    ] {
+        assert!(text.contains(rule), "missing {rule} in:\n{text}");
+        let loc = format!("crates/core/src/lib.rs:{line}:");
+        assert!(
+            text.contains(&loc),
+            "missing location {loc} for {rule} in:\n{text}"
+        );
+    }
+
+    // JSON mode reports the same five rules and still fails.
+    let (jcode, jtext) = run(&root, &["--format", "json"]);
+    assert_eq!(jcode, 1);
+    for rule in ["D001", "D002", "D003", "D004", "D005"] {
+        assert!(jtext.contains(&format!("\"rule\":\"{rule}\"")));
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn clean_tree_exits_zero() {
+    let root = scratch_root("pass");
+    std::fs::write(
+        root.join("crates/core/src/lib.rs"),
+        "use std::collections::BTreeMap;\n\
+         pub fn ordered() -> BTreeMap<u32, u32> {\n    BTreeMap::new()\n}\n",
+    )
+    .expect("write clean source");
+
+    let (code, text) = run(&root, &[]);
+    assert_eq!(code, 0, "expected exit 0, output:\n{text}");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn missing_root_is_a_usage_error() {
+    let dir = std::env::temp_dir().join(format!(
+        "detlint-cli-{}-noroot/definitely-missing",
+        std::process::id()
+    ));
+    let (code, _) = run(&dir, &[]);
+    assert_eq!(code, 2);
+}

@@ -1,0 +1,99 @@
+//! Fixture-corpus self-tests: every `fail/` fixture must produce
+//! *exactly* the diagnostics its `//~ D00X` markers declare (rule id and
+//! line), and every `pass/` fixture must produce zero blocking
+//! diagnostics. The fixtures are checked under a synthetic strict-profile
+//! path so the corpus exercises every rule regardless of where the
+//! fixture file physically lives.
+
+use detlint::check_source;
+use detlint::config::Config;
+
+/// Synthetic path that selects the strict profile with every rule armed.
+const STRICT_PATH: &str = "crates/core/src/fixture.rs";
+
+fn load(kind: &str, name: &str) -> String {
+    let path = format!("{}/fixtures/{kind}/{name}.rs", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Parses `//~ D00X` markers: one expected (rule, line) per occurrence.
+fn expected(src: &str) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        let mut rest = line;
+        while let Some(pos) = rest.find("//~") {
+            let tail = rest[pos + 3..].trim_start();
+            let rule: String = tail
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            // Only `D` + three digits counts; prose like `D00X` in doc
+            // comments is not a marker.
+            if rule.len() == 4
+                && rule.starts_with('D')
+                && rule[1..].chars().all(|c| c.is_ascii_digit())
+            {
+                out.push((rule, (i + 1) as u32));
+            }
+            rest = &rest[pos + 3..];
+        }
+    }
+    out.sort();
+    out
+}
+
+fn blocking(src: &str) -> Vec<(String, u32)> {
+    let cfg = Config::default();
+    let mut got: Vec<(String, u32)> = check_source(STRICT_PATH, src, &cfg)
+        .into_iter()
+        .filter(|d| d.is_blocking())
+        .map(|d| (d.rule.to_string(), d.line))
+        .collect();
+    got.sort();
+    got
+}
+
+#[test]
+fn fail_fixtures_flag_exactly_the_marked_lines() {
+    for name in ["d001", "d002", "d003", "d004", "d005"] {
+        let src = load("fail", name);
+        let want = expected(&src);
+        assert!(
+            !want.is_empty(),
+            "fail fixture {name} declares no //~ markers"
+        );
+        let got = blocking(&src);
+        assert_eq!(got, want, "fixture fail/{name}.rs diagnostic mismatch");
+    }
+}
+
+#[test]
+fn pass_fixtures_are_clean() {
+    for name in ["d001", "d002", "d003", "d004", "d005"] {
+        let src = load("pass", name);
+        let got = blocking(&src);
+        assert!(
+            got.is_empty(),
+            "fixture pass/{name}.rs unexpectedly flagged: {got:?}"
+        );
+    }
+}
+
+#[test]
+fn pass_fixture_waivers_are_recorded_not_blocking() {
+    // pass/d001.rs contains two waived HashMap uses: the diagnostics must
+    // exist (waived, with the written reason) but not block.
+    let src = load("pass", "d001");
+    let diags = check_source(STRICT_PATH, &src, &Config::default());
+    let waived: Vec<_> = diags.iter().filter(|d| d.waived).collect();
+    assert_eq!(waived.len(), 2, "expected both HashMap uses waived");
+    for d in &waived {
+        assert_eq!(d.rule, "D001");
+        assert!(
+            d.waive_reason
+                .as_deref()
+                .is_some_and(|r| r.contains("lookup-only interner")),
+            "waiver must carry its written reason"
+        );
+    }
+}

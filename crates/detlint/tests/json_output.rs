@@ -1,0 +1,84 @@
+//! Locks the hand-emitted `--format json` output by round-tripping it
+//! through the vendored `serde_json` parser: every field must survive,
+//! including strings that need escaping.
+
+use detlint::config::Config;
+use detlint::diag::render_json;
+use detlint::{check_source, Diagnostic, Severity};
+use serde_json::Value;
+
+#[test]
+fn json_report_round_trips_through_serde_json() {
+    let src = r#"
+pub fn bad() -> u32 {
+    let mut m = std::collections::HashMap::new();
+    m.insert(1u32, std::time::Instant::now());
+    "x".parse::<u32>().unwrap()
+}
+"#;
+    let diags = check_source("crates/core/src/scratch.rs", src, &Config::default());
+    assert!(!diags.is_empty());
+    let text = render_json(&diags, 1);
+
+    let v: Value = serde_json::from_str(&text).expect("detlint JSON must parse");
+    assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+
+    let arr = v
+        .get("diagnostics")
+        .and_then(Value::as_array)
+        .expect("diagnostics array");
+    assert_eq!(arr.len(), diags.len());
+    for (d, j) in diags.iter().zip(arr) {
+        assert_eq!(j.get("rule").and_then(Value::as_str), Some(d.rule));
+        assert_eq!(j.get("path").and_then(Value::as_str), Some(d.path.as_str()));
+        assert_eq!(
+            j.get("line").and_then(Value::as_u64),
+            Some(u64::from(d.line))
+        );
+        assert_eq!(j.get("col").and_then(Value::as_u64), Some(u64::from(d.col)));
+        assert_eq!(
+            j.get("message").and_then(Value::as_str),
+            Some(d.message.as_str())
+        );
+        assert_eq!(j.get("waived").and_then(Value::as_bool), Some(d.waived));
+    }
+
+    let summary = v.get("summary").expect("summary object");
+    assert_eq!(
+        summary.get("files_scanned").and_then(Value::as_u64),
+        Some(1)
+    );
+    let blocking = diags.iter().filter(|d| d.is_blocking()).count() as u64;
+    assert_eq!(
+        summary.get("errors").and_then(Value::as_u64),
+        Some(blocking)
+    );
+}
+
+#[test]
+fn json_escaping_survives_hostile_strings() {
+    let d = Diagnostic {
+        rule: "D001",
+        severity: Severity::Error,
+        path: "crates/core/src/a \"b\"\\c.rs".to_string(),
+        line: 3,
+        col: 7,
+        message: "tabs\tnewlines\nunicode \u{1F980} control \u{1} quote \"".to_string(),
+        help: "back\\slash".to_string(),
+        waived: true,
+        waive_reason: Some("reason with \"quotes\"".to_string()),
+    };
+    let text = render_json(std::slice::from_ref(&d), 0);
+    let v: Value = serde_json::from_str(&text).expect("escaped JSON must parse");
+    let j = &v.get("diagnostics").and_then(Value::as_array).unwrap()[0];
+    assert_eq!(j.get("path").and_then(Value::as_str), Some(d.path.as_str()));
+    assert_eq!(
+        j.get("message").and_then(Value::as_str),
+        Some(d.message.as_str())
+    );
+    assert_eq!(j.get("help").and_then(Value::as_str), Some(d.help.as_str()));
+    assert_eq!(
+        j.get("waive_reason").and_then(Value::as_str),
+        d.waive_reason.as_deref()
+    );
+}

@@ -71,9 +71,7 @@ impl PlattScaler {
             b -= lr * gb / n;
         }
         if !a.is_finite() || !b.is_finite() {
-            return Err(MlError::NumericalError(
-                "platt calibration diverged".into(),
-            ));
+            return Err(MlError::NumericalError("platt calibration diverged".into()));
         }
         Ok(PlattScaler { a, b })
     }
@@ -170,11 +168,7 @@ impl<C: Classifier> Classifier for CalibratedClassifier<C> {
 ///
 /// Returns [`MlError::DimensionMismatch`] for unequal lengths and
 /// [`MlError::InvalidParameter`] for zero bins or empty input.
-pub fn expected_calibration_error(
-    proba: &[f32],
-    labels: &[f32],
-    n_bins: usize,
-) -> Result<f64> {
+pub fn expected_calibration_error(proba: &[f32], labels: &[f32], n_bins: usize) -> Result<f64> {
     if proba.len() != labels.len() {
         return Err(MlError::DimensionMismatch {
             expected: format!("{} labels", proba.len()),
@@ -259,7 +253,10 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..300)
             .map(|i| vec![i as f32 / 300.0, ((i * 11) % 17) as f32 / 17.0])
             .collect();
-        let y: Vec<f32> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f32> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         let ds = Dataset::from_rows(&rows, &y).unwrap();
         let mut model = CalibratedClassifier::new(LinearSvm::new().epochs(30), 0.25, 3);
         model.fit(&ds).unwrap();

@@ -190,7 +190,10 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..n)
             .map(|i| vec![(i % 20) as f32 / 20.0, ((i * 13) % 7) as f32])
             .collect();
-        let y: Vec<f32> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f32> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         Dataset::from_rows(&rows, &y).unwrap()
     }
 
@@ -206,7 +209,7 @@ mod tests {
                 seen[i] += 1;
             }
             // Train and test are disjoint.
-            let test_set: std::collections::HashSet<_> = test.iter().collect();
+            let test_set: std::collections::BTreeSet<_> = test.iter().collect();
             assert!(train.iter().all(|i| !test_set.contains(i)));
         }
         // Every sample appears in exactly one test fold.
@@ -240,9 +243,10 @@ mod tests {
     #[test]
     fn cross_validation_scores_a_learnable_problem() {
         let ds = dataset(200);
-        let scores =
-            cross_validate(&ds, 4, 3, || LogisticRegression::new().learning_rate(1.0).epochs(150))
-                .unwrap();
+        let scores = cross_validate(&ds, 4, 3, || {
+            LogisticRegression::new().learning_rate(1.0).epochs(150)
+        })
+        .unwrap();
         assert_eq!(scores.folds.len(), 4);
         assert!(scores.mean_f1() > 0.8, "mean f1 {}", scores.mean_f1());
         assert!(scores.std_f1() < 0.3);

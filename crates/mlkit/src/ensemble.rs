@@ -19,7 +19,10 @@ pub struct VotingEnsemble {
 impl std::fmt::Debug for VotingEnsemble {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("VotingEnsemble")
-            .field("members", &self.members.iter().map(|m| m.name()).collect::<Vec<_>>())
+            .field(
+                "members",
+                &self.members.iter().map(|m| m.name()).collect::<Vec<_>>(),
+            )
             .field("weights", &self.weights)
             .finish()
     }
@@ -136,7 +139,13 @@ mod tests {
             .collect();
         let y: Vec<f32> = rows
             .iter()
-            .map(|r| if (r[0] > 0.5) != (r[1] > 0.5) { 1.0 } else { 0.0 })
+            .map(|r| {
+                if (r[0] > 0.5) != (r[1] > 0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         Dataset::from_rows(&rows, &y).unwrap()
     }
@@ -191,7 +200,10 @@ mod tests {
         let mut e = VotingEnsemble::new()
             .with_member(Box::new(Gbdt::new().n_trees(25).min_samples_leaf(2)))
             .with_member(Box::new(
-                MlpClassifier::new().hidden_layers(&[16]).epochs(150).learning_rate(5e-3),
+                MlpClassifier::new()
+                    .hidden_layers(&[16])
+                    .epochs(150)
+                    .learning_rate(5e-3),
             ))
             .with_member(Box::new(LogisticRegression::new().epochs(20)));
         e.fit(&ds).unwrap();
@@ -204,8 +216,8 @@ mod tests {
     fn empty_or_zero_weight_rejected() {
         let ds = dataset(20);
         assert!(VotingEnsemble::new().fit(&ds).is_err());
-        let mut zero = VotingEnsemble::new()
-            .with_weighted_member(Box::new(LogisticRegression::new()), 0.0);
+        let mut zero =
+            VotingEnsemble::new().with_weighted_member(Box::new(LogisticRegression::new()), 0.0);
         assert!(zero.fit(&ds).is_err());
         assert!(VotingEnsemble::new().predict_proba(&ds).is_err());
     }

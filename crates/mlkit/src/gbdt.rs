@@ -315,9 +315,11 @@ impl Classifier for Gbdt {
             });
         }
         let rows: Vec<usize> = (0..data.len()).collect();
-        Ok(parkit::par_map(self.row_pass_threads(rows.len()), &rows, |&i| {
-            sigmoid(self.raw_score_row(data.x().row(i)))
-        }))
+        Ok(parkit::par_map(
+            self.row_pass_threads(rows.len()),
+            &rows,
+            |&i| sigmoid(self.raw_score_row(data.x().row(i))),
+        ))
     }
 
     fn name(&self) -> &'static str {
@@ -340,7 +342,13 @@ mod tests {
             .collect();
         let y: Vec<f32> = rows
             .iter()
-            .map(|r| if (r[0] > 0.5) != (r[1] > 0.5) { 1.0 } else { 0.0 })
+            .map(|r| {
+                if (r[0] > 0.5) != (r[1] > 0.5) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         Dataset::from_rows(&rows, &y).unwrap()
     }

@@ -47,7 +47,9 @@ pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, seed: u64) -> Result<KMean
     let mut centroids = Matrix::zeros(k, d);
     let first = rng.gen_range(0..n);
     centroids.row_mut(0).copy_from_slice(x.row(first));
-    let mut dists: Vec<f32> = (0..n).map(|i| sq_dist(x.row(i), centroids.row(0))).collect();
+    let mut dists: Vec<f32> = (0..n)
+        .map(|i| sq_dist(x.row(i), centroids.row(0)))
+        .collect();
     for c in 1..k {
         let total: f64 = dists.iter().map(|&v| v as f64).sum();
         let pick = if total <= 0.0 {

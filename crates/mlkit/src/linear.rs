@@ -228,7 +228,10 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..40)
             .map(|i| vec![i as f32 / 40.0, ((i * 7) % 13) as f32 / 13.0])
             .collect();
-        let y: Vec<f32> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f32> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         Dataset::from_rows(&rows, &y).unwrap()
     }
 
@@ -238,12 +241,7 @@ mod tests {
         let mut lr = LogisticRegression::new().learning_rate(1.0).epochs(400);
         lr.fit(&ds).unwrap();
         let pred = lr.predict(&ds).unwrap();
-        let acc = pred
-            .iter()
-            .zip(ds.y())
-            .filter(|(a, b)| a == b)
-            .count() as f64
-            / ds.len() as f64;
+        let acc = pred.iter().zip(ds.y()).filter(|(a, b)| a == b).count() as f64 / ds.len() as f64;
         assert!(acc >= 0.95, "accuracy {acc} too low");
     }
 
@@ -285,24 +283,38 @@ mod tests {
         // Imbalanced, noisy data: upweighting positives should not reduce
         // the number of predicted positives.
         let rows: Vec<Vec<f32>> = (0..100).map(|i| vec![(i % 10) as f32 / 10.0]).collect();
-        let y: Vec<f32> = (0..100).map(|i| if i % 10 >= 8 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f32> = (0..100)
+            .map(|i| if i % 10 >= 8 { 1.0 } else { 0.0 })
+            .collect();
         let ds = Dataset::from_rows(&rows, &y).unwrap();
 
         let mut plain = LogisticRegression::new().epochs(100);
         plain.fit(&ds).unwrap();
-        let plain_pos: usize = plain.predict(&ds).unwrap().iter().filter(|&&v| v == 1.0).count();
+        let plain_pos: usize = plain
+            .predict(&ds)
+            .unwrap()
+            .iter()
+            .filter(|&&v| v == 1.0)
+            .count();
 
         let mut weighted = LogisticRegression::new().epochs(100).pos_weight(8.0);
         weighted.fit(&ds).unwrap();
-        let weighted_pos: usize =
-            weighted.predict(&ds).unwrap().iter().filter(|&&v| v == 1.0).count();
+        let weighted_pos: usize = weighted
+            .predict(&ds)
+            .unwrap()
+            .iter()
+            .filter(|&&v| v == 1.0)
+            .count();
         assert!(weighted_pos >= plain_pos);
     }
 
     #[test]
     fn invalid_params_rejected() {
         let ds = separable();
-        assert!(LogisticRegression::new().learning_rate(-1.0).fit(&ds).is_err());
+        assert!(LogisticRegression::new()
+            .learning_rate(-1.0)
+            .fit(&ds)
+            .is_err());
         assert!(LogisticRegression::new().epochs(0).fit(&ds).is_err());
         assert!(LogisticRegression::new().l2(-0.1).fit(&ds).is_err());
     }

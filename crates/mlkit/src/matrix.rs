@@ -147,7 +147,9 @@ impl Matrix {
     /// Panics if `c` is out of bounds.
     pub fn col(&self, c: usize) -> Vec<f32> {
         assert!(c < self.cols, "column index out of bounds");
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Iterates over rows as slices.

@@ -162,19 +162,25 @@ impl MlpClassifier {
     /// Forward pass; returns per-layer activations (input first) and the
     /// output logit.
     fn forward(&self, x: &[f32]) -> (Vec<Vec<f32>>, f32) {
-        let mut acts: Vec<Vec<f32>> = vec![x.to_vec()];
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.layers.len() + 1);
+        // `cur` always holds the most recent activation, so no layer
+        // ever has to reach back into `acts` (which would need a panic
+        // or a default on the impossible empty case).
+        let mut cur: Vec<f32> = x.to_vec();
         let mut buf = Vec::new();
         for (li, layer) in self.layers.iter().enumerate() {
-            layer.forward(acts.last().expect("non-empty"), &mut buf);
+            layer.forward(&cur, &mut buf);
             let last = li + 1 == self.layers.len();
             if !last {
                 for v in buf.iter_mut() {
                     *v = v.max(0.0); // ReLU
                 }
             }
-            acts.push(buf.clone());
+            acts.push(std::mem::take(&mut cur));
+            cur = buf.clone();
         }
-        let logit = acts.last().expect("non-empty")[0];
+        let logit = cur.first().copied().unwrap_or_default();
+        acts.push(cur);
         (acts, logit)
     }
 
@@ -363,7 +369,10 @@ mod tests {
     #[test]
     fn learns_xor() {
         let ds = xor_dataset(120);
-        let mut nn = MlpClassifier::new().hidden_layers(&[16]).epochs(300).learning_rate(5e-3);
+        let mut nn = MlpClassifier::new()
+            .hidden_layers(&[16])
+            .epochs(300)
+            .learning_rate(5e-3);
         nn.fit(&ds).unwrap();
         let pred = nn.predict(&ds).unwrap();
         let acc = pred.iter().zip(ds.y()).filter(|(a, b)| a == b).count() as f64 / 120.0;

@@ -114,12 +114,7 @@ pub fn smote(ds: &Dataset, max_ratio: f64, k: usize, seed: u64) -> Result<Datase
             .iter()
             .enumerate()
             .filter(|&(b2, _)| b2 != a)
-            .map(|(b2, &ib)| {
-                (
-                    crate::matrix::sq_dist(ds.x().row(ia), ds.x().row(ib)),
-                    b2,
-                )
-            })
+            .map(|(b2, &ib)| (crate::matrix::sq_dist(ds.x().row(ia), ds.x().row(ib)), b2))
             .collect();
         d.sort_by(|x, y| x.0.partial_cmp(&y.0).unwrap_or(std::cmp::Ordering::Equal));
         neighbours.push(d.into_iter().take(k_eff).map(|(_, b2)| b2).collect());
@@ -131,7 +126,11 @@ pub fn smote(ds: &Dataset, max_ratio: f64, k: usize, seed: u64) -> Result<Datase
     for s in 0..n_synth {
         let a = rng.gen_range(0..pos.len());
         let nb_list = &neighbours[a];
-        let b = if nb_list.is_empty() { a } else { nb_list[rng.gen_range(0..nb_list.len())] };
+        let b = if nb_list.is_empty() {
+            a
+        } else {
+            nb_list[rng.gen_range(0..nb_list.len())]
+        };
         let frac: f32 = rng.gen();
         let ra = ds.x().row(pos[a]);
         let rb = ds.x().row(pos[b]);
@@ -140,8 +139,8 @@ pub fn smote(ds: &Dataset, max_ratio: f64, k: usize, seed: u64) -> Result<Datase
             srow[j] = ra[j] + frac * (rb[j] - ra[j]);
         }
     }
-    let synth_ds = Dataset::new(synth, vec![1.0; n_synth])?
-        .with_feature_names(ds.feature_names().to_vec())?;
+    let synth_ds =
+        Dataset::new(synth, vec![1.0; n_synth])?.with_feature_names(ds.feature_names().to_vec())?;
     let mut out = ds.concat(&synth_ds)?;
     // Shuffle so downstream mini-batch training sees mixed classes.
     let mut idx: Vec<usize> = (0..out.len()).collect();

@@ -88,7 +88,11 @@ impl StandardScaler {
             let orow = out.row_mut(i);
             for (j, &v) in row.iter().enumerate() {
                 let s = self.stds[j];
-                orow[j] = if s > 0.0 { (v - self.means[j]) / s } else { 0.0 };
+                orow[j] = if s > 0.0 {
+                    (v - self.means[j]) / s
+                } else {
+                    0.0
+                };
             }
         }
         Dataset::new(out, data.y().to_vec())?.with_feature_names(data.feature_names().to_vec())
@@ -219,7 +223,9 @@ mod tests {
 
     #[test]
     fn fit_empty_fails() {
-        let empty = Dataset::from_rows(&[vec![1.0]], &[0.0]).unwrap().select(&[]);
+        let empty = Dataset::from_rows(&[vec![1.0]], &[0.0])
+            .unwrap()
+            .select(&[]);
         assert!(StandardScaler::fit(&empty).is_err());
         assert!(MinMaxScaler::fit(&empty).is_err());
     }

@@ -83,7 +83,11 @@ pub fn spearman(xs: &[f64], ys: &[f64]) -> Result<f64> {
 /// Average ranks (1-based) with ties sharing their mean rank.
 pub fn ranks(xs: &[f64]) -> Vec<f64> {
     let mut order: Vec<usize> = (0..xs.len()).collect();
-    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        xs[a]
+            .partial_cmp(&xs[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; xs.len()];
     let mut i = 0;
     while i < order.len() {
@@ -325,7 +329,10 @@ impl Histogram {
         if total == 0 {
             return vec![0.0; self.counts.len()];
         }
-        self.counts.iter().map(|&c| c as f64 / total as f64).collect()
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
     }
 
     /// Centre of bin `i`.

@@ -255,9 +255,15 @@ impl Classifier for SvmRbf {
                 let ej = decision(&alpha, b, &k, j) - y[j];
                 let (ai_old, aj_old) = (alpha[i], alpha[j]);
                 let (lo, hi) = if y[i] != y[j] {
-                    ((aj_old - ai_old).max(0.0), (self.c + aj_old - ai_old).min(self.c))
+                    (
+                        (aj_old - ai_old).max(0.0),
+                        (self.c + aj_old - ai_old).min(self.c),
+                    )
                 } else {
-                    ((ai_old + aj_old - self.c).max(0.0), (ai_old + aj_old).min(self.c))
+                    (
+                        (ai_old + aj_old - self.c).max(0.0),
+                        (ai_old + aj_old).min(self.c),
+                    )
                 };
                 if lo >= hi {
                     continue;
@@ -274,10 +280,12 @@ impl Classifier for SvmRbf {
                 let ai = ai_old + y[i] * y[j] * (aj_old - aj);
                 alpha[i] = ai;
                 alpha[j] = aj;
-                let b1 = b - ei
+                let b1 = b
+                    - ei
                     - y[i] * (ai - ai_old) * k[i * n + i]
                     - y[j] * (aj - aj_old) * k[i * n + j];
-                let b2 = b - ej
+                let b2 = b
+                    - ej
                     - y[i] * (ai - ai_old) * k[i * n + j]
                     - y[j] * (aj - aj_old) * k[j * n + j];
                 b = if ai > 0.0 && ai < self.c {
@@ -482,7 +490,10 @@ mod tests {
         let rows: Vec<Vec<f32>> = (0..n)
             .map(|i| vec![i as f32 / n as f32, ((i * 13) % 17) as f32 / 17.0])
             .collect();
-        let y: Vec<f32> = rows.iter().map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 }).collect();
+        let y: Vec<f32> = rows
+            .iter()
+            .map(|r| if r[0] > 0.5 { 1.0 } else { 0.0 })
+            .collect();
         Dataset::from_rows(&rows, &y).unwrap()
     }
 

@@ -275,7 +275,13 @@ impl RegressionTree {
     }
 
     /// Recursively grows the subtree over `indices`; returns the node id.
-    fn build(&mut self, ctx: &BuildCtx<'_>, indices: &mut [usize], depth: usize, rng: &mut StdRng) -> usize {
+    fn build(
+        &mut self,
+        ctx: &BuildCtx<'_>,
+        indices: &mut [usize],
+        depth: usize,
+        rng: &mut StdRng,
+    ) -> usize {
         let (g_sum, h_sum) = sums(ctx.grad, ctx.hess, indices);
         let leaf_value = (-g_sum / (h_sum + ctx.params.lambda)) as f32;
 
@@ -338,7 +344,11 @@ impl RegressionTree {
                     right,
                     ..
                 } => {
-                    node = if row[*feature] < *threshold { *left } else { *right };
+                    node = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }

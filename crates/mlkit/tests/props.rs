@@ -9,23 +9,17 @@ use mlkit::scaler::{MinMaxScaler, StandardScaler};
 use mlkit::tree::QuantileBinner;
 use proptest::prelude::*;
 
-fn dataset_strategy(
-    max_n: usize,
-    d: usize,
-) -> impl Strategy<Value = Dataset> {
-    prop::collection::vec(
-        (prop::collection::vec(-10.0f32..10.0, d), 0u8..2),
-        4..max_n,
-    )
-    .prop_filter_map("needs both classes", |rows| {
-        let x: Vec<Vec<f32>> = rows.iter().map(|(r, _)| r.clone()).collect();
-        let y: Vec<f32> = rows.iter().map(|&(_, l)| l as f32).collect();
-        let pos = y.iter().filter(|&&v| v == 1.0).count();
-        if pos == 0 || pos == y.len() {
-            return None;
-        }
-        Dataset::from_rows(&x, &y).ok()
-    })
+fn dataset_strategy(max_n: usize, d: usize) -> impl Strategy<Value = Dataset> {
+    prop::collection::vec((prop::collection::vec(-10.0f32..10.0, d), 0u8..2), 4..max_n)
+        .prop_filter_map("needs both classes", |rows| {
+            let x: Vec<Vec<f32>> = rows.iter().map(|(r, _)| r.clone()).collect();
+            let y: Vec<f32> = rows.iter().map(|&(_, l)| l as f32).collect();
+            let pos = y.iter().filter(|&&v| v == 1.0).count();
+            if pos == 0 || pos == y.len() {
+                return None;
+            }
+            Dataset::from_rows(&x, &y).ok()
+        })
 }
 
 proptest! {

@@ -58,9 +58,8 @@ impl Threads {
         match self {
             Threads::Serial => 1,
             Threads::Fixed(n) => n.max(1),
-            Threads::Auto => env_override().unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, usize::from)
-            }),
+            Threads::Auto => env_override()
+                .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from)),
         }
     }
 
@@ -131,11 +130,7 @@ where
 /// # Errors
 ///
 /// Returns the error produced at the lowest failing input index.
-pub fn try_par_map_indexed<T, U, E, F>(
-    threads: Threads,
-    items: &[T],
-    f: F,
-) -> Result<Vec<U>, E>
+pub fn try_par_map_indexed<T, U, E, F>(threads: Threads, items: &[T], f: F) -> Result<Vec<U>, E>
 where
     T: Sync,
     U: Send,
@@ -230,6 +225,7 @@ where
     }
     Ok(out
         .into_iter()
+        // detlint: allow(D004) reason=infallible by construction: the chunk cursor hands out each index exactly once, proven by the equivalence suite
         .map(|slot| slot.expect("parkit: every index visited exactly once"))
         .collect())
 }
@@ -260,6 +256,36 @@ where
     });
 }
 
+/// Sums float results of a parallel map in their original slice order.
+///
+/// Float addition is not associative, so reducing `par_map` output with
+/// an order that depends on the thread schedule would make results vary
+/// across thread counts. This helper fixes the reduction order to the
+/// input order: the sum is bit-identical for every [`Threads`] policy.
+pub fn sum_in_order(values: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for &v in values {
+        acc += v;
+    }
+    acc
+}
+
+/// Folds values in their original slice order with an explicit
+/// accumulator — the general-purpose sibling of [`sum_in_order`] for
+/// non-additive reductions (products, running maxima with tie rules,
+/// compensated sums). The fold is strictly left-to-right, so the result
+/// is independent of how the values were produced in parallel.
+pub fn fold_in_order<T, A, F>(values: &[T], init: A, mut f: F) -> A
+where
+    F: FnMut(A, &T) -> A,
+{
+    let mut acc = init;
+    for v in values {
+        acc = f(acc, v);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +297,16 @@ mod tests {
         assert_eq!(Threads::Fixed(0).resolve(), 1);
         assert!(Threads::Auto.resolve() >= 1);
         assert!(Threads::Serial.is_serial());
+    }
+
+    #[test]
+    fn in_order_reductions_match_serial() {
+        let items: Vec<u64> = (0..1000).collect();
+        let mapped = par_map(Threads::Fixed(8), &items, |&x| (x as f64) * 0.1);
+        let serial: f64 = items.iter().map(|&x| (x as f64) * 0.1).sum();
+        assert_eq!(sum_in_order(&mapped).to_bits(), serial.to_bits());
+        let folded = fold_in_order(&mapped, 0.0f64, |acc, &v| acc + v);
+        assert_eq!(folded.to_bits(), serial.to_bits());
     }
 
     #[test]
@@ -293,14 +329,13 @@ mod tests {
     fn first_error_wins_regardless_of_schedule() {
         let items: Vec<u32> = (0..500).collect();
         for threads in [Threads::Serial, Threads::Fixed(8)] {
-            let res: Result<Vec<u32>, String> =
-                try_par_map(threads, &items, |&x| {
-                    if x >= 123 {
-                        Err(format!("bad {x}"))
-                    } else {
-                        Ok(x)
-                    }
-                });
+            let res: Result<Vec<u32>, String> = try_par_map(threads, &items, |&x| {
+                if x >= 123 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            });
             assert_eq!(res.unwrap_err(), "bad 123");
         }
     }

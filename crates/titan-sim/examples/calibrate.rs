@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release -p titan-sim --example calibrate`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use titan_sim::config::SimConfig;
 use titan_sim::engine::generate_full;
 
@@ -17,8 +17,7 @@ fn report(name: &str, cfg: &SimConfig) {
     let n_nodes = cfg.topology.n_nodes() as usize;
 
     // Within offender-node samples: positive ratio (stage-2 balance).
-    let offender_set: std::collections::HashSet<u32> =
-        offenders.iter().map(|n| n.0).collect();
+    let offender_set: std::collections::BTreeSet<u32> = offenders.iter().map(|n| n.0).collect();
     let on_offender: Vec<_> = samples
         .iter()
         .filter(|s| offender_set.contains(&s.node.0))
@@ -26,7 +25,7 @@ fn report(name: &str, cfg: &SimConfig) {
     let pos_on_offender = on_offender.iter().filter(|s| s.is_affected()).count();
 
     // App concentration: share of SBEs held by the top 20% of apps.
-    let mut per_app: HashMap<u32, u64> = HashMap::new();
+    let mut per_app: BTreeMap<u32, u64> = BTreeMap::new();
     for s in samples {
         let app = trace.app_of(s.aprun).expect("valid aprun");
         *per_app.entry(app.0).or_insert(0) += s.sbe_true as u64;
@@ -51,8 +50,7 @@ fn report(name: &str, cfg: &SimConfig) {
         }
     };
     let dt = mean(true, &|s| s.avg_gpu_temp_c as f64) - mean(false, &|s| s.avg_gpu_temp_c as f64);
-    let dp =
-        mean(true, &|s| s.avg_gpu_power_w as f64) - mean(false, &|s| s.avg_gpu_power_w as f64);
+    let dp = mean(true, &|s| s.avg_gpu_power_w as f64) - mean(false, &|s| s.avg_gpu_power_w as f64);
 
     println!("== {name} ==  (generated in {elapsed:.1?})");
     println!(
@@ -81,9 +79,7 @@ fn report(name: &str, cfg: &SimConfig) {
     );
     println!("  affected-vs-free temp shift: {dt:+.2} C (target ~+3)");
     println!("  affected-vs-free power shift: {dp:+.2} W (target ~+15)");
-    let util = trace
-        .schedule()
-        .utilization(n_nodes, cfg.total_minutes());
+    let util = trace.schedule().utilization(n_nodes, cfg.total_minutes());
     println!("  utilization: {util:.2}");
 }
 

@@ -95,8 +95,7 @@ impl AppCatalog {
         let n_late = ((n as f64) * cfg.late_app_fraction).round() as usize;
         let late_start = trace_days.saturating_sub(trace_days / 4);
 
-        let intensity_dist =
-            LogNormal::new(1.0, 0.9).expect("static lognormal parameters are valid");
+        let intensity_dist = LogNormal::new(1.0, 0.9)?;
         let mut profiles = Vec::with_capacity(n);
         for i in 0..n {
             // Zipf popularity by rank (rank order is the catalogue order).
@@ -110,9 +109,8 @@ impl AppCatalog {
             } else {
                 rng.gen_range(0.05..0.75)
             };
-            let core_util: f64 = (mem_util * rng.gen_range(0.7..1.2)
-                + rng.gen_range(0.0..0.25))
-            .clamp(0.05, 1.0);
+            let core_util: f64 =
+                (mem_util * rng.gen_range(0.7..1.2) + rng.gen_range(0.0..0.25)).clamp(0.05, 1.0);
             let runtime_shift = if error_prone {
                 rng.gen_range(0.2..0.8)
             } else {
@@ -282,7 +280,11 @@ mod tests {
             }
         }
         // Zipf(1.1): top 20% of apps should receive well over half the draws.
-        assert!(head as f64 / n as f64 > 0.6, "head fraction {}", head as f64 / n as f64);
+        assert!(
+            head as f64 / n as f64 > 0.6,
+            "head fraction {}",
+            head as f64 / n as f64
+        );
     }
 
     #[test]

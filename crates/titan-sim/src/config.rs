@@ -209,6 +209,7 @@ impl SimConfig {
     pub fn scaled(seed: u64) -> SimConfig {
         SimConfig {
             seed,
+            // detlint: allow(D004) reason=preset constructor; dimensions are compile-time constants covered by topology unit tests
             topology: Topology::scaled().expect("static dimensions are valid"),
             days: 150,
             workload: WorkloadConfig::default(),
@@ -229,6 +230,7 @@ impl SimConfig {
     /// for completeness and scalability benches.
     pub fn titan_scale(seed: u64) -> SimConfig {
         let mut cfg = SimConfig::scaled(seed);
+        // detlint: allow(D004) reason=preset constructor; dimensions are compile-time constants covered by topology unit tests
         cfg.topology = Topology::titan().expect("static dimensions are valid");
         // Titan ran far more concurrent work.
         cfg.workload.jobs_per_day = 2_600.0;
@@ -238,6 +240,7 @@ impl SimConfig {
     /// Tiny deterministic system for unit tests: 64 nodes, 30 days.
     pub fn tiny(seed: u64) -> SimConfig {
         let mut cfg = SimConfig::scaled(seed);
+        // detlint: allow(D004) reason=preset constructor; dimensions are compile-time constants covered by topology unit tests
         cfg.topology = Topology::tiny().expect("static dimensions are valid");
         cfg.days = 30;
         cfg.workload.n_applications = 40;
@@ -290,7 +293,10 @@ impl SimConfig {
             ("workload.late_app_fraction", w.late_app_fraction),
             ("fault.weak_gpu_fraction", self.fault.weak_gpu_fraction),
             ("fault.weak_onset_fraction", self.fault.weak_onset_fraction),
-            ("fault.weak_repair_fraction", self.fault.weak_repair_fraction),
+            (
+                "fault.weak_repair_fraction",
+                self.fault.weak_repair_fraction,
+            ),
         ] {
             if !(0.0..=1.0).contains(&v) {
                 return Err(SimError::InvalidConfig {
@@ -343,7 +349,10 @@ impl SimConfig {
         if f.healthy_relative_susceptibility < 0.0 || f.healthy_relative_susceptibility > 1.0 {
             return Err(SimError::InvalidConfig {
                 field: "fault.healthy_relative_susceptibility",
-                reason: format!("must be in [0, 1], got {}", f.healthy_relative_susceptibility),
+                reason: format!(
+                    "must be in [0, 1], got {}",
+                    f.healthy_relative_susceptibility
+                ),
             });
         }
         Ok(())

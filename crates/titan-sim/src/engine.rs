@@ -20,7 +20,7 @@ use crate::topology::{NodeId, SlotId};
 use crate::trace::{SampleRecord, TraceSet};
 use crate::{Result, SimError};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The look-back horizons (minutes before run start) used for historical
 /// temperature/power features — the paper's 5/15/30/60-minute windows.
@@ -209,7 +209,7 @@ impl<'a> TelemetryQueryEngine<'a> {
     pub fn query(&self, pairs: &[(ApRunId, NodeId)]) -> Result<Vec<SampleTelemetry>> {
         let topo = &self.trace.config().topology;
         // Group query indices by slot.
-        let mut by_slot: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut by_slot: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for (i, &(aprun, node)) in pairs.iter().enumerate() {
             let run = self.trace.aprun(aprun)?;
             if !run.nodes.contains(&node) {
@@ -252,8 +252,7 @@ impl<'a> TelemetryQueryEngine<'a> {
                         let lo = s.saturating_sub(win);
                         if lo < s {
                             st.prev_temp[w] = series.stats(node, SeriesKind::GpuTemp, lo, s)?;
-                            st.prev_power[w] =
-                                series.stats(node, SeriesKind::GpuPower, lo, s)?;
+                            st.prev_power[w] = series.stats(node, SeriesKind::GpuPower, lo, s)?;
                         }
                     }
                     acc.push((qi, st));
@@ -285,7 +284,7 @@ impl<'a> TelemetryQueryEngine<'a> {
         lookback_min: u64,
     ) -> Result<Vec<(Vec<f32>, Vec<f32>)>> {
         let topo = &self.trace.config().topology;
-        let mut by_slot: HashMap<u32, Vec<usize>> = HashMap::new();
+        let mut by_slot: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
         for (i, &(aprun, node)) in pairs.iter().enumerate() {
             let run = self.trace.aprun(aprun)?;
             if !run.nodes.contains(&node) {
@@ -308,8 +307,12 @@ impl<'a> TelemetryQueryEngine<'a> {
                 let lo = start.saturating_sub(lookback_min);
                 if lo < start {
                     out[qi] = (
-                        series.series(node, SeriesKind::GpuTemp, lo, start)?.to_vec(),
-                        series.series(node, SeriesKind::GpuPower, lo, start)?.to_vec(),
+                        series
+                            .series(node, SeriesKind::GpuTemp, lo, start)?
+                            .to_vec(),
+                        series
+                            .series(node, SeriesKind::GpuPower, lo, start)?
+                            .to_vec(),
                     );
                 }
             }

@@ -29,6 +29,17 @@ pub enum SimError {
     },
 }
 
+impl From<rand_distr::Error> for SimError {
+    /// Distribution-construction failures are configuration errors: the
+    /// parameters always come from a (validated) config field.
+    fn from(e: rand_distr::Error) -> SimError {
+        SimError::InvalidConfig {
+            field: "distribution",
+            reason: e.to_string(),
+        }
+    }
+}
+
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -38,7 +49,11 @@ impl fmt::Display for SimError {
             SimError::UnknownEntity { kind, id } => {
                 write!(f, "unknown {kind} with id {id}")
             }
-            SimError::InvalidTimeRange { start, end, horizon } => {
+            SimError::InvalidTimeRange {
+                start,
+                end,
+                horizon,
+            } => {
                 write!(
                     f,
                     "invalid time range [{start}, {end}) for horizon {horizon} minutes"
@@ -56,7 +71,10 @@ mod tests {
 
     #[test]
     fn display_and_traits() {
-        let e = SimError::UnknownEntity { kind: "node", id: 9 };
+        let e = SimError::UnknownEntity {
+            kind: "node",
+            id: 9,
+        };
         assert_eq!(e.to_string(), "unknown node with id 9");
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<SimError>();

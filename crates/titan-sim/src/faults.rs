@@ -55,8 +55,7 @@ impl FaultModel {
         let n = cfg.topology.n_nodes() as usize;
         let mut rng = stream_rng(cfg.seed, "faults");
         // Median-1 lognormal for weak GPUs.
-        let weak_dist = LogNormal::new(f.weak_susceptibility_mu, f.weak_susceptibility_sigma)
-            .expect("validated sigma is finite");
+        let weak_dist = LogNormal::new(f.weak_susceptibility_mu, f.weak_susceptibility_sigma)?;
         let mut susceptibility = Vec::with_capacity(n);
         let mut weak = Vec::with_capacity(n);
         let mut active_from_day = Vec::with_capacity(n);
@@ -87,8 +86,7 @@ impl FaultModel {
         }
         // Daily flux: lognormal with unit mean, ramped by the trend.
         let sigma = f.daily_flux_sigma;
-        let flux_dist = LogNormal::new(-sigma * sigma / 2.0, sigma)
-            .expect("validated sigma is finite");
+        let flux_dist = LogNormal::new(-sigma * sigma / 2.0, sigma)?;
         let days = cfg.days as usize;
         let daily_flux = (0..days)
             .map(|d| {
@@ -187,8 +185,7 @@ impl FaultModel {
         let day = (start_min / MINUTES_PER_DAY) as usize;
         // Outside a weak card's active window it behaves near-healthy.
         let idx = node.0 as usize;
-        if (day as u32) < self.active_from_day[idx] || (day as u32) >= self.active_until_day[idx]
-        {
+        if (day as u32) < self.active_from_day[idx] || (day as u32) >= self.active_until_day[idx] {
             susc *= 0.02;
         }
         let flux = self
@@ -331,8 +328,7 @@ mod tests {
         let fm = FaultModel::generate(&cfg).unwrap();
         let flux = fm.daily_flux();
         assert_eq!(flux.len(), cfg.days as usize);
-        let first_half: f64 =
-            flux[..flux.len() / 2].iter().sum::<f64>() / (flux.len() / 2) as f64;
+        let first_half: f64 = flux[..flux.len() / 2].iter().sum::<f64>() / (flux.len() / 2) as f64;
         let second_half: f64 =
             flux[flux.len() / 2..].iter().sum::<f64>() / (flux.len() - flux.len() / 2) as f64;
         // Trend pushes the later mean up.
@@ -354,7 +350,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let lambda = 3.0;
         let n = 20_000;
-        let total: u64 = (0..n).map(|_| fm.sample_count(lambda, &mut rng) as u64).sum();
+        let total: u64 = (0..n)
+            .map(|_| fm.sample_count(lambda, &mut rng) as u64)
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - lambda).abs() < 0.1, "mean {mean}");
     }

@@ -59,7 +59,11 @@ impl XorShift64 {
     /// Creates a generator; a zero seed is remapped to a fixed constant.
     pub fn new(seed: u64) -> XorShift64 {
         XorShift64 {
-            state: if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed },
+            state: if seed == 0 {
+                0x9e37_79b9_7f4a_7c15
+            } else {
+                seed
+            },
         }
     }
 

@@ -112,8 +112,7 @@ impl Schedule {
 
         // Job arrivals, chronologically.
         let mut arrivals: Vec<(u64, u32)> = Vec::new(); // (minute, day)
-        let poisson =
-            Poisson::new(cfg.workload.jobs_per_day).expect("validated jobs_per_day > 0");
+        let poisson = Poisson::new(cfg.workload.jobs_per_day)?;
         for day in 0..cfg.days {
             let n_jobs = poisson.sample(&mut rng) as usize;
             for _ in 0..n_jobs {
@@ -140,12 +139,10 @@ impl Schedule {
             let n_apruns = 1 + extra.min(5);
 
             // Per-aprun runtimes from the app's lognormal.
-            let runtime_dist = LogNormal::new(profile.runtime_log_mean, profile.runtime_log_sigma)
-                .expect("validated runtime sigma > 0");
+            let runtime_dist = LogNormal::new(profile.runtime_log_mean, profile.runtime_log_sigma)?;
             let runtimes: Vec<u64> = (0..n_apruns)
                 .map(|_| {
-                    (runtime_dist.sample(&mut rng) as u64)
-                        .clamp(5, cfg.workload.max_runtime_min)
+                    (runtime_dist.sample(&mut rng) as u64).clamp(5, cfg.workload.max_runtime_min)
                 })
                 .collect();
             let total: u64 = runtimes.iter().sum();

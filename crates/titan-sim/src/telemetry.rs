@@ -227,8 +227,8 @@ impl<'a> TelemetrySimulator<'a> {
         let mut cursors = vec![0usize; k];
         let locs: Vec<_> = nodes
             .iter()
-            .map(|&n| topo.location(n).expect("slot members are valid"))
-            .collect();
+            .map(|&n| topo.location(n))
+            .collect::<Result<_>>()?;
 
         // Static ambient component per member; the diurnal term is shared
         // because slot members never straddle a cabinet.
@@ -290,8 +290,7 @@ impl<'a> TelemetrySimulator<'a> {
                 } else {
                     0.0
                 };
-                let target =
-                    amb + t.temp_per_watt * powers[i] + t.neighbor_temp_per_watt * nei_avg;
+                let target = amb + t.temp_per_watt * powers[i] + t.neighbor_temp_per_watt * nei_avg;
                 gpu_temp_state[i] += t.thermal_inertia * (target - gpu_temp_state[i]);
                 let temp = gpu_temp_state[i] + temp_noise[i].step(&mut rngs[i]);
 
@@ -378,10 +377,7 @@ impl SlotSeries {
 
     fn clip(&self, start_min: u64, end_min: u64) -> Result<(usize, usize)> {
         let len = self.len() as u64;
-        if start_min < self.start_min
-            || end_min <= start_min
-            || end_min - self.start_min > len
-        {
+        if start_min < self.start_min || end_min <= start_min || end_min - self.start_min > len {
             return Err(SimError::InvalidTimeRange {
                 start: start_min,
                 end: end_min,
@@ -556,14 +552,21 @@ mod tests {
         let (node, iv) = pick.expect("tiny workload has a >=60 min run");
         let slot = cfg.topology.slot_of(node).unwrap();
         let series = sim.simulate_slot(slot).unwrap();
-        let busy_t = series.mean(node, SeriesKind::GpuTemp, iv.start_min + 10, iv.end_min).unwrap();
+        let busy_t = series
+            .mean(node, SeriesKind::GpuTemp, iv.start_min + 10, iv.end_min)
+            .unwrap();
         let busy_p = series
             .mean(node, SeriesKind::GpuPower, iv.start_min + 10, iv.end_min)
             .unwrap();
         // Compare to the window right before the run starts (idle or not,
         // power at idle is the common case in the tiny config).
         let idle_p = series
-            .mean(node, SeriesKind::GpuPower, iv.start_min.saturating_sub(60), iv.start_min)
+            .mean(
+                node,
+                SeriesKind::GpuPower,
+                iv.start_min.saturating_sub(60),
+                iv.start_min,
+            )
             .unwrap();
         assert!(busy_p > idle_p + 10.0, "busy {busy_p} vs idle {idle_p}");
         assert!(busy_t > cfg.telemetry.ambient_base_c, "busy temp {busy_t}");
@@ -598,7 +601,11 @@ mod tests {
             acc += series.mean(n, SeriesKind::GpuPower, 0, 100).unwrap();
         }
         let manual = acc / (nodes.len() - 1) as f64;
-        assert!((nei.mean as f64 - manual).abs() < 0.05, "{} vs {manual}", nei.mean);
+        assert!(
+            (nei.mean as f64 - manual).abs() < 0.05,
+            "{} vs {manual}",
+            nei.mean
+        );
     }
 
     #[test]
@@ -614,7 +621,9 @@ mod tests {
         let node = series.nodes()[0];
         assert!(series.series(node, SeriesKind::GpuTemp, 0, 50).is_err());
         assert!(series.series(node, SeriesKind::GpuTemp, 150, 250).is_err());
-        assert!(series.series(NodeId(9_999), SeriesKind::GpuTemp, 100, 150).is_err());
+        assert!(series
+            .series(NodeId(9_999), SeriesKind::GpuTemp, 100, 150)
+            .is_err());
     }
 
     #[test]

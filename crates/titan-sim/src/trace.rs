@@ -14,7 +14,7 @@ use crate::schedule::{ApRun, ApRunId, Job, Schedule};
 use crate::topology::NodeId;
 use crate::{Result, SimError};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One (aprun, node) observation — the unit the paper's classifier labels.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -94,7 +94,7 @@ impl TraceSet {
 
         // Job-level attribution: sum sbe_true per (job, node), then write
         // the total back into every aprun of that job on that node.
-        let mut job_node: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut job_node: BTreeMap<(u32, u32), u32> = BTreeMap::new();
         for s in &samples {
             let job = schedule.apruns()[s.aprun.0 as usize].job_id;
             *job_node.entry((job.0, s.node.0)).or_insert(0) += s.sbe_true;

@@ -124,14 +124,26 @@ fn slot_range_queries_compose() {
     let catalog = AppCatalog::generate(&cfg.workload, cfg.seed, cfg.days).expect("catalog");
     let schedule = Schedule::generate(&cfg, &catalog).expect("schedule");
     let sim = TelemetrySimulator::new(&cfg, &schedule, &catalog).expect("simulator");
-    let full = sim.simulate_slot_range(SlotId(0), 0, 600).expect("simulates");
+    let full = sim
+        .simulate_slot_range(SlotId(0), 0, 600)
+        .expect("simulates");
     let node = NodeId(0);
     // Two half-range queries agree with the full range.
-    let a = sim.simulate_slot_range(SlotId(0), 0, 300).expect("simulates");
-    let b = sim.simulate_slot_range(SlotId(0), 300, 600).expect("simulates");
-    let f = full.series(node, SeriesKind::GpuPower, 0, 600).expect("in range");
-    let fa = a.series(node, SeriesKind::GpuPower, 0, 300).expect("in range");
-    let fb = b.series(node, SeriesKind::GpuPower, 300, 600).expect("in range");
+    let a = sim
+        .simulate_slot_range(SlotId(0), 0, 300)
+        .expect("simulates");
+    let b = sim
+        .simulate_slot_range(SlotId(0), 300, 600)
+        .expect("simulates");
+    let f = full
+        .series(node, SeriesKind::GpuPower, 0, 600)
+        .expect("in range");
+    let fa = a
+        .series(node, SeriesKind::GpuPower, 0, 300)
+        .expect("in range");
+    let fb = b
+        .series(node, SeriesKind::GpuPower, 300, 600)
+        .expect("in range");
     assert_eq!(&f[..300], fa);
     assert_eq!(&f[300..], fb);
 }

@@ -253,7 +253,8 @@ impl<F: Forecaster> Forecaster for DiffForecaster<F> {
         }
         let diffs = Self::difference(history);
         let dfc = self.inner.forecast(&diffs, horizon)?;
-        let mut level = *history.last().expect("non-empty");
+        // Guarded: `history.len() >= 2` was checked above.
+        let mut level = history.last().copied().unwrap_or_default();
         Ok(dfc
             .into_iter()
             .map(|d| {

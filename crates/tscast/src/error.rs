@@ -26,7 +26,10 @@ impl fmt::Display for TsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TsError::SeriesTooShort { needed, got } => {
-                write!(f, "series too short: need at least {needed} observations, got {got}")
+                write!(
+                    f,
+                    "series too short: need at least {needed} observations, got {got}"
+                )
             }
             TsError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")

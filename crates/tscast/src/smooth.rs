@@ -50,10 +50,9 @@ impl Forecaster for Ewma {
                 reason: "must be >= 1".into(),
             });
         }
-        let level = self.level(history).ok_or(TsError::SeriesTooShort {
-            needed: 1,
-            got: 0,
-        })?;
+        let level = self
+            .level(history)
+            .ok_or(TsError::SeriesTooShort { needed: 1, got: 0 })?;
         Ok(vec![level; horizon])
     }
 

@@ -28,7 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace = generate(&SimConfig::tiny(7))?;
     let split = DsSplit::ds1(&trace)?;
     let mut model = TwoStage::new(
-        Gbdt::new().n_trees(80).max_depth(5).min_samples_leaf(5).pos_weight(2.0),
+        Gbdt::new()
+            .n_trees(80)
+            .max_depth(5)
+            .min_samples_leaf(5)
+            .pos_weight(2.0),
         FeatureSpec::all(),
     );
     let outcome = model.run(&trace, &split)?;
@@ -49,15 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let p = outcome.probabilities[i];
             if p < threshold {
                 off_runs += 1;
-                saved_node_hours +=
-                    s.runtime_min() as f64 / 60.0 * ECC_OVERHEAD;
+                saved_node_hours += s.runtime_min() as f64 / 60.0 * ECC_OVERHEAD;
                 // Ground truth: SBEs that would have gone uncorrected.
                 unprotected += s.sbe_count as u64;
             }
         }
-        println!(
-            "{threshold:>10.1} {off_runs:>14} {saved_node_hours:>16.1} {unprotected:>18}"
-        );
+        println!("{threshold:>10.1} {off_runs:>14} {saved_node_hours:>16.1} {unprotected:>18}");
     }
 
     // Threshold tuning: instead of guessing, derive the operating point.
@@ -80,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|s| s.runtime_min() as f64 / 60.0 * ECC_OVERHEAD)
         .sum();
-    let total_sbes: u64 = outcome.test_samples.iter().map(|s| s.sbe_count as u64).sum();
+    let total_sbes: u64 = outcome
+        .test_samples
+        .iter()
+        .map(|s| s.sbe_count as u64)
+        .sum();
     println!(
         "\nnaive always-off policy: saves {total_hours:.1} node-hours but leaves\n\
          all {total_sbes} SBEs uncorrected; the predictor reclaims most of the\n\

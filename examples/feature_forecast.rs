@@ -33,8 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (start, end) = (run.start_min, run.end_min);
 
     // 1. Raw one-step AR accuracy on the pre-run temperature series.
-    let pre_temp =
-        engine.node_series(sample.node, SeriesKind::GpuTemp, start - FORECAST_LOOKBACK_MIN, start)?;
+    let pre_temp = engine.node_series(
+        sample.node,
+        SeriesKind::GpuTemp,
+        start - FORECAST_LOOKBACK_MIN,
+        start,
+    )?;
     let hist: Vec<f64> = pre_temp.iter().map(|&v| v as f64).collect();
     let model = ArModel::fit(&hist, 4)?;
     let errors = backtest(&model, &hist, 30)?;
@@ -43,15 +47,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         hist.len(),
         sample.node
     );
-    println!("  MAE = {:.3} C, RMSE = {:.3} C over {} points", errors.mae, errors.rmse, errors.n);
+    println!(
+        "  MAE = {:.3} C, RMSE = {:.3} C over {} points",
+        errors.mae, errors.rmse, errors.n
+    );
 
     // 2. Forecast the run window's statistics and compare to the truth.
     let horizon = (end - start) as usize;
     let forecast = forecast_series_stats(&pre_temp, horizon);
-    let actual = window_stats(engine.node_series(sample.node, SeriesKind::GpuTemp, start, end)?.as_slice());
+    let actual = window_stats(
+        engine
+            .node_series(sample.node, SeriesKind::GpuTemp, start, end)?
+            .as_slice(),
+    );
     println!("\nrun-window temperature statistics ({horizon} minutes ahead):");
-    println!("  forecast: mean {:.2} C, std {:.2}", forecast.mean, forecast.std);
-    println!("  actual:   mean {:.2} C, std {:.2}", actual.mean, actual.std);
+    println!(
+        "  forecast: mean {:.2} C, std {:.2}",
+        forecast.mean, forecast.std
+    );
+    println!(
+        "  actual:   mean {:.2} C, std {:.2}",
+        actual.mean, actual.std
+    );
 
     // 3. End-to-end: measured vs forecast features through the trained
     //    classifier (the ext_forecast experiment).

@@ -35,13 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut start = 0u64;
     while start + train_days + test_days <= days {
-        let split = DsSplit::from_days(
-            format!("day{start}"),
-            &trace,
-            start,
-            train_days,
-            test_days,
-        )?;
+        let split =
+            DsSplit::from_days(format!("day{start}"), &trace, start, train_days, test_days)?;
         match prepare_with_extractor(lab.extractor(), lab.samples(), &split, &spec) {
             Ok(prepared) => {
                 let mut model = Gbdt::new()
@@ -50,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .min_samples_leaf(5)
                     .pos_weight(2.0);
                 let out = run_classifier(&prepared, &mut model)?;
-                let cm = out.sbe_metrics();
+                let cm = out.confusion().unwrap();
                 println!(
                     "{:>16} {:>10} {:>10} {:>8.3} {:>8.3} {:>8.3}",
                     format!("day {start}-{}", start + train_days + test_days),

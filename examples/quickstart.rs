@@ -39,9 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let split = DsSplit::ds1(&trace)?;
     let (ts, te) = split.train_window();
     let (vs, ve) = split.test_window();
-    println!(
-        "  train minutes [{ts}, {te}), test minutes [{vs}, {ve})"
-    );
+    println!("  train minutes [{ts}, {te}), test minutes [{vs}, {ve})");
 
     // 3. TwoStage: stage 1 filters to SBE offender nodes, stage 2 is a
     //    gradient-boosted decision tree over the paper's feature groups.
@@ -54,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let outcome = model.run(&trace, &split)?;
 
     // 4. Report.
-    let cm = outcome.sbe_metrics();
+    let cm = outcome.confusion().unwrap();
     println!("\nTwoStage + GBDT on {}:", split.name());
     println!("  stage-2 training samples: {}", outcome.n_stage2_train);
     println!("  training time: {:.2?}", outcome.train_time);

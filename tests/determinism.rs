@@ -92,7 +92,10 @@ fn full_pipeline_is_reproducible() {
         let prepared = prepare(&t, &split, &FeatureSpec::all()).expect("prepares");
         let mut model = Gbdt::new().n_trees(20).min_samples_leaf(5).seed(4);
         let out = run_classifier(&prepared, &mut model).expect("runs");
-        (out.predictions, model.predict_proba(&prepared.test).expect("predicts"))
+        (
+            out.predictions,
+            model.predict_proba(&prepared.test).expect("predicts"),
+        )
     };
     let (pred_a, proba_a) = run();
     let (pred_b, proba_b) = run();

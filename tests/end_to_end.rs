@@ -40,7 +40,11 @@ fn offender_nodes_are_a_small_subset_dominated_by_weak_gpus() {
     let (t, faults) = generate_full(&SimConfig::tiny(3)).expect("trace generates");
     let offenders = t.offender_nodes();
     let n = t.config().topology.n_nodes() as usize;
-    assert!(offenders.len() * 3 < n, "{} of {n} nodes offend", offenders.len());
+    assert!(
+        offenders.len() * 3 < n,
+        "{} of {n} nodes offend",
+        offenders.len()
+    );
     // Most offenders are ground-truth weak GPUs.
     let weak_offenders = offenders
         .iter()
@@ -80,7 +84,10 @@ fn cumulative_temperature_does_not_predict_offenders() {
     let rho = out.json["spearman_temp_vs_offenders"]
         .as_f64()
         .expect("rho present");
-    assert!(rho.abs() < 0.6, "spatial temperature correlation {rho} too strong");
+    assert!(
+        rho.abs() < 0.6,
+        "spatial temperature correlation {rho} too strong"
+    );
 }
 
 #[test]
@@ -107,9 +114,13 @@ fn twostage_gbdt_beats_basic_a_on_f1() {
     let basic = evaluate_scheme(BasicScheme::A, &history, &split, &test).expect("evaluates");
 
     let prepared = prepare(&t, &split, &FeatureSpec::all()).expect("prepares");
-    let mut model = Gbdt::new().n_trees(60).max_depth(5).min_samples_leaf(5).pos_weight(2.0);
+    let mut model = Gbdt::new()
+        .n_trees(60)
+        .max_depth(5)
+        .min_samples_leaf(5)
+        .pos_weight(2.0);
     let out = run_classifier(&prepared, &mut model).expect("runs");
-    let cm = out.sbe_metrics();
+    let cm = out.confusion().unwrap();
     assert!(
         cm.f1() > basic.f1(),
         "GBDT F1 {} did not beat Basic A {}",
@@ -126,7 +137,10 @@ fn stage2_reduces_training_volume_and_imbalance() {
     assert!(prepared.train.len() * 2 < prepared.train_samples.len());
     assert!(prepared.train.imbalance_ratio() < 25.0);
     // The stage-2 test subset is exactly the offender-node samples.
-    assert_eq!(prepared.stage2_test_idx.len(), prepared.stage2_test_samples.len());
+    assert_eq!(
+        prepared.stage2_test_idx.len(),
+        prepared.stage2_test_samples.len()
+    );
 }
 
 #[test]

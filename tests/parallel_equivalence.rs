@@ -83,7 +83,13 @@ fn gbdt_predictions_are_thread_count_invariant() {
 #[test]
 fn cross_validation_folds_are_thread_count_invariant() {
     let ds = synthetic_dataset(600, 8);
-    let factory = || Gbdt::new().n_trees(10).max_depth(3).min_samples_leaf(2).seed(7);
+    let factory = || {
+        Gbdt::new()
+            .n_trees(10)
+            .max_depth(3)
+            .min_samples_leaf(2)
+            .seed(7)
+    };
 
     let reference = cross_validate(&ds, 5, 11, factory)
         .expect("serial cv runs")

@@ -24,9 +24,7 @@ impl Default for Criterion {
     fn default() -> Criterion {
         // `cargo bench -- <filter>` passes the filter as a free argument;
         // flags like `--bench` are ignored.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 }
@@ -138,7 +136,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(filter: Option<&str>, id: &str, sample_size
             return;
         }
     }
-    let mut b = Bencher { samples: Vec::new(), sample_size };
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
     f(&mut b);
     if b.samples.is_empty() {
         println!("{id:<48} (no samples)");
@@ -203,7 +204,9 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching() {
-        let mut c = Criterion { filter: Some("nomatch".into()) };
+        let mut c = Criterion {
+            filter: Some("nomatch".into()),
+        };
         let mut ran = false;
         c.bench_function("other", |b| {
             ran = true;

@@ -95,7 +95,10 @@ macro_rules! prop_assert_eq {
         $crate::prop_assert!(
             __l == __r,
             "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
-            stringify!($lhs), stringify!($rhs), __l, __r
+            stringify!($lhs),
+            stringify!($rhs),
+            __l,
+            __r
         );
     }};
 }
@@ -108,7 +111,10 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             __l != __r,
             "assertion failed: {} != {}\n  left: {:?}\n  right: {:?}",
-            stringify!($lhs), stringify!($rhs), __l, __r
+            stringify!($lhs),
+            stringify!($rhs),
+            __l,
+            __r
         );
     }};
 }

@@ -24,7 +24,11 @@ pub trait Strategy {
         O: Debug,
         F: Fn(Self::Value) -> Option<O>,
     {
-        FilterMap { inner: self, f, whence }
+        FilterMap {
+            inner: self,
+            f,
+            whence,
+        }
     }
 
     /// Maps generated values through `f`.

@@ -15,13 +15,19 @@ pub struct ProptestConfig {
 impl ProptestConfig {
     /// Config running `cases` cases per test.
     pub fn with_cases(cases: u32) -> ProptestConfig {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> ProptestConfig {
-        ProptestConfig { cases: 256, max_local_rejects: 65_536 }
+        ProptestConfig {
+            cases: 256,
+            max_local_rejects: 65_536,
+        }
     }
 }
 
@@ -39,20 +45,14 @@ pub enum CaseResult {
 /// Runs `f` until `cfg.cases` cases pass, panicking on the first
 /// failure. Generation is deterministic: the stream is seeded from the
 /// test name (override the base seed with `PROPTEST_SEED`).
-pub fn run_cases(
-    cfg: &ProptestConfig,
-    name: &str,
-    mut f: impl FnMut(&mut StdRng) -> CaseResult,
-) {
+pub fn run_cases(cfg: &ProptestConfig, name: &str, mut f: impl FnMut(&mut StdRng) -> CaseResult) {
     let base = std::env::var("PROPTEST_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0x5BE_CA5E5u64);
-    let name_hash = name
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
-        });
+    let name_hash = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x100_0000_01b3)
+    });
     let mut rng = StdRng::seed_from_u64(base ^ name_hash);
 
     let mut passed = 0u32;

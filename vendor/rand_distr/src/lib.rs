@@ -65,7 +65,9 @@ impl Normal {
     /// is non-finite.
     pub fn new(mean: f64, std_dev: f64) -> Result<Normal, Error> {
         if !mean.is_finite() || !std_dev.is_finite() || std_dev < 0.0 {
-            return Err(Error { what: "Normal requires finite mean and std_dev >= 0" });
+            return Err(Error {
+                what: "Normal requires finite mean and std_dev >= 0",
+            });
         }
         Ok(Normal { mean, std_dev })
     }
@@ -92,7 +94,9 @@ impl LogNormal {
     /// Returns [`Error`] when `sigma` is negative or either parameter is
     /// non-finite.
     pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, Error> {
-        Ok(LogNormal { norm: Normal::new(mu, sigma)? })
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
     }
 }
 
@@ -122,7 +126,9 @@ impl Poisson {
     /// positive.
     pub fn new(lambda: f64) -> Result<Poisson, Error> {
         if !lambda.is_finite() || lambda <= 0.0 {
-            return Err(Error { what: "Poisson requires finite lambda > 0" });
+            return Err(Error {
+                what: "Poisson requires finite lambda > 0",
+            });
         }
         Ok(Poisson { lambda })
     }
@@ -266,7 +272,10 @@ mod tests {
             // estimator noise.
             let tol = 4.0 * (lambda / n as f64).sqrt() + 0.02 * lambda.max(1.0);
             assert!((mean - lambda).abs() < tol, "lambda={lambda} mean={mean}");
-            assert!((var - lambda).abs() < 6.0 * tol, "lambda={lambda} var={var}");
+            assert!(
+                (var - lambda).abs() < 6.0 * tol,
+                "lambda={lambda} var={var}"
+            );
             assert!(xs.iter().all(|&x| x >= 0.0 && x.fract() == 0.0));
         }
     }

@@ -15,7 +15,9 @@ impl DeError {
 
     /// Builds a "expected X while reading Y" error.
     pub fn expected(what: &str, ctx: &str) -> DeError {
-        DeError { msg: format!("{ctx}: expected {what}") }
+        DeError {
+            msg: format!("{ctx}: expected {what}"),
+        }
     }
 }
 

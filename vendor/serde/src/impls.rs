@@ -281,11 +281,52 @@ impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K
             .ok_or_else(|| DeError::expected("object", "HashMap"))?;
         let mut out = HashMap::with_capacity(obj.len());
         for (k, val) in obj.iter() {
-            let key = K::parse_key(k)
-                .ok_or_else(|| DeError::custom(format!("bad map key `{k}`")))?;
+            let key =
+                K::parse_key(k).ok_or_else(|| DeError::custom(format!("bad map key `{k}`")))?;
             out.insert(key, V::from_value(val)?);
         }
         Ok(out)
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    /// Already key-ordered; serialization is trivially deterministic.
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<std::collections::BTreeMap<K, V>, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap"))?;
+        let mut out = std::collections::BTreeMap::new();
+        for (k, val) in obj.iter() {
+            let key =
+                K::parse_key(k).ok_or_else(|| DeError::custom(format!("bad map key `{k}`")))?;
+            out.insert(key, V::from_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for std::collections::BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|v| v.to_value()).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<std::collections::BTreeSet<T>, DeError> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| DeError::expected("array", "BTreeSet"))?;
+        arr.iter().map(T::from_value).collect()
     }
 }
 
@@ -368,8 +409,12 @@ mod tests {
             m.insert(k, k);
         }
         let v = m.to_value();
-        let keys: Vec<&str> =
-            v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let keys: Vec<&str> = v
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
         assert_eq!(keys, ["1", "3", "5", "9"]);
     }
 

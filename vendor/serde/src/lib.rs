@@ -69,8 +69,7 @@ pub mod de {
     /// `on_missing` fallback) or has the wrong shape.
     pub fn field<T: Deserialize>(m: &Map, key: &str, ty: &str) -> Result<T, DeError> {
         match m.get(key) {
-            Some(v) => T::from_value(v)
-                .map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
+            Some(v) => T::from_value(v).map_err(|e| DeError::custom(format!("{ty}.{key}: {e}"))),
             None => T::on_missing()
                 .ok_or_else(|| DeError::custom(format!("{ty}: missing field `{key}`"))),
         }

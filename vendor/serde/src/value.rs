@@ -39,9 +39,7 @@ impl Number {
         match *self {
             Number::U64(n) => i64::try_from(n).ok(),
             Number::I64(n) => Some(n),
-            Number::F64(x)
-                if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 =>
-            {
+            Number::F64(x) if x.fract() == 0.0 && x >= i64::MIN as f64 && x <= i64::MAX as f64 => {
                 Some(x as i64)
             }
             Number::F64(_) => None,
@@ -62,12 +60,16 @@ pub struct Map {
 impl Map {
     /// Creates an empty map.
     pub fn new() -> Map {
-        Map { entries: Vec::new() }
+        Map {
+            entries: Vec::new(),
+        }
     }
 
     /// Creates an empty map with reserved capacity.
     pub fn with_capacity(n: usize) -> Map {
-        Map { entries: Vec::with_capacity(n) }
+        Map {
+            entries: Vec::with_capacity(n),
+        }
     }
 
     /// Inserts a key/value pair, replacing (in place) any existing entry

@@ -372,9 +372,9 @@ fn gen_deserialize(item: &Item) -> String {
             s.push_str("})");
             s
         }
-        Shape::Tuple(1) => format!(
-            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-        ),
+        Shape::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
         Shape::Tuple(n) => {
             let mut s = format!(
                 "let __a = __v.as_array().ok_or_else(|| \
