@@ -3,16 +3,22 @@
 //! Usage:
 //!
 //! ```text
-//! repro [--config scaled|tiny|titan] [--seed N] [--out DIR] <experiment>...
+//! repro [--config scaled|tiny|titan] [--seed N] [--out DIR]
+//!       [--metrics-out FILE] <experiment>...
 //! ```
+//!
+//! `--metrics-out FILE` records pipeline observability metrics (trace
+//! generation counts, feature-extraction and TwoStage counters, GBDT
+//! training-loop progress) and writes the stable `obskit/1` JSON snapshot
+//! to `FILE`. The snapshot is deterministic for a given config/seed.
 //!
 //! `<experiment>` is one or more of: `fig1 fig2 fig3 fig4 fig5 fig6 fig7
 //! fig8 table1 fig10 table2 table3 fig11 table4 fig12 fig13 table5 table6`,
 //! or the groups `characterization`, `prediction`, `all`.
 
-use sbe_bench::persist_json;
+use sbe_bench::{persist_json, WallClock};
 use sbepred::experiments::{
-    characterization as ch, extensions as ext, prediction as pr, ExperimentOutput, Lab,
+    characterization as ch, extensions as ext, prediction as pr, ExperimentOutput, Lab, ModelKind,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,7 +40,8 @@ const EXTENSIONS: [&str; 5] = [
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--config scaled|tiny|titan] [--seed N] [--out DIR] <experiment>...\n\
+        "usage: repro [--config scaled|tiny|titan] [--seed N] [--out DIR] \
+         [--metrics-out FILE] <experiment>...\n\
          experiments: {} {} {} | groups: characterization prediction extensions all",
         CHARACTERIZATION.join(" "),
         PREDICTION.join(" "),
@@ -47,6 +54,7 @@ fn main() -> ExitCode {
     let mut config = "scaled".to_string();
     let mut seed = 42u64;
     let mut out_dir: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -62,6 +70,10 @@ fn main() -> ExitCode {
             },
             "--out" => match args.next() {
                 Some(v) => out_dir = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--metrics-out" => match args.next() {
+                Some(v) => metrics_out = Some(PathBuf::from(v)),
                 None => return usage(),
             },
             "--help" | "-h" => {
@@ -117,8 +129,15 @@ fn main() -> ExitCode {
         cfg.topology.n_nodes(),
         cfg.days
     );
+    // A full recorder only when metrics were requested; the null recorder
+    // path is a single branch per event.
+    let mut rec = if metrics_out.is_some() {
+        obskit::Recorder::new()
+    } else {
+        obskit::Recorder::null()
+    };
     let t0 = std::time::Instant::now();
-    let trace = match titan_sim::engine::generate(&cfg) {
+    let trace = match titan_sim::engine::generate_observed(&cfg, &mut rec) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("trace generation failed: {e}");
@@ -132,8 +151,11 @@ fn main() -> ExitCode {
         trace.samples().len(),
         trace.positive_rate()
     );
+    // The bench crate owns the workspace's only wall clock; injecting it
+    // restores real train-time columns in the tables.
+    let wall = WallClock::new();
     let lab = match Lab::new(&trace) {
-        Ok(l) => l,
+        Ok(l) => l.with_clock(&wall),
         Err(e) => {
             eprintln!("lab construction failed: {e}");
             return ExitCode::FAILURE;
@@ -207,6 +229,49 @@ fn main() -> ExitCode {
             }
         }
     }
+    if let Some(path) = &metrics_out {
+        // One observed DS1 GBDT pass exercises the whole instrumented
+        // pipeline (features -> TwoStage -> GBDT training loop) so the
+        // snapshot covers every layer, not just trace generation.
+        let mut observed_pass = || -> sbepred::Result<()> {
+            let split = sbepred::datasets::DsSplit::ds1(lab.trace())?;
+            let spec = sbepred::features::FeatureSpec::all();
+            let prepared = sbepred::twostage::prepare_with_extractor_observed(
+                lab.extractor(),
+                lab.samples(),
+                &split,
+                &spec,
+                &mut rec,
+            )?;
+            let mut model = ModelKind::Gbdt.build(seed);
+            sbepred::twostage::run_classifier_observed(
+                &prepared,
+                &mut model,
+                &mut rec,
+                lab.clock(),
+            )?;
+            Ok(())
+        };
+        if let Err(e) = observed_pass() {
+            eprintln!("metrics pass failed: {e}");
+            failures += 1;
+        } else {
+            eprint!("{}", sbepred::report::MetricsReport::from_recorder(&rec));
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).ok();
+                }
+            }
+            match std::fs::write(path, rec.snapshot_json()) {
+                Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("could not write metrics snapshot: {e}");
+                    failures += 1;
+                }
+            }
+        }
+    }
+
     if failures > 0 {
         ExitCode::FAILURE
     } else {

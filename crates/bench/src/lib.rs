@@ -6,6 +6,41 @@
 
 use sbepred::experiments::ExperimentOutput;
 use std::path::Path;
+use std::time::Instant;
+
+/// The workspace's only real [`obskit::Clock`]: nanoseconds since the
+/// clock's construction, backed by [`std::time::Instant`].
+///
+/// It lives here — not in `obskit` — because the bench crate is the one
+/// place detlint permits wall-clock reads (rule D002). Library code takes
+/// `&dyn Clock` and defaults to [`obskit::NullClock`]; the `repro` binary
+/// injects a `WallClock` when real train-time columns are wanted.
+#[derive(Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a clock whose origin is "now".
+    #[must_use]
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> WallClock {
+        WallClock::new()
+    }
+}
+
+impl obskit::Clock for WallClock {
+    fn now_nanos(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
 
 /// Writes an experiment's JSON payload next to the printed report.
 ///
@@ -27,6 +62,15 @@ pub fn persist_json(dir: &Path, out: &ExperimentOutput) -> std::io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        use obskit::Clock;
+        let c = WallClock::new();
+        let a = c.now_nanos();
+        let b = c.now_nanos();
+        assert!(b >= a);
+    }
 
     #[test]
     fn persist_writes_file() {

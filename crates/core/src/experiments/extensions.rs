@@ -22,7 +22,7 @@ use crate::features::FeatureSpec;
 use crate::forecast::{apply_forecast_tp, forecast_run_stats};
 use crate::report::Table;
 use crate::samples::{in_window, labels, LabeledSample};
-use crate::twostage::{prepare_with_extractor, run_classifier};
+use crate::twostage::{prepare_with_extractor, run_classifier_observed};
 use crate::PredError;
 use crate::Result;
 use mlkit::dataset::Dataset;
@@ -45,7 +45,12 @@ pub fn ext_forecast(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let prepared = prepare_with_extractor(lab.extractor(), lab.samples(), &split, &spec)?;
 
     let mut model = ModelKind::Gbdt.build(MODEL_SEED);
-    let known = run_classifier(&prepared, &mut model)?;
+    let known = run_classifier_observed(
+        &prepared,
+        &mut model,
+        &mut obskit::Recorder::null(),
+        lab.clock(),
+    )?;
     let cm_known = known.confusion()?;
 
     // Re-extract raw stage-2 test features, substitute forecasts for the
@@ -105,6 +110,7 @@ fn single_stage(
     train: &Dataset,
     test: &Dataset,
     truth: &[f32],
+    clock: &dyn obskit::Clock,
 ) -> Result<(ConfusionMatrix, std::time::Duration)> {
     // A lighter GBDT than the TwoStage configuration: the raw variant
     // trains on every sample of the window.
@@ -115,9 +121,9 @@ fn single_stage(
         .subsample(0.8)
         .pos_weight(2.0)
         .seed(MODEL_SEED);
-    let t0 = std::time::Instant::now();
+    let t0 = clock.now_nanos();
     model.fit(train)?;
-    let dt = t0.elapsed();
+    let dt = std::time::Duration::from_nanos(clock.now_nanos().saturating_sub(t0));
     let pred = model.predict(test)?;
     Ok((ConfusionMatrix::from_predictions(truth, &pred)?, dt))
 }
@@ -183,7 +189,7 @@ pub fn ext_imbalance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     };
 
     // Raw single-stage (50:1-style imbalance).
-    let (cm, dt) = single_stage(&train_full, &test_full, &truth)?;
+    let (cm, dt) = single_stage(&train_full, &test_full, &truth, lab.clock())?;
     record(
         "Single-stage raw",
         cm,
@@ -195,7 +201,7 @@ pub fn ext_imbalance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 
     // Resampled variants target the TwoStage-like 2:1 ratio.
     let under = random_undersample(&train_full, 2.0, MODEL_SEED)?;
-    let (cm, dt) = single_stage(&under, &test_full, &truth)?;
+    let (cm, dt) = single_stage(&under, &test_full, &truth, lab.clock())?;
     record(
         "Random under-sampling",
         cm,
@@ -206,7 +212,7 @@ pub fn ext_imbalance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     );
 
     let sm = smote(&train_full, 2.0, 5, MODEL_SEED)?;
-    let (cm, dt) = single_stage(&sm, &test_full, &truth)?;
+    let (cm, dt) = single_stage(&sm, &test_full, &truth, lab.clock())?;
     record(
         "SMOTE over-sampling",
         cm,
@@ -225,7 +231,7 @@ pub fn ext_imbalance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         train_full.clone()
     };
     let km = kmeans_undersample(&km_input, 2.0, MODEL_SEED)?;
-    let (cm, dt) = single_stage(&km, &test_full, &truth)?;
+    let (cm, dt) = single_stage(&km, &test_full, &truth, lab.clock())?;
     record(
         "K-means under-sampling",
         cm,
@@ -237,7 +243,12 @@ pub fn ext_imbalance(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 
     // TwoStage on the same split.
     let prepared = prepare_with_extractor(lab.extractor(), lab.samples(), &split, &spec)?;
-    let out = run_classifier(&prepared, &mut ModelKind::Gbdt.build(MODEL_SEED))?;
+    let out = run_classifier_observed(
+        &prepared,
+        &mut ModelKind::Gbdt.build(MODEL_SEED),
+        &mut obskit::Recorder::null(),
+        lab.clock(),
+    )?;
     record(
         "TwoStage (paper)",
         out.confusion()?,
@@ -290,7 +301,12 @@ pub fn ext_retrain(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         )?;
         match prepare_with_extractor(lab.extractor(), lab.samples(), &split, &spec) {
             Ok(prepared) => {
-                let out = run_classifier(&prepared, &mut ModelKind::Gbdt.build(MODEL_SEED))?;
+                let out = run_classifier_observed(
+                    &prepared,
+                    &mut ModelKind::Gbdt.build(MODEL_SEED),
+                    &mut obskit::Recorder::null(),
+                    lab.clock(),
+                )?;
                 let cm = out.confusion()?;
                 table.push_row([
                     format!("day {start}..{}", start + train_days + test_days),
@@ -349,7 +365,12 @@ pub fn ext_oracle(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     // Run every model once; keep predictions.
     let mut outcomes = Vec::new();
     for kind in ModelKind::all() {
-        let out = run_classifier(&prepared, &mut kind.build(MODEL_SEED))?;
+        let out = run_classifier_observed(
+            &prepared,
+            &mut kind.build(MODEL_SEED),
+            &mut obskit::Recorder::null(),
+            lab.clock(),
+        )?;
         outcomes.push((kind, out));
     }
     let truth = &outcomes[0].1.truth;

@@ -125,12 +125,22 @@ impl ModelKind {
 /// Shared, reusable experiment context: the trace, its labelled samples,
 /// and a feature extractor. Building the extractor once amortises the
 /// history index across all drivers.
-#[derive(Debug)]
 pub struct Lab<'a> {
     trace: &'a TraceSet,
     samples: Vec<LabeledSample>,
     fx: FeatureExtractor<'a>,
     threads: parkit::Threads,
+    clock: &'a dyn obskit::Clock,
+}
+
+impl std::fmt::Debug for Lab<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Lab")
+            .field("trace", &self.trace)
+            .field("samples", &self.samples.len())
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> Lab<'a> {
@@ -158,7 +168,23 @@ impl<'a> Lab<'a> {
             samples,
             fx,
             threads,
+            clock: &obskit::NullClock,
         })
+    }
+
+    /// Replaces the clock used for wall-time measurements (training
+    /// times in tables). The default [`obskit::NullClock`] reports zero,
+    /// keeping every experiment output deterministic; benches inject a
+    /// real clock when timing columns are wanted.
+    #[must_use]
+    pub fn with_clock(mut self, clock: &'a dyn obskit::Clock) -> Lab<'a> {
+        self.clock = clock;
+        self
+    }
+
+    /// The clock timing columns are measured with.
+    pub fn clock(&self) -> &'a dyn obskit::Clock {
+        self.clock
     }
 
     /// The thread policy experiment grids fan out with.
@@ -202,6 +228,17 @@ mod tests {
         let lab = Lab::new(&t).unwrap();
         assert!(!lab.samples().is_empty());
         assert!(lab.extractor().history().machine_before(u64::MAX) > 0);
+    }
+
+    #[test]
+    fn lab_clock_defaults_to_null_and_is_injectable() {
+        let t = generate(&SimConfig::tiny(3)).unwrap();
+        let lab = Lab::new(&t).unwrap();
+        assert_eq!(lab.clock().now_nanos(), 0);
+        let manual = obskit::ManualClock::new();
+        manual.advance(42);
+        let lab = lab.with_clock(&manual);
+        assert_eq!(lab.clock().now_nanos(), 42);
     }
 
     #[test]

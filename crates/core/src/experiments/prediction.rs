@@ -7,7 +7,7 @@ use crate::datasets::DsSplit;
 use crate::features::FeatureSpec;
 use crate::report::Table;
 use crate::samples::in_window;
-use crate::twostage::{prepare_with_extractor, run_classifier, Prepared, TwoStageOutcome};
+use crate::twostage::{prepare_with_extractor, run_classifier_observed, Prepared, TwoStageOutcome};
 use crate::{PredError, Result};
 use mlkit::metrics::ConfusionMatrix;
 use mlkit::stats::{percentile, Ecdf};
@@ -23,10 +23,16 @@ fn prep(lab: &Lab<'_>, split: &DsSplit, spec: &FeatureSpec) -> Result<Prepared> 
     prepare_with_extractor(lab.extractor(), lab.samples(), split, spec)
 }
 
-/// Runs one model kind on a prepared split.
-fn run_kind(prepared: &Prepared, kind: ModelKind) -> Result<TwoStageOutcome> {
+/// Runs one model kind on a prepared split, timing training with the
+/// lab's clock (the default [`obskit::NullClock`] reports zero).
+fn run_kind(lab: &Lab<'_>, prepared: &Prepared, kind: ModelKind) -> Result<TwoStageOutcome> {
     let mut model = kind.build(MODEL_SEED);
-    run_classifier(prepared, &mut model)
+    run_classifier_observed(
+        prepared,
+        &mut model,
+        &mut obskit::Recorder::null(),
+        lab.clock(),
+    )
 }
 
 /// Runs a model grid over one prepared split, fanning the kinds out
@@ -39,7 +45,7 @@ fn run_kinds(
     prepared: &Prepared,
     kinds: &[ModelKind],
 ) -> Result<Vec<TwoStageOutcome>> {
-    parkit::try_par_map(lab.threads(), kinds, |&kind| run_kind(prepared, kind))
+    parkit::try_par_map(lab.threads(), kinds, |&kind| run_kind(lab, prepared, kind))
 }
 
 /// Basic A's confusion matrix over a split's test window.
@@ -232,7 +238,7 @@ pub fn fig11(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         // collect in presentation order.
         let outs = parkit::try_par_map(lab.threads(), &groups, |(_, spec)| {
             let prepared = prep(lab, &split, spec)?;
-            run_kind(&prepared, ModelKind::Gbdt)
+            run_kind(lab, &prepared, ModelKind::Gbdt)
         })?;
         for ((name, _), out) in groups.iter().zip(outs) {
             let improvement = (out.confusion()?.f1() - base) / base * 100.0;
@@ -268,7 +274,7 @@ pub fn table4(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let mut rows = Vec::new();
     let outs = parkit::try_par_map(lab.threads(), &sets, |(_, spec)| {
         let prepared = prep(lab, &split, spec)?;
-        run_kind(&prepared, ModelKind::Gbdt)
+        run_kind(lab, &prepared, ModelKind::Gbdt)
     })?;
     for ((name, _), out) in sets.iter().zip(outs) {
         let cm = out.confusion()?;
@@ -318,7 +324,7 @@ pub fn fig12(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         let split = DsSplit::ds(lab.trace(), k)?;
         let full = {
             let prepared = prep(lab, &split, &FeatureSpec::all())?;
-            run_kind(&prepared, ModelKind::Gbdt)?.confusion()?.f1()
+            run_kind(lab, &prepared, ModelKind::Gbdt)?.confusion()?.f1()
         };
         let mut row = vec![split.name().to_string()];
         let mut jrow = serde_json::Map::new();
@@ -326,7 +332,7 @@ pub fn fig12(lab: &Lab<'_>) -> Result<ExperimentOutput> {
         jrow.insert("full_f1".into(), json!(full));
         for (name, spec) in &ablations {
             let prepared = prep(lab, &split, spec)?;
-            let out = run_kind(&prepared, ModelKind::Gbdt)?;
+            let out = run_kind(lab, &prepared, ModelKind::Gbdt)?;
             let decrement = (out.confusion()?.f1() - full) / full.max(1e-9) * 100.0;
             row.push(format!("{decrement:+.1}%"));
             jrow.insert((*name).into(), json!(decrement));
@@ -352,7 +358,7 @@ pub fn fig12(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 pub fn fig13(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let split = DsSplit::ds1(lab.trace())?;
     let prepared = prep(lab, &split, &FeatureSpec::all())?;
-    let out = run_kind(&prepared, ModelKind::Gbdt)?;
+    let out = run_kind(lab, &prepared, ModelKind::Gbdt)?;
     let topo = &lab.trace().config().topology;
     let n_cab = topo.n_cabinets() as usize;
     let mut truth = vec![0.0f64; n_cab];
@@ -414,7 +420,7 @@ pub fn fig13(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 pub fn table5(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let split = DsSplit::ds1(lab.trace())?;
     let prepared = prep(lab, &split, &FeatureSpec::all())?;
-    let out = run_kind(&prepared, ModelKind::Gbdt)?;
+    let out = run_kind(lab, &prepared, ModelKind::Gbdt)?;
     let runtimes: Vec<f64> = out
         .test_samples
         .iter()
@@ -470,7 +476,7 @@ pub fn table5(lab: &Lab<'_>) -> Result<ExperimentOutput> {
 pub fn table6(lab: &Lab<'_>) -> Result<ExperimentOutput> {
     let split = DsSplit::ds1(lab.trace())?;
     let prepared = prep(lab, &split, &FeatureSpec::all())?;
-    let out = run_kind(&prepared, ModelKind::Gbdt)?;
+    let out = run_kind(lab, &prepared, ModelKind::Gbdt)?;
     // Positive test samples with their severity (attributed count).
     let mut positives: Vec<(u32, bool)> = Vec::new();
     for (i, s) in out.test_samples.iter().enumerate() {

@@ -403,6 +403,34 @@ impl<'a> FeatureExtractor<'a> {
     /// Returns [`PredError::InvalidInput`] for an empty sample list or an
     /// all-features-off spec, and propagates telemetry/lookup errors.
     pub fn extract(&self, samples: &[LabeledSample], spec: &FeatureSpec) -> Result<Dataset> {
+        self.extract_observed(samples, spec, &mut obskit::Recorder::null())
+    }
+
+    /// Like [`FeatureExtractor::extract`], but counts extracted samples,
+    /// emitted feature columns, and telemetry queries into `rec`.
+    ///
+    /// # Errors
+    ///
+    /// See [`FeatureExtractor::extract`].
+    pub fn extract_observed(
+        &self,
+        samples: &[LabeledSample],
+        spec: &FeatureSpec,
+        rec: &mut obskit::Recorder,
+    ) -> Result<Dataset> {
+        let span = rec.span_start("features.extract");
+        let ds = self.extract_impl(samples, spec)?;
+        rec.incr("features.samples_extracted", ds.len() as u64);
+        rec.gauge("features.columns", ds.n_features() as f64);
+        if spec.needs_telemetry() {
+            rec.incr("features.telemetry_queries", samples.len() as u64);
+        }
+        rec.observe("features.batch_rows", ds.len() as f64);
+        rec.span_end(span);
+        Ok(ds)
+    }
+
+    fn extract_impl(&self, samples: &[LabeledSample], spec: &FeatureSpec) -> Result<Dataset> {
         if samples.is_empty() {
             return Err(PredError::InvalidInput {
                 reason: "no samples to extract features for".into(),

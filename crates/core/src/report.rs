@@ -66,6 +66,88 @@ impl Table {
     }
 }
 
+/// A human-readable rendering of an [`obskit::Recorder`] snapshot:
+/// counters, gauges, histogram summaries, and span statistics as ASCII
+/// tables, in the recorder's deterministic (sorted) key order.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    text: String,
+    json: String,
+}
+
+impl MetricsReport {
+    /// Builds the report from a recorder's current state.
+    pub fn from_recorder(rec: &obskit::Recorder) -> MetricsReport {
+        let mut text = String::new();
+        let mut t = Table::new(["Counter", "Value"]);
+        for (k, v) in rec.counters() {
+            t.push_row([k.to_string(), v.to_string()]);
+        }
+        if t.n_rows() > 0 {
+            text.push_str("Counters:\n");
+            text.push_str(&t.render());
+        }
+        let mut t = Table::new(["Gauge", "Value"]);
+        for (k, v) in rec.gauges() {
+            t.push_row([k.to_string(), format!("{v:.6}")]);
+        }
+        if t.n_rows() > 0 {
+            text.push_str("Gauges:\n");
+            text.push_str(&t.render());
+        }
+        let mut t = Table::new(["Histogram", "Count", "Sum", "Mean"]);
+        for (k, h) in rec.histograms() {
+            t.push_row([
+                k.to_string(),
+                h.count().to_string(),
+                format!("{:.3}", h.sum()),
+                format!("{:.3}", h.mean()),
+            ]);
+        }
+        if t.n_rows() > 0 {
+            text.push_str("Histograms:\n");
+            text.push_str(&t.render());
+        }
+        let mut t = Table::new(["Span", "Count", "Total ticks", "Min", "Max"]);
+        for (k, s) in rec.spans() {
+            t.push_row([
+                k.to_string(),
+                s.count.to_string(),
+                s.total_ticks.to_string(),
+                s.min_ticks.to_string(),
+                s.max_ticks.to_string(),
+            ]);
+        }
+        if t.n_rows() > 0 {
+            text.push_str("Spans (logical ticks):\n");
+            text.push_str(&t.render());
+        }
+        if text.is_empty() {
+            text.push_str("(no metrics recorded)\n");
+        }
+        MetricsReport {
+            text,
+            json: rec.snapshot_json(),
+        }
+    }
+
+    /// The ASCII-table rendering.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The stable `obskit/1` JSON snapshot the report was built from.
+    pub fn json(&self) -> &str {
+        &self.json
+    }
+}
+
+impl std::fmt::Display for MetricsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
 /// Renders a `width × height` grid of values as an ASCII heatmap
 /// (row `y = height-1` printed first, like the paper's cabinet plots).
 /// Values are normalised to the grid's min/max and mapped onto a
@@ -148,6 +230,31 @@ mod tests {
         t.push_row(["only-one"]);
         let s = t.render();
         assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    fn metrics_report_renders_all_sections() {
+        let mut rec = obskit::Recorder::new();
+        rec.incr("a.count", 3);
+        rec.gauge("b.rate", 0.5);
+        rec.observe("c.hist", 2.0);
+        let span = rec.span_start("d.span");
+        rec.span_end(span);
+        let report = MetricsReport::from_recorder(&rec);
+        for needle in [
+            "a.count",
+            "b.rate",
+            "c.hist",
+            "d.span",
+            "Counters:",
+            "Spans",
+        ] {
+            assert!(report.text().contains(needle), "missing {needle}");
+        }
+        assert_eq!(report.json(), rec.snapshot_json());
+        assert!(report.to_string().contains("a.count"));
+        let empty = MetricsReport::from_recorder(&obskit::Recorder::null());
+        assert!(empty.text().contains("no metrics recorded"));
     }
 
     #[test]

@@ -50,6 +50,22 @@ pub fn threshold_sweep_with(
     scores: &[f32],
     threads: parkit::Threads,
 ) -> Result<Vec<ThresholdPoint>> {
+    threshold_sweep_observed(truth, scores, threads, &mut obskit::Recorder::null())
+}
+
+/// [`threshold_sweep_with`] that additionally records sweep progress:
+/// samples scanned, tie-groups (= emitted curve points), and a
+/// `tuning.sweep` span into `rec`. Recording never changes the curve.
+///
+/// # Errors
+///
+/// Same conditions as [`threshold_sweep_with`].
+pub fn threshold_sweep_observed(
+    truth: &[f32],
+    scores: &[f32],
+    threads: parkit::Threads,
+    rec: &mut obskit::Recorder,
+) -> Result<Vec<ThresholdPoint>> {
     if truth.len() != scores.len() || truth.is_empty() {
         return Err(PredError::InvalidInput {
             reason: format!(
@@ -86,6 +102,10 @@ pub fn threshold_sweep_with(
         }
         groups.push((start, i));
     }
+
+    let span = rec.span_start("tuning.sweep");
+    rec.incr("tuning.sweep.samples", total);
+    rec.incr("tuning.sweep.points", groups.len() as u64);
 
     let threads = if groups.len() < PAR_SWEEP_MIN_GROUPS {
         parkit::Threads::Serial
@@ -131,6 +151,7 @@ pub fn threshold_sweep_with(
         }
     });
     out.reverse(); // ascending thresholds
+    rec.span_end(span);
     Ok(out)
 }
 
@@ -240,6 +261,19 @@ mod tests {
         let sweep = threshold_sweep(&truth, &scores).unwrap();
         // Distinct scores: 0.1, 0.5, 0.9 -> 3 points.
         assert_eq!(sweep.len(), 3);
+    }
+
+    #[test]
+    fn observed_sweep_matches_plain_and_counts_points() {
+        let (truth, scores) = toy();
+        let plain = threshold_sweep(&truth, &scores).unwrap();
+        let mut rec = obskit::Recorder::new();
+        let observed =
+            threshold_sweep_observed(&truth, &scores, parkit::Threads::Serial, &mut rec).unwrap();
+        assert_eq!(plain, observed);
+        assert_eq!(rec.counter("tuning.sweep.samples"), truth.len() as u64);
+        assert_eq!(rec.counter("tuning.sweep.points"), plain.len() as u64);
+        assert_eq!(rec.span("tuning.sweep").unwrap().count, 1);
     }
 
     #[test]

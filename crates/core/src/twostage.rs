@@ -20,8 +20,9 @@ use mlkit::dataset::Dataset;
 use mlkit::metrics::ConfusionMatrix;
 use mlkit::model::Classifier;
 use mlkit::scaler::StandardScaler;
+use obskit::{Clock, NullClock, Recorder};
 use std::collections::BTreeSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use titan_sim::trace::TraceSet;
 
 /// A fully prepared split: extracted and standardised stage-2 feature
@@ -72,7 +73,11 @@ pub struct TwoStageOutcome {
     pub truth: Vec<f32>,
     /// The test samples, aligned with the vectors above.
     pub test_samples: Vec<LabeledSample>,
-    /// Wall-clock time of the classifier `fit` call only.
+    /// Time of the classifier `fit` call only, as measured by the
+    /// [`Clock`] handed to [`run_classifier_observed`]. Under the
+    /// deterministic default ([`NullClock`]) this is always zero; the
+    /// `repro` binary injects a real clock to fill the paper's
+    /// train-time columns.
     pub train_time: Duration,
     /// Stage-2 training-set size.
     pub n_stage2_train: usize,
@@ -102,9 +107,24 @@ impl TwoStageOutcome {
 /// Returns [`PredError::InvalidInput`] when the stage-2 training set is
 /// empty or single-class, and propagates extraction errors.
 pub fn prepare(trace: &TraceSet, split: &DsSplit, spec: &FeatureSpec) -> Result<Prepared> {
+    prepare_observed(trace, split, spec, &mut Recorder::null())
+}
+
+/// Like [`prepare`], but records stage-1 metrics: offender count, window
+/// sizes, the stage-2 survivor counts, and the stage-1 filter rate.
+///
+/// # Errors
+///
+/// See [`prepare`].
+pub fn prepare_observed(
+    trace: &TraceSet,
+    split: &DsSplit,
+    spec: &FeatureSpec,
+    rec: &mut Recorder,
+) -> Result<Prepared> {
     let all = build_samples(trace)?;
     let fx = FeatureExtractor::new(trace, &all)?;
-    prepare_with_extractor(&fx, &all, split, spec)
+    prepare_with_extractor_observed(&fx, &all, split, spec, rec)
 }
 
 /// Like [`prepare`], but reuses an existing extractor and sample list —
@@ -119,6 +139,23 @@ pub fn prepare_with_extractor(
     split: &DsSplit,
     spec: &FeatureSpec,
 ) -> Result<Prepared> {
+    prepare_with_extractor_observed(fx, all_samples, split, spec, &mut Recorder::null())
+}
+
+/// [`prepare_with_extractor`] with stage-1 metrics (see
+/// [`prepare_observed`]).
+///
+/// # Errors
+///
+/// See [`prepare`].
+pub fn prepare_with_extractor_observed(
+    fx: &FeatureExtractor<'_>,
+    all_samples: &[LabeledSample],
+    split: &DsSplit,
+    spec: &FeatureSpec,
+    rec: &mut Recorder,
+) -> Result<Prepared> {
+    let span = rec.span_start("twostage.prepare");
     let (train_start, train_end) = split.train_window();
     let (test_start, test_end) = split.test_window();
     let train_samples = in_window(all_samples, train_start, train_end);
@@ -159,7 +196,7 @@ pub fn prepare_with_extractor(
         });
     }
 
-    let train_raw = fx.extract(&stage2_train, spec)?;
+    let train_raw = fx.extract_observed(&stage2_train, spec, rec)?;
     let scaler = StandardScaler::fit(&train_raw)?;
     let train = scaler.transform(&train_raw)?;
 
@@ -170,8 +207,21 @@ pub fn prepare_with_extractor(
         // reusing the train schema with zero rows via select.
         train.select(&[])
     } else {
-        scaler.transform(&fx.extract(&stage2_test_samples, spec)?)?
+        scaler.transform(&fx.extract_observed(&stage2_test_samples, spec, rec)?)?
     };
+
+    rec.incr("twostage.offender_nodes", offenders.len() as u64);
+    rec.incr("twostage.train_samples", train_samples.len() as u64);
+    rec.incr("twostage.test_samples", test_samples.len() as u64);
+    rec.incr("twostage.stage2_train_samples", train.len() as u64);
+    rec.incr("twostage.stage2_test_samples", stage2_test_idx.len() as u64);
+    // Stage-1 filter rate: fraction of test samples predicted SBE-free
+    // without ever reaching the classifier.
+    rec.gauge(
+        "twostage.stage1_filter_rate",
+        1.0 - stage2_test_idx.len() as f64 / test_samples.len() as f64,
+    );
+    rec.span_end(span);
 
     Ok(Prepared {
         train,
@@ -195,9 +245,31 @@ pub fn run_classifier<C: Classifier>(
     prepared: &Prepared,
     classifier: &mut C,
 ) -> Result<TwoStageOutcome> {
-    let t0 = Instant::now();
-    classifier.fit(&prepared.train)?;
-    let train_time = t0.elapsed();
+    run_classifier_observed(prepared, classifier, &mut Recorder::null(), &NullClock)
+}
+
+/// Like [`run_classifier`], but records stage-2 metrics (training-loop
+/// counters via [`Classifier::fit_observed`], a `"twostage.fit"` span,
+/// prediction counts) and measures `train_time` on the injected [`Clock`].
+///
+/// With a null recorder and the [`NullClock`] this is exactly
+/// [`run_classifier`]; the instrumentation-equivalence suite holds the
+/// two paths to byte-identical predictions.
+///
+/// # Errors
+///
+/// Propagates classifier fit/predict errors.
+pub fn run_classifier_observed<C: Classifier>(
+    prepared: &Prepared,
+    classifier: &mut C,
+    rec: &mut Recorder,
+    clock: &dyn Clock,
+) -> Result<TwoStageOutcome> {
+    let span = rec.span_start("twostage.fit");
+    let t0 = clock.now_nanos();
+    classifier.fit_observed(&prepared.train, rec)?;
+    let train_time = Duration::from_nanos(clock.now_nanos().saturating_sub(t0));
+    rec.span_end(span);
 
     let n = prepared.test_samples.len();
     let mut predictions = vec![0.0f32; n];
@@ -210,6 +282,11 @@ pub fn run_classifier<C: Classifier>(
             predictions[idx] = if p >= thresh { 1.0 } else { 0.0 };
         }
     }
+    rec.incr("twostage.predictions", n as u64);
+    rec.incr(
+        "twostage.stage2_predictions",
+        prepared.stage2_test_idx.len() as u64,
+    );
     Ok(TwoStageOutcome {
         predictions,
         probabilities,
@@ -305,7 +382,63 @@ mod tests {
             }
         }
         assert_eq!(out.model_name, "GBDT");
-        assert!(out.train_time.as_nanos() > 0);
+        // The deterministic default clock measures nothing.
+        assert_eq!(out.train_time.as_nanos(), 0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_records_pipeline_metrics() {
+        let t = trace();
+        let split = DsSplit::ds1(&t).unwrap();
+        let spec = FeatureSpec::all();
+        let plain_prep = prepare(&t, &split, &spec).unwrap();
+        let plain = run_classifier(
+            &plain_prep,
+            &mut Gbdt::new().n_trees(20).min_samples_leaf(2),
+        )
+        .unwrap();
+
+        // A clock that jumps 7ns on every read: proves the fit is
+        // bracketed by exactly two reads without touching real time.
+        struct TickingClock(std::sync::atomic::AtomicU64);
+        impl Clock for TickingClock {
+            fn now_nanos(&self) -> u64 {
+                self.0.fetch_add(7, std::sync::atomic::Ordering::SeqCst)
+            }
+        }
+
+        let mut rec = Recorder::new();
+        let clock = TickingClock(std::sync::atomic::AtomicU64::new(0));
+        let prep = prepare_observed(&t, &split, &spec, &mut rec).unwrap();
+        let out = run_classifier_observed(
+            &prep,
+            &mut Gbdt::new().n_trees(20).min_samples_leaf(2),
+            &mut rec,
+            &clock,
+        )
+        .unwrap();
+
+        // Instrumentation cannot perturb results.
+        assert_eq!(out.predictions, plain.predictions);
+        assert_eq!(out.probabilities, plain.probabilities);
+        // The injected clock was read exactly twice around fit.
+        assert_eq!(out.train_time.as_nanos(), 7);
+
+        // Stage-1 metrics reconcile with the Prepared bookkeeping.
+        assert_eq!(
+            rec.counter("twostage.offender_nodes"),
+            prep.n_offenders as u64
+        );
+        assert_eq!(
+            rec.counter("twostage.stage2_test_samples"),
+            prep.stage2_test_idx.len() as u64
+        );
+        let filter_rate = rec.gauge_value("twostage.stage1_filter_rate").unwrap();
+        assert!((filter_rate - (1.0 - prep.stage2_fraction())).abs() < 1e-12);
+        // Training-loop counters flow up from the classifier.
+        assert_eq!(rec.counter("mlkit.gbdt.boosting_rounds"), 20);
+        assert!(rec.span("twostage.fit").unwrap().total_ticks > 0);
+        assert!(rec.counter("features.samples_extracted") > 0);
     }
 
     #[test]

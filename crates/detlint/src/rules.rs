@@ -113,12 +113,13 @@ impl RuleSet {
 /// Crates whose iteration order feeds model training or trace output,
 /// and therefore must not use hash-ordered collections (rule D001).
 /// `detlint` polices itself so its diagnostics order is reproducible.
-const D001_CRATES: [&str; 5] = [
+const D001_CRATES: [&str; 6] = [
     "crates/core/",
     "crates/mlkit/",
     "crates/titan-sim/",
     "crates/parkit/",
     "crates/detlint/",
+    "crates/obskit/",
 ];
 
 /// Maps a workspace-relative path to the rules that apply to it.

@@ -165,6 +165,48 @@ where
     Ok(CrossValScores { folds: out })
 }
 
+/// Like [`cross_validate_with`], but records per-fold training metrics.
+///
+/// Each fold trains against its own [`obskit::Recorder::fork`] under a
+/// `"mlkit.cv.fold"` span, and the per-fold recorders are merged back in
+/// fold order — so the merged metrics are byte-identical under any thread
+/// policy, serial included. The scores themselves are unchanged from
+/// [`cross_validate_with`].
+///
+/// # Errors
+///
+/// Same contract as [`cross_validate_with`].
+pub fn cross_validate_observed<C, F>(
+    ds: &Dataset,
+    k: usize,
+    seed: u64,
+    threads: parkit::Threads,
+    rec: &mut obskit::Recorder,
+    factory: F,
+) -> Result<CrossValScores>
+where
+    C: Classifier,
+    F: Fn() -> C + Sync,
+{
+    let folds = stratified_k_fold(ds, k, seed)?;
+    let parent = &*rec;
+    let out = parkit::try_par_map(threads, &folds, |(train_idx, test_idx)| {
+        let mut factory = &factory;
+        let mut fold_rec = parent.fork();
+        let span = fold_rec.span_start("mlkit.cv.fold");
+        let cm = run_fold_observed(ds, train_idx, test_idx, &mut factory, &mut fold_rec);
+        fold_rec.span_end(span);
+        cm.map(|cm| (cm, fold_rec))
+    })?;
+    let mut scores = Vec::with_capacity(out.len());
+    for (cm, fold_rec) in out {
+        rec.incr("mlkit.cv.folds", 1);
+        rec.merge(fold_rec);
+        scores.push(cm);
+    }
+    Ok(CrossValScores { folds: scores })
+}
+
 /// Trains and scores one fold.
 fn run_fold<C: Classifier>(
     ds: &Dataset,
@@ -172,10 +214,27 @@ fn run_fold<C: Classifier>(
     test_idx: &[usize],
     factory: &mut impl FnMut() -> C,
 ) -> Result<ConfusionMatrix> {
+    run_fold_observed(
+        ds,
+        train_idx,
+        test_idx,
+        factory,
+        &mut obskit::Recorder::null(),
+    )
+}
+
+/// Trains and scores one fold, recording training-loop metrics.
+fn run_fold_observed<C: Classifier>(
+    ds: &Dataset,
+    train_idx: &[usize],
+    test_idx: &[usize],
+    factory: &mut impl FnMut() -> C,
+    rec: &mut obskit::Recorder,
+) -> Result<ConfusionMatrix> {
     let train = ds.select(train_idx);
     let test = ds.select(test_idx);
     let mut model = factory();
-    model.fit(&train)?;
+    model.fit_observed(&train, rec)?;
     let pred = model.predict(&test)?;
     ConfusionMatrix::from_predictions(test.y(), &pred)
 }
@@ -260,6 +319,38 @@ mod tests {
         let scores =
             cross_validate(&ds, 4, 5, || Gbdt::new().n_trees(15).min_samples_leaf(2)).unwrap();
         assert!(scores.mean_f1() > 0.85, "mean f1 {}", scores.mean_f1());
+    }
+
+    #[test]
+    fn observed_cv_matches_plain_and_is_thread_invariant() {
+        let ds = dataset(160);
+        let factory = || {
+            Gbdt::new()
+                .n_trees(6)
+                .max_depth(3)
+                .min_samples_leaf(2)
+                .seed(7)
+        };
+        let plain = cross_validate_with(&ds, 4, 5, parkit::Threads::Serial, factory).unwrap();
+
+        let mut rec_serial = obskit::Recorder::new();
+        let serial =
+            cross_validate_observed(&ds, 4, 5, parkit::Threads::Serial, &mut rec_serial, factory)
+                .unwrap();
+        let mut rec_par = obskit::Recorder::new();
+        let par =
+            cross_validate_observed(&ds, 4, 5, parkit::Threads::Fixed(4), &mut rec_par, factory)
+                .unwrap();
+
+        assert_eq!(serial.folds, plain.folds);
+        assert_eq!(par.folds, plain.folds);
+        // Metrics merged in fold order: byte-identical snapshots.
+        assert_eq!(rec_serial.snapshot_json(), rec_par.snapshot_json());
+        assert_eq!(rec_serial.counter("mlkit.cv.folds"), 4);
+        assert_eq!(rec_serial.counter("mlkit.gbdt.boosting_rounds"), 24);
+        let span = rec_serial.span("mlkit.cv.fold").unwrap();
+        assert_eq!(span.count, 4);
+        assert!(span.total_ticks > 0);
     }
 
     #[test]

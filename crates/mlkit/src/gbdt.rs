@@ -231,10 +231,12 @@ impl Gbdt {
         }
         s
     }
-}
 
-impl Classifier for Gbdt {
-    fn fit(&mut self, train: &Dataset) -> Result<()> {
+    /// The boosting loop, shared by [`Classifier::fit`] (null recorder)
+    /// and [`Classifier::fit_observed`]. Recording is strictly read-only
+    /// with respect to training state, so both paths produce identical
+    /// models.
+    fn fit_impl(&mut self, train: &Dataset, rec: &mut obskit::Recorder) -> Result<()> {
         self.validate()?;
         if train.is_empty() {
             return Err(MlError::EmptyDataset);
@@ -289,7 +291,9 @@ impl Classifier for Gbdt {
             } else {
                 &all_idx
             };
-            let tree = RegressionTree::fit(&binned, &binner, &grad, &hess, idx, params, &mut rng)?;
+            let tree = RegressionTree::fit_observed(
+                &binned, &binner, &grad, &hess, idx, params, &mut rng, rec,
+            )?;
             // Update raw scores for every sample (not just the subsample).
             // Each element is touched exactly once, so the chunked
             // parallel pass equals the serial loop bit for bit.
@@ -298,10 +302,22 @@ impl Classifier for Gbdt {
                     *r += self.learning_rate * tree.predict_row(train.x().row(offset + k));
                 }
             });
+            rec.incr("mlkit.gbdt.boosting_rounds", 1);
+            rec.observe("mlkit.gbdt.tree_leaves", tree.n_leaves() as f64);
             self.trees.push(tree);
         }
         self.binner = Some(binner);
         Ok(())
+    }
+}
+
+impl Classifier for Gbdt {
+    fn fit(&mut self, train: &Dataset) -> Result<()> {
+        self.fit_impl(train, &mut obskit::Recorder::null())
+    }
+
+    fn fit_observed(&mut self, train: &Dataset, rec: &mut obskit::Recorder) -> Result<()> {
+        self.fit_impl(train, rec)
     }
 
     fn predict_proba(&self, data: &Dataset) -> Result<Vec<f32>> {
@@ -437,6 +453,23 @@ mod tests {
         for p in model.predict_proba(&ds).unwrap() {
             assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
         }
+    }
+
+    #[test]
+    fn fit_observed_matches_fit_and_records_training_loop() {
+        let ds = xor_dataset(120);
+        let mut plain = Gbdt::new().n_trees(8).max_depth(3).min_samples_leaf(2);
+        plain.fit(&ds).unwrap();
+        let mut observed = Gbdt::new().n_trees(8).max_depth(3).min_samples_leaf(2);
+        let mut rec = obskit::Recorder::new();
+        observed.fit_observed(&ds, &mut rec).unwrap();
+        assert_eq!(
+            plain.predict_proba(&ds).unwrap(),
+            observed.predict_proba(&ds).unwrap()
+        );
+        assert_eq!(rec.counter("mlkit.gbdt.boosting_rounds"), 8);
+        assert!(rec.counter("mlkit.tree.split_candidates") > 0);
+        assert_eq!(rec.histogram("mlkit.gbdt.tree_leaves").unwrap().count(), 8);
     }
 
     #[test]

@@ -329,6 +329,17 @@ impl Classifier for MlpClassifier {
         Ok(())
     }
 
+    /// The optimiser always runs exactly `epochs × ceil(n / batch_size)`
+    /// Adam steps, so the training-loop metrics are recorded in closed
+    /// form after the (unchanged) fit — recording can never perturb it.
+    fn fit_observed(&mut self, train: &Dataset, rec: &mut obskit::Recorder) -> Result<()> {
+        self.fit(train)?;
+        rec.incr("mlkit.nn.epochs", self.epochs as u64);
+        let n_batches = train.len().div_ceil(self.batch_size) as u64;
+        rec.incr("mlkit.nn.adam_steps", self.epochs as u64 * n_batches);
+        Ok(())
+    }
+
     fn predict_proba(&self, data: &Dataset) -> Result<Vec<f32>> {
         if self.layers.is_empty() {
             return Err(MlError::NotFitted);
@@ -364,6 +375,22 @@ mod tests {
             .map(|r| if r[0] != r[1] { 1.0 } else { 0.0 })
             .collect();
         Dataset::from_rows(&rows, &y).unwrap()
+    }
+
+    #[test]
+    fn fit_observed_records_epochs_and_steps() {
+        let ds = xor_dataset(40);
+        let mut nn = MlpClassifier::new()
+            .hidden_layers(&[4])
+            .epochs(3)
+            .batch_size(16);
+        let mut rec = obskit::Recorder::new();
+        nn.fit_observed(&ds, &mut rec).unwrap();
+        assert_eq!(rec.counter("mlkit.nn.epochs"), 3);
+        // 40 samples / batch 16 -> 3 batches per epoch; matches the
+        // optimiser's own Adam step counter.
+        assert_eq!(rec.counter("mlkit.nn.adam_steps"), 9);
+        assert_eq!(nn.adam_t, 9);
     }
 
     #[test]

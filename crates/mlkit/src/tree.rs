@@ -249,6 +249,38 @@ impl RegressionTree {
         params: TreeParams,
         rng: &mut StdRng,
     ) -> Result<RegressionTree> {
+        RegressionTree::fit_observed(
+            binned,
+            binner,
+            grad,
+            hess,
+            indices,
+            params,
+            rng,
+            &mut obskit::Recorder::null(),
+        )
+    }
+
+    /// Like [`RegressionTree::fit`], but counts the candidate cut points
+    /// the split finder scanned into `rec` (`mlkit.tree.split_candidates`).
+    /// The count is an exact property of the data and hyper-parameters —
+    /// identical under any thread policy — and fitting with a null
+    /// recorder is behaviourally identical to [`RegressionTree::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RegressionTree::fit`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_observed(
+        binned: &BinnedMatrix,
+        binner: &QuantileBinner,
+        grad: &[f32],
+        hess: &[f32],
+        indices: &[usize],
+        params: TreeParams,
+        rng: &mut StdRng,
+        rec: &mut obskit::Recorder,
+    ) -> Result<RegressionTree> {
         if indices.is_empty() {
             return Err(MlError::EmptyDataset);
         }
@@ -270,7 +302,9 @@ impl RegressionTree {
             n_features: binned.ncols(),
         };
         let mut idx = indices.to_vec();
-        tree.build(&ctx, &mut idx, 0, rng);
+        let mut candidates = 0u64;
+        tree.build(&ctx, &mut idx, 0, rng, &mut candidates);
+        rec.incr("mlkit.tree.split_candidates", candidates);
         Ok(tree)
     }
 
@@ -281,6 +315,7 @@ impl RegressionTree {
         indices: &mut [usize],
         depth: usize,
         rng: &mut StdRng,
+        candidates: &mut u64,
     ) -> usize {
         let (g_sum, h_sum) = sums(ctx.grad, ctx.hess, indices);
         let leaf_value = (-g_sum / (h_sum + ctx.params.lambda)) as f32;
@@ -289,7 +324,9 @@ impl RegressionTree {
             return self.push(Node::Leaf { value: leaf_value });
         }
 
-        let Some(best) = find_best_split(ctx, indices, g_sum, h_sum, rng) else {
+        let (found, scanned) = find_best_split(ctx, indices, g_sum, h_sum, rng);
+        *candidates += scanned;
+        let Some(best) = found else {
             return self.push(Node::Leaf { value: leaf_value });
         };
 
@@ -309,8 +346,8 @@ impl RegressionTree {
             right: usize::MAX,
         });
         let (left_idx, right_idx) = indices.split_at_mut(mid);
-        let left = self.build(ctx, left_idx, depth + 1, rng);
-        let right = self.build(ctx, right_idx, depth + 1, rng);
+        let left = self.build(ctx, left_idx, depth + 1, rng, candidates);
+        let right = self.build(ctx, right_idx, depth + 1, rng, candidates);
         if let Node::Split {
             left: l, right: r, ..
         } = &mut self.nodes[node_id]
@@ -464,13 +501,16 @@ fn best_split_for_feature(
     best
 }
 
+/// Returns the best candidate and the number of candidate cut points
+/// scanned (an exact count: `Σ_j max(n_bins_j − 1, 0)` over the sampled
+/// features, independent of the thread policy).
 fn find_best_split(
     ctx: &BuildCtx<'_>,
     indices: &[usize],
     g_total: f64,
     h_total: f64,
     rng: &mut StdRng,
-) -> Option<SplitCandidate> {
+) -> (Option<SplitCandidate>, u64) {
     let n_features = ctx.binned.ncols();
     let mut features: Vec<usize> = (0..n_features).collect();
     if ctx.params.colsample < 1.0 {
@@ -478,6 +518,10 @@ fn find_best_split(
         features.shuffle(rng);
         features.truncate(keep);
     }
+    let scanned: u64 = features
+        .iter()
+        .map(|&j| ctx.binner.n_bins_for(j).saturating_sub(1) as u64)
+        .sum();
 
     let parent_score = score(g_total, h_total, ctx.params.lambda);
 
@@ -504,7 +548,7 @@ fn find_best_split(
             best = Some(cand);
         }
     }
-    best
+    (best, scanned)
 }
 
 /// Stable-ish in-place partition: elements satisfying `pred` move to the

@@ -1,0 +1,127 @@
+//! Property tests for the evaluation metrics.
+//!
+//! The paper's headline numbers (precision / recall / F1, Eq. 4) reduce
+//! to ratios of confusion-matrix counts; these properties pin the
+//! algebraic invariants the experiment tables silently rely on:
+//! boundedness, the harmonic-mean identity, invariance to sample order,
+//! and graceful zeros on degenerate label sets (no NaN from 0/0).
+
+use mlkit::metrics::{roc_auc, ConfusionMatrix, Prf};
+use proptest::prelude::*;
+
+/// A strategy for paired binary truth/prediction labels.
+fn labels(max_len: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    prop::collection::vec((0u8..2, 0u8..2), 1..max_len).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(t, p)| (f32::from(t), f32::from(p)))
+            .unzip()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn metrics_are_bounded_and_finite((truth, pred) in labels(256)) {
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred).unwrap();
+        for (name, v) in [
+            ("precision", cm.precision()),
+            ("recall", cm.recall()),
+            ("f1", cm.f1()),
+            ("precision_negative", cm.precision_negative()),
+            ("recall_negative", cm.recall_negative()),
+            ("accuracy", cm.accuracy()),
+        ] {
+            prop_assert!(v.is_finite(), "{name} not finite: {v}");
+            prop_assert!((0.0..=1.0).contains(&v), "{name} out of range: {v}");
+        }
+        prop_assert_eq!(cm.total(), truth.len() as u64);
+    }
+
+    #[test]
+    fn f1_is_the_harmonic_mean((truth, pred) in labels(256)) {
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred).unwrap();
+        let (p, r) = (cm.precision(), cm.recall());
+        let expected = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        prop_assert!((cm.f1() - expected).abs() < 1e-12);
+        // The harmonic mean lies between its operands (and collapses to
+        // zero as soon as either operand is zero).
+        prop_assert!(cm.f1() <= p.max(r) + 1e-12);
+        if p > 0.0 && r > 0.0 {
+            prop_assert!(cm.f1() >= p.min(r) - 1e-12);
+        } else {
+            prop_assert_eq!(cm.f1(), 0.0);
+        }
+    }
+
+    #[test]
+    fn metrics_are_sample_order_invariant(
+        (truth, pred) in labels(128),
+        seed in 0u64..1024,
+    ) {
+        // A deterministic Fisher–Yates driven by `seed`, applied to the
+        // truth/prediction *pairs*.
+        let mut pairs: Vec<(f32, f32)> =
+            truth.iter().copied().zip(pred.iter().copied()).collect();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for i in (1..pairs.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            pairs.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        let (t2, p2): (Vec<f32>, Vec<f32>) = pairs.into_iter().unzip();
+        let a = ConfusionMatrix::from_predictions(&truth, &pred).unwrap();
+        let b = ConfusionMatrix::from_predictions(&t2, &p2).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_label_sets_yield_zeros_not_nan(truth_class in 0u8..2, n in 1usize..64) {
+        // All-one-class truth with an all-opposite predictor: every ratio
+        // that divides by an empty class must come back 0.0, not NaN.
+        let t = f32::from(truth_class);
+        let truth = vec![t; n];
+        let pred = vec![1.0 - t; n];
+        let cm = ConfusionMatrix::from_predictions(&truth, &pred).unwrap();
+        prop_assert_eq!(cm.f1(), 0.0);
+        prop_assert!(cm.precision() == 0.0 && cm.recall() == 0.0 || cm.accuracy() == 0.0);
+        for v in [cm.precision(), cm.recall(), cm.precision_negative(), cm.recall_negative()] {
+            prop_assert!(v.is_finite());
+        }
+        // Prf conversion carries the same (finite) numbers through.
+        let prf = Prf::from(cm);
+        prop_assert!(prf.f1.is_finite() && prf.precision.is_finite() && prf.recall.is_finite());
+    }
+
+    #[test]
+    fn merge_is_count_addition((ta, pa) in labels(128), (tb, pb) in labels(128)) {
+        let mut merged = ConfusionMatrix::from_predictions(&ta, &pa).unwrap();
+        merged.merge(&ConfusionMatrix::from_predictions(&tb, &pb).unwrap());
+        let whole = ConfusionMatrix::from_predictions(
+            &[ta, tb].concat(),
+            &[pa, pb].concat(),
+        )
+        .unwrap();
+        prop_assert_eq!(merged, whole);
+    }
+
+    #[test]
+    fn roc_auc_is_bounded_when_defined(
+        (truth, _) in labels(128),
+        scores_seed in 0u32..1000,
+    ) {
+        let scores: Vec<f32> = (0..truth.len())
+            .map(|i| (((i as u32).wrapping_mul(scores_seed).wrapping_add(17) % 101) as f32) / 100.0)
+            .collect();
+        let has_both = truth.contains(&1.0) && truth.contains(&0.0);
+        match roc_auc(&truth, &scores) {
+            Ok(auc) => {
+                prop_assert!(has_both);
+                prop_assert!((0.0..=1.0).contains(&auc), "auc out of range: {}", auc);
+            }
+            Err(_) => prop_assert!(!has_both),
+        }
+    }
+}

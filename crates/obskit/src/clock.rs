@@ -1,0 +1,88 @@
+//! Wall-clock access as an injected capability.
+//!
+//! Library crates in this workspace may not read real time (detlint
+//! D002): it is the one input a seed cannot pin. Code that wants to
+//! *report* durations — the `repro` binary's train-time columns — takes a
+//! `&dyn Clock` instead. The deterministic default is [`NullClock`]
+//! (always zero, so timings vanish from reproducible output); the only
+//! real implementation lives in `crates/bench`, which detlint already
+//! classifies as timing-exempt, backed by `std::time::Instant`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic nanosecond source.
+///
+/// `Send + Sync` so a single clock can be shared by parallel experiment
+/// grids; implementations must be monotonic per clock instance but carry
+/// no epoch guarantee — only differences of readings are meaningful.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since this clock's arbitrary origin.
+    fn now_nanos(&self) -> u64;
+}
+
+/// The deterministic clock: always zero, so every measured duration is
+/// zero and reproducible output carries no timing noise.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now_nanos(&self) -> u64 {
+        0
+    }
+}
+
+/// A hand-advanced clock for tests that assert timing plumbing without
+/// real time: each `advance` moves the reading forward deterministically.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    nanos: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a clock at zero.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `nanos`.
+    pub fn advance(&self, nanos: u64) {
+        self.nanos.fetch_add(nanos, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_nanos(&self) -> u64 {
+        self.nanos.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_clock_is_always_zero() {
+        let c = NullClock;
+        assert_eq!(c.now_nanos(), 0);
+        assert_eq!(c.now_nanos(), 0);
+    }
+
+    #[test]
+    fn manual_clock_advances() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_nanos(), 0);
+        c.advance(5);
+        c.advance(7);
+        assert_eq!(c.now_nanos(), 12);
+    }
+
+    #[test]
+    fn clocks_are_object_safe() {
+        let clocks: Vec<Box<dyn Clock>> = vec![Box::new(NullClock), Box::new(ManualClock::new())];
+        for c in &clocks {
+            let a = c.now_nanos();
+            let b = c.now_nanos();
+            assert!(b >= a);
+        }
+    }
+}

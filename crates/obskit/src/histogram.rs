@@ -1,0 +1,169 @@
+//! Fixed-bucket histograms.
+//!
+//! Every histogram in the workspace shares ONE bucket layout, so any two
+//! histograms merge bucket-for-bucket without resampling — the property
+//! that makes per-thread recorders mergeable in any partitioning. The
+//! layout is exponential base 2: bucket `i` (for `i < BUCKET_COUNT - 1`)
+//! holds values `v` with `v <= 2^i`, bucket 0 additionally catching
+//! everything `<= 1` (including zero and negatives), and the last bucket
+//! catching the overflow tail. Powers of two are exactly representable,
+//! so bucket assignment has no platform-dependent rounding.
+
+/// Number of buckets, covering `<= 1` up to `> 2^61` in the overflow tail.
+pub const BUCKET_COUNT: usize = 63;
+
+/// A fixed-layout exponential histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    buckets: [u64; BUCKET_COUNT],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            buckets: [0; BUCKET_COUNT],
+        }
+    }
+
+    /// Bucket index for a value: the smallest `i` with `value <= 2^i`,
+    /// clamped into the fixed layout.
+    pub fn bucket_index(value: f64) -> usize {
+        if value.is_nan() || value <= 1.0 {
+            // NaN, negatives, zero, and (0, 1] all land in bucket 0.
+            return 0;
+        }
+        let mut i = 0usize;
+        let mut bound = 1.0f64;
+        while i < BUCKET_COUNT - 1 && value > bound {
+            bound *= 2.0;
+            i += 1;
+        }
+        i
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.buckets[Histogram::bucket_index(value)] += 1;
+    }
+
+    /// Adds another histogram bucket-wise (always layout-compatible).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Count in one bucket.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// `(bucket index, count)` pairs for non-empty buckets, ascending —
+    /// the sparse form the JSON snapshot emits.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Histogram::bucket_index(-3.0), 0);
+        assert_eq!(Histogram::bucket_index(0.0), 0);
+        assert_eq!(Histogram::bucket_index(1.0), 0);
+        assert_eq!(Histogram::bucket_index(1.5), 1);
+        assert_eq!(Histogram::bucket_index(2.0), 1);
+        assert_eq!(Histogram::bucket_index(2.1), 2);
+        assert_eq!(Histogram::bucket_index(4.0), 2);
+        assert_eq!(Histogram::bucket_index(f64::NAN), 0);
+        // Overflow tail.
+        assert_eq!(Histogram::bucket_index(1e300), BUCKET_COUNT - 1);
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let mut h = Histogram::new();
+        for v in [0.0, 1.0, 3.0, 3.0, 100.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 107.0);
+        assert_eq!(h.mean(), 21.4);
+        assert_eq!(h.bucket(0), 2); // 0.0 and 1.0
+        assert_eq!(h.bucket(2), 2); // the two 3.0s (2 < 3 <= 4)
+        assert_eq!(h.bucket(7), 1); // 64 < 100 <= 128
+    }
+
+    #[test]
+    fn merge_equals_joint_recording() {
+        let values = [0.5, 2.0, 7.0, 7.0, 1000.0, 3.0];
+        let mut joint = Histogram::new();
+        for &v in &values {
+            joint.record(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &v in &values[..3] {
+            a.record(v);
+        }
+        for &v in &values[3..] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), joint.count());
+        assert_eq!(a.sum(), joint.sum());
+        for i in 0..BUCKET_COUNT {
+            assert_eq!(a.bucket(i), joint.bucket(i), "bucket {i}");
+        }
+    }
+
+    #[test]
+    fn nonzero_buckets_sparse_and_sorted() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(1000.0);
+        let pairs: Vec<(usize, u64)> = h.nonzero_buckets().collect();
+        assert_eq!(pairs, vec![(0, 1), (10, 1)]);
+    }
+}

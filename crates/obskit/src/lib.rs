@@ -1,0 +1,593 @@
+//! `obskit` — deterministic observability for the prediction pipeline.
+//!
+//! Every other instrumentation library answers "how long did this take?"
+//! with a wall clock, which makes instrumented output nondeterministic and
+//! therefore untestable. This workspace's contract (DESIGN.md "Parallel
+//! execution & determinism", enforced by `detlint`) is the opposite: the
+//! same seed must produce the same bytes, observability included. obskit
+//! therefore builds on three rules:
+//!
+//! 1. **Logical time.** Spans measure *recorded events*, not nanoseconds:
+//!    the [`Recorder`] keeps a monotonic tick counter incremented by every
+//!    counter/gauge/histogram observation, and a span's "duration" is the
+//!    number of ticks elapsed between enter and exit. Same work → same
+//!    ticks, on any machine, at any thread count.
+//! 2. **Real time is a capability, not a default.** Code that genuinely
+//!    wants wall-clock durations (the `repro` binary's progress lines)
+//!    takes a [`Clock`] — and the only non-null implementation lives in
+//!    `crates/bench`, the one crate detlint's D002 already exempts.
+//! 3. **Order-preserving merges.** Parallel sections give each worker a
+//!    [`Recorder::fork`] and merge the children back **in input order**
+//!    (the same order `parkit` returns results), so a parallel run's
+//!    metrics are byte-identical to a serial run's.
+//!
+//! Keys are dotted paths (`"mlkit.gbdt.boosting_rounds"`); snapshots are
+//! rendered by [`Recorder::snapshot_json`] with sorted keys and a stable
+//! float format, so equality of two snapshots can be checked bytewise.
+//!
+//! # Example
+//!
+//! ```
+//! use obskit::Recorder;
+//!
+//! let mut rec = Recorder::new();
+//! let span = rec.span_start("work");
+//! for batch in 0..4u64 {
+//!     rec.incr("work.batches", 1);
+//!     rec.observe("work.batch_size", (batch * 100) as f64);
+//! }
+//! rec.span_end(span);
+//! assert_eq!(rec.counter("work.batches"), 4);
+//! // 8 events were recorded inside the span (4 incr + 4 observe).
+//! assert_eq!(rec.span("work").map(|s| s.total_ticks), Some(8));
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+mod clock;
+mod histogram;
+
+pub use clock::{Clock, ManualClock, NullClock};
+pub use histogram::{Histogram, BUCKET_COUNT};
+
+/// Aggregate statistics for one named span.
+///
+/// Durations are *logical*: the number of events recorded on the owning
+/// [`Recorder`] between `span_start` and `span_end`. Nested or repeated
+/// spans with the same name aggregate into one entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanStats {
+    /// Completed enter/exit pairs.
+    pub count: u64,
+    /// Sum of logical durations over all completions.
+    pub total_ticks: u64,
+    /// Smallest observed logical duration.
+    pub min_ticks: u64,
+    /// Largest observed logical duration.
+    pub max_ticks: u64,
+}
+
+impl SpanStats {
+    fn record(&mut self, ticks: u64) {
+        if self.count == 0 {
+            self.min_ticks = ticks;
+            self.max_ticks = ticks;
+        } else {
+            self.min_ticks = self.min_ticks.min(ticks);
+            self.max_ticks = self.max_ticks.max(ticks);
+        }
+        self.count += 1;
+        self.total_ticks += ticks;
+    }
+
+    fn merge(&mut self, other: &SpanStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.total_ticks += other.total_ticks;
+        self.min_ticks = self.min_ticks.min(other.min_ticks);
+        self.max_ticks = self.max_ticks.max(other.max_ticks);
+    }
+}
+
+/// An open span, returned by [`Recorder::span_start`] and consumed by
+/// [`Recorder::span_end`].
+///
+/// Not RAII on purpose: closing a span mutates the recorder, and holding
+/// `&mut Recorder` inside a guard would lock the recorder for the span's
+/// whole extent. A token the caller hands back keeps the borrow local.
+#[derive(Debug)]
+#[must_use = "a span that is never ended records nothing"]
+pub struct SpanToken {
+    name: &'static str,
+    start_ticks: u64,
+    live: bool,
+}
+
+/// The metrics sink: counters, gauges, fixed-bucket histograms, and
+/// logical-clock spans, all keyed by dotted-path strings.
+///
+/// A disabled recorder ([`Recorder::null`]) ignores every call after one
+/// branch — the hot-loop fast path — and always snapshots to the empty
+/// schema. Cloning is supported for tests; production code forks instead.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    enabled: bool,
+    ticks: u64,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<&'static str, SpanStats>,
+}
+
+impl Default for Recorder {
+    fn default() -> Recorder {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an enabled recorder.
+    pub fn new() -> Recorder {
+        Recorder {
+            enabled: true,
+            ticks: 0,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            spans: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a disabled recorder: every recording call returns after a
+    /// single branch and the snapshot stays empty.
+    pub fn null() -> Recorder {
+        Recorder {
+            enabled: false,
+            ..Recorder::new()
+        }
+    }
+
+    /// Whether this recorder stores anything. Callers building dynamic
+    /// keys (`format!`-style) should check this first to keep the
+    /// disabled path allocation-free.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The logical clock: total events recorded so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Adds `by` to a counter (creating it at zero).
+    pub fn incr(&mut self, key: &str, by: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.ticks += 1;
+        match self.counters.get_mut(key) {
+            Some(v) => *v += by,
+            None => {
+                self.counters.insert(key.to_string(), by);
+            }
+        }
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    pub fn gauge(&mut self, key: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.ticks += 1;
+        match self.gauges.get_mut(key) {
+            Some(v) => *v = value,
+            None => {
+                self.gauges.insert(key.to_string(), value);
+            }
+        }
+    }
+
+    /// Records one observation into a fixed-bucket histogram.
+    pub fn observe(&mut self, key: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.ticks += 1;
+        match self.histograms.get_mut(key) {
+            Some(h) => h.record(value),
+            None => {
+                let mut h = Histogram::new();
+                h.record(value);
+                self.histograms.insert(key.to_string(), h);
+            }
+        }
+    }
+
+    /// Opens a span. Spans need `'static` names: they label fixed pipeline
+    /// phases, never data-dependent keys.
+    pub fn span_start(&mut self, name: &'static str) -> SpanToken {
+        SpanToken {
+            name,
+            start_ticks: self.ticks,
+            live: self.enabled,
+        }
+    }
+
+    /// Closes a span, recording the logical duration (events since the
+    /// matching [`Recorder::span_start`]).
+    pub fn span_end(&mut self, token: SpanToken) {
+        if !token.live || !self.enabled {
+            return;
+        }
+        let ticks = self.ticks.saturating_sub(token.start_ticks);
+        self.spans.entry(token.name).or_default().record(ticks);
+    }
+
+    /// Creates an empty child with the same enabled flag — one per worker
+    /// in a parallel section. Merge children back with
+    /// [`Recorder::merge`] **in input order**.
+    pub fn fork(&self) -> Recorder {
+        if self.enabled {
+            Recorder::new()
+        } else {
+            Recorder::null()
+        }
+    }
+
+    /// Folds a child recorder into this one: counters and span aggregates
+    /// add, histograms add bucket-wise, gauges take the child's value
+    /// (last write wins), and the child's ticks extend the logical clock.
+    ///
+    /// Determinism contract: when children come from a parallel section,
+    /// merge them in the order of the inputs that produced them (the order
+    /// `parkit::par_map` returns results), so the merged state matches a
+    /// serial run's byte for byte.
+    pub fn merge(&mut self, child: Recorder) {
+        if !self.enabled {
+            return;
+        }
+        self.ticks += child.ticks;
+        for (k, v) in child.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in child.gauges {
+            self.gauges.insert(k, v);
+        }
+        for (k, h) in child.histograms {
+            match self.histograms.get_mut(&k) {
+                Some(mine) => mine.merge(&h),
+                None => {
+                    self.histograms.insert(k, h);
+                }
+            }
+        }
+        for (k, s) in child.spans {
+            self.spans.entry(k).or_default().merge(&s);
+        }
+    }
+
+    /// Reads a counter (0 when absent).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge.
+    pub fn gauge_value(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    /// Reads a histogram.
+    pub fn histogram(&self, key: &str) -> Option<&Histogram> {
+        self.histograms.get(key)
+    }
+
+    /// Reads a span aggregate.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// Iterates counters in key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates gauges in key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Iterates histograms in key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Iterates span aggregates in name order.
+    pub fn spans(&self) -> impl Iterator<Item = (&str, &SpanStats)> {
+        self.spans.iter().map(|(&k, s)| (k, s))
+    }
+
+    /// Renders the stable JSON snapshot.
+    ///
+    /// The schema is part of the golden-test surface
+    /// (`results/golden_metrics_tiny.json`):
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "obskit/1",
+    ///   "ticks": 12,
+    ///   "counters": {"a.b": 3},
+    ///   "gauges": {"c": 0.5},
+    ///   "histograms": {"d": {"count": 2, "sum": 3.0, "buckets": [[1, 2]]}},
+    ///   "spans": {"e": {"count": 1, "total_ticks": 4, "min_ticks": 4, "max_ticks": 4}}
+    /// }
+    /// ```
+    ///
+    /// Keys are sorted (BTreeMap order), floats use Rust's shortest
+    /// round-trip `{}` format, and histogram buckets are emitted sparsely
+    /// as `[index, count]` pairs — so two equal recorders snapshot to
+    /// identical bytes on every platform.
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\"schema\":\"obskit/1\"");
+        let _ = write!(out, ",\"ticks\":{}", self.ticks);
+
+        out.push_str(",\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", json_string(k));
+        }
+        out.push('}');
+
+        out.push_str(",\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_f64(*v));
+        }
+        out.push('}');
+
+        out.push_str(",\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"sum\":{},\"buckets\":[",
+                json_string(k),
+                h.count(),
+                json_f64(h.sum())
+            );
+            let mut first = true;
+            for (bucket, n) in h.nonzero_buckets() {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                let _ = write!(out, "[{bucket},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push('}');
+
+        out.push_str(",\"spans\":{");
+        for (i, (k, s)) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"total_ticks\":{},\"min_ticks\":{},\"max_ticks\":{}}}",
+                json_string(k),
+                s.count,
+                s.total_ticks,
+                s.min_ticks,
+                s.max_ticks
+            );
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Escapes a key as a JSON string literal. Keys are dotted ASCII paths in
+/// practice, but escaping keeps the snapshot well-formed for any input.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an f64 for the snapshot: Rust's `{}` is the shortest string
+/// that round-trips, and is platform-independent. Non-finite values
+/// (which valid instrumentation never produces) degrade to null.
+fn json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    // Bare integers like "3" are valid JSON numbers already; keep them.
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_read_back() {
+        let mut r = Recorder::new();
+        r.incr("a.b", 2);
+        r.incr("a.b", 3);
+        r.incr("z", 1);
+        assert_eq!(r.counter("a.b"), 5);
+        assert_eq!(r.counter("z"), 1);
+        assert_eq!(r.counter("missing"), 0);
+        assert_eq!(r.ticks(), 3);
+    }
+
+    #[test]
+    fn null_recorder_stores_nothing() {
+        let mut r = Recorder::null();
+        r.incr("a", 1);
+        r.gauge("b", 2.0);
+        r.observe("c", 3.0);
+        let t = r.span_start("d");
+        r.span_end(t);
+        assert_eq!(r.ticks(), 0);
+        assert_eq!(r.counter("a"), 0);
+        assert!(!r.enabled());
+        assert_eq!(
+            r.snapshot_json(),
+            "{\"schema\":\"obskit/1\",\"ticks\":0,\"counters\":{},\
+             \"gauges\":{},\"histograms\":{},\"spans\":{}}"
+        );
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut r = Recorder::new();
+        r.gauge("g", 1.5);
+        r.gauge("g", -2.25);
+        assert_eq!(r.gauge_value("g"), Some(-2.25));
+    }
+
+    #[test]
+    fn spans_measure_logical_time() {
+        let mut r = Recorder::new();
+        let outer = r.span_start("outer");
+        r.incr("x", 1);
+        r.incr("x", 1);
+        r.span_end(outer);
+        let again = r.span_start("outer");
+        r.incr("x", 1);
+        r.span_end(again);
+        let s = r.span("outer").copied().unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_ticks, 3);
+        assert_eq!(s.min_ticks, 1);
+        assert_eq!(s.max_ticks, 2);
+    }
+
+    #[test]
+    fn fork_merge_matches_serial_recording() {
+        // Serial reference.
+        let mut serial = Recorder::new();
+        for part in 0..3u64 {
+            for i in 0..4u64 {
+                serial.incr("n", 1);
+                serial.observe("v", (part * 4 + i) as f64);
+            }
+            serial.gauge("last_part", part as f64);
+        }
+
+        // Forked "workers", merged in input order.
+        let mut parent = Recorder::new();
+        let children: Vec<Recorder> = (0..3u64)
+            .map(|part| {
+                let mut c = parent.fork();
+                for i in 0..4u64 {
+                    c.incr("n", 1);
+                    c.observe("v", (part * 4 + i) as f64);
+                }
+                c.gauge("last_part", part as f64);
+                c
+            })
+            .collect();
+        for c in children {
+            parent.merge(c);
+        }
+        assert_eq!(parent.snapshot_json(), serial.snapshot_json());
+    }
+
+    #[test]
+    fn merge_order_controls_gauges_only() {
+        // Counters/histograms are commutative; gauges take the last merge.
+        let mut a = Recorder::new();
+        a.gauge("g", 1.0);
+        let mut b = Recorder::new();
+        b.gauge("g", 2.0);
+        let mut parent = Recorder::new();
+        parent.merge(a);
+        parent.merge(b);
+        assert_eq!(parent.gauge_value("g"), Some(2.0));
+    }
+
+    #[test]
+    fn fork_of_null_is_null() {
+        let parent = Recorder::null();
+        let mut child = parent.fork();
+        child.incr("a", 1);
+        assert_eq!(child.ticks(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_valid_and_stable() {
+        let mut r = Recorder::new();
+        r.incr("b", 2);
+        r.incr("a", 1);
+        r.gauge("rate", 0.5);
+        r.observe("sizes", 3.0);
+        r.observe("sizes", 300.0);
+        let t = r.span_start("phase");
+        r.incr("a", 1);
+        r.span_end(t);
+        let s1 = r.snapshot_json();
+        let s2 = r.snapshot_json();
+        assert_eq!(s1, s2);
+        // Sorted keys: "a" before "b".
+        assert!(s1.find("\"a\"").unwrap() < s1.find("\"b\"").unwrap());
+        assert!(s1.starts_with("{\"schema\":\"obskit/1\""));
+        assert!(s1.contains("\"rate\":0.5"));
+        assert!(s1.contains("\"phase\""));
+        // Balanced braces (cheap well-formedness check without a parser).
+        let open = s1.matches(['{', '[']).count();
+        let close = s1.matches(['}', ']']).count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn json_f64_handles_edge_values() {
+        assert_eq!(json_f64(0.5), "0.5");
+        assert_eq!(json_f64(3.0), "3");
+        assert_eq!(json_f64(f64::NAN), "null");
+        assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn span_on_disabled_recorder_is_inert() {
+        let mut r = Recorder::null();
+        let t = r.span_start("p");
+        r.span_end(t);
+        assert!(r.span("p").is_none());
+    }
+}

@@ -50,6 +50,20 @@ pub fn generate(cfg: &SimConfig) -> Result<TraceSet> {
     Ok(generate_full(cfg)?.0)
 }
 
+/// Like [`generate`], but records generation metrics: samples and
+/// SBE/DBE totals per cabinet, per-slot event histograms, and a
+/// `"titan_sim.generate"` span. Per-slot recorders are forked from `rec`
+/// and merged back in slot order, so the recorded metrics are
+/// byte-identical under any thread policy — and passing
+/// [`obskit::Recorder::null`] is exactly [`generate`].
+///
+/// # Errors
+///
+/// Propagates configuration validation and internal consistency errors.
+pub fn generate_observed(cfg: &SimConfig, rec: &mut obskit::Recorder) -> Result<TraceSet> {
+    Ok(generate_full_observed(cfg, rec)?.0)
+}
+
 /// Like [`generate`], but also returns the hidden [`FaultModel`] — ground
 /// truth that a real operator never observes, useful for calibration
 /// tests and oracle comparisons.
@@ -58,6 +72,19 @@ pub fn generate(cfg: &SimConfig) -> Result<TraceSet> {
 ///
 /// Propagates configuration validation and internal consistency errors.
 pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
+    generate_full_observed(cfg, &mut obskit::Recorder::null())
+}
+
+/// [`generate_full`] with generation metrics (see [`generate_observed`]).
+///
+/// # Errors
+///
+/// Propagates configuration validation and internal consistency errors.
+pub fn generate_full_observed(
+    cfg: &SimConfig,
+    rec: &mut obskit::Recorder,
+) -> Result<(TraceSet, FaultModel)> {
+    let span = rec.span_start("titan_sim.generate");
     cfg.validate()?;
     let catalog = AppCatalog::generate(&cfg.workload, cfg.seed, cfg.days)?;
     let schedule = Schedule::generate(cfg, &catalog)?;
@@ -72,11 +99,15 @@ pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
         samples: Vec<SampleRecord>,
         cum_temp: Vec<(NodeId, f64)>,
         cum_power: Vec<(NodeId, f64)>,
+        rec: obskit::Recorder,
     }
 
     let process_slot = |slot: SlotId, shard: &mut Shard| -> Result<()> {
         let series = sim.simulate_slot(slot)?;
         let horizon = cfg.total_minutes();
+        // Per-slot RNG draws: two streams (SBE + DBE) sample once per
+        // busy interval on each member node.
+        let mut slot_rng_draws = 0u64;
         for &node in series.nodes() {
             // Cumulative sums for the Fig. 5 heatmaps.
             let temps = series.series(node, SeriesKind::GpuTemp, 0, horizon)?;
@@ -93,6 +124,9 @@ pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
             // never perturbs the SBE sequence.
             let mut rng = stream_rng_indexed(cfg.seed, "sbe", node.0 as u64);
             let mut dbe_rng = stream_rng_indexed(cfg.seed, "dbe", node.0 as u64);
+            let cabinet = cfg.topology.cabinet_index(node)?;
+            let mut node_sbes = 0u64;
+            let mut node_dbes = 0u64;
             for iv in &timelines[node.0 as usize] {
                 let avg_t = series.mean(node, SeriesKind::GpuTemp, iv.start_min, iv.end_min)?;
                 let avg_p = series.mean(node, SeriesKind::GpuPower, iv.start_min, iv.end_min)?;
@@ -111,6 +145,9 @@ pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
                 // DBEs: orders of magnitude rarer, no burst (a double
                 // flip is a one-off event, not a stuck cell).
                 let dbe = faults.sample_count(lambda * DBE_RELATIVE_RATE, &mut dbe_rng);
+                node_sbes += u64::from(count);
+                node_dbes += u64::from(dbe);
+                slot_rng_draws += 2;
                 shard.samples.push(SampleRecord {
                     aprun: iv.aprun,
                     node,
@@ -121,7 +158,21 @@ pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
                     dbe_true: dbe,
                 });
             }
+            if shard.rec.enabled() {
+                shard
+                    .rec
+                    .incr("titan_sim.samples", timelines[node.0 as usize].len() as u64);
+                shard
+                    .rec
+                    .incr(&format!("titan_sim.sbes.cabinet.{cabinet}"), node_sbes);
+                shard
+                    .rec
+                    .incr(&format!("titan_sim.dbes.cabinet.{cabinet}"), node_dbes);
+            }
         }
+        shard
+            .rec
+            .observe("titan_sim.rng_draws_per_slot", slot_rng_draws as f64);
         Ok(())
     };
 
@@ -130,11 +181,13 @@ pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
     // any thread count produces bit-identical shards; merging in slot
     // order keeps the overall sample sequence deterministic too.
     let slots: Vec<u32> = (0..n_slots).collect();
+    let parent_rec = &*rec;
     let shards: Vec<Shard> = parkit::try_par_map(cfg.threads, &slots, |&slot| {
         let mut shard = Shard {
             samples: Vec::new(),
             cum_temp: Vec::new(),
             cum_power: Vec::new(),
+            rec: parent_rec.fork(),
         };
         process_slot(SlotId(slot), &mut shard)?;
         Ok::<Shard, SimError>(shard)
@@ -151,9 +204,13 @@ pub fn generate_full(cfg: &SimConfig) -> Result<(TraceSet, FaultModel)> {
         for (node, v) in shard.cum_power {
             cum_power[node.0 as usize] = v;
         }
+        // Slot-order merge: metrics match a serial run byte for byte.
+        rec.merge(shard.rec);
     }
 
     let trace = TraceSet::assemble(cfg.clone(), catalog, schedule, samples, cum_temp, cum_power)?;
+    rec.gauge("titan_sim.positive_rate", trace.positive_rate());
+    rec.span_end(span);
     Ok((trace, faults))
 }
 
@@ -402,6 +459,48 @@ mod tests {
         let b = generate(&SimConfig::tiny(2)).unwrap();
         assert_eq!(a.samples(), b.samples());
         assert_eq!(a.node_cum_temp(), b.node_cum_temp());
+    }
+
+    #[test]
+    fn observed_generation_matches_plain_and_counts_reconcile() {
+        let cfg = SimConfig::tiny(2);
+        let plain = generate(&cfg).unwrap();
+        let mut rec = obskit::Recorder::new();
+        let observed = generate_observed(&cfg, &mut rec).unwrap();
+        assert_eq!(plain.samples(), observed.samples());
+
+        assert_eq!(
+            rec.counter("titan_sim.samples"),
+            observed.samples().len() as u64
+        );
+        let sbes: u64 = rec
+            .counters()
+            .filter(|(k, _)| k.starts_with("titan_sim.sbes.cabinet."))
+            .map(|(_, v)| v)
+            .sum();
+        assert_eq!(sbes, observed.total_sbes());
+        let span = rec.span("titan_sim.generate").unwrap();
+        assert_eq!(span.count, 1);
+        assert!(span.total_ticks > 0);
+        // One histogram observation per slot.
+        let h = rec.histogram("titan_sim.rng_draws_per_slot").unwrap();
+        assert_eq!(h.count(), u64::from(cfg.topology.n_slots()));
+    }
+
+    #[test]
+    fn observed_metrics_thread_count_invariant() {
+        let reference = {
+            let mut rec = obskit::Recorder::new();
+            let cfg = SimConfig::tiny(5).with_threads(parkit::Threads::Serial);
+            generate_observed(&cfg, &mut rec).unwrap();
+            rec.snapshot_json()
+        };
+        for n in [2usize, 8] {
+            let mut rec = obskit::Recorder::new();
+            let cfg = SimConfig::tiny(5).with_threads(parkit::Threads::Fixed(n));
+            generate_observed(&cfg, &mut rec).unwrap();
+            assert_eq!(rec.snapshot_json(), reference, "metrics diverged at {n}");
+        }
     }
 
     #[test]

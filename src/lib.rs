@@ -7,12 +7,14 @@
 //! * [`mlkit`] — the from-scratch machine-learning substrate,
 //! * [`tscast`] — time-series forecasting substrate,
 //! * [`parkit`] — the deterministic parallel execution layer,
+//! * [`obskit`] — the deterministic observability layer,
 //! * [`sbepred`] — the paper's contribution: feature engineering, the
 //!   TwoStage prediction method, baselines, and experiment drivers.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use mlkit;
+pub use obskit;
 pub use parkit;
 pub use sbepred;
 pub use titan_sim;

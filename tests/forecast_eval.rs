@@ -1,0 +1,116 @@
+//! Forecast-evaluation integration: tscast's walk-forward backtest
+//! against hand-computed error values, AR-vs-smoothing model ranking on
+//! a structured series, and the core forecast-feature plumbing built on
+//! top of both.
+
+use gpu_error_prediction::sbepred::forecast::forecast_series_stats;
+use gpu_error_prediction::tscast::ar::fit_best_order;
+use gpu_error_prediction::tscast::eval::{backtest, forecast_errors};
+use gpu_error_prediction::tscast::smooth::Ewma;
+use gpu_error_prediction::tscast::Forecaster;
+
+#[test]
+fn naive_backtest_on_ramp_matches_hand_computed_errors() {
+    // Ewma with alpha = 1 is the naive "last value" forecaster. On the
+    // 16-point ramp 0,1,...,15 with 4 points of warm-up history, every
+    // one-step forecast at t is series[t-1] = t-1 against actual t:
+    // twelve errors of exactly -1 each.
+    let series: Vec<f64> = (0..16).map(f64::from).collect();
+    let naive = Ewma::new(1.0).expect("alpha 1 is valid");
+    let e = backtest(&naive, &series, 4).expect("backtest runs");
+
+    assert_eq!(e.n, 12);
+    assert!((e.mae - 1.0).abs() < 1e-12, "mae = {}", e.mae);
+    assert!((e.rmse - 1.0).abs() < 1e-12, "rmse = {}", e.rmse);
+    // MAPE averages |(-1)/t| over t = 4..=15; no actual is zero.
+    let expected_mape: f64 = (4..16).map(|t| 1.0 / f64::from(t)).sum::<f64>() / 12.0;
+    assert!((e.mape - expected_mape).abs() < 1e-12, "mape = {}", e.mape);
+}
+
+#[test]
+fn forecast_errors_agree_with_backtest_composition() {
+    // backtest() is exactly forecast_errors() over the walk-forward
+    // pairs; recompute the pairs by hand and demand identical numbers.
+    let series: Vec<f64> = (0..20).map(|t| f64::from(t % 7)).collect();
+    let model = Ewma::new(0.5).expect("valid alpha");
+    let via_backtest = backtest(&model, &series, 6).expect("backtest runs");
+
+    let mut forecasts = Vec::new();
+    let mut actuals = Vec::new();
+    for t in 6..series.len() {
+        forecasts.push(model.forecast(&series[..t], 1).expect("forecasts")[0]);
+        actuals.push(series[t]);
+    }
+    let direct = forecast_errors(&forecasts, &actuals).expect("errors compute");
+    assert_eq!(via_backtest, direct);
+}
+
+#[test]
+fn ar_beats_smoothing_on_an_autoregressive_series() {
+    // A deterministic damped-oscillation AR(2) process with a small
+    // fixed "innovation" table: x_t = 1.2 x_{t-1} - 0.52 x_{t-2} + e_t.
+    // The AR fit can track the oscillation; a lagging EWMA cannot.
+    let innovations: [f64; 8] = [0.3, -0.2, 0.1, 0.4, -0.3, 0.2, -0.1, -0.4];
+    let mut series = vec![1.0f64, 0.5];
+    for t in 2..160 {
+        let x = 1.2 * series[t - 1] - 0.52 * series[t - 2] + innovations[t % 8];
+        series.push(x);
+    }
+
+    let ar = fit_best_order(&series, 8).expect("AR fits");
+    assert!(ar.order() >= 1);
+    let ar_errors = backtest(&ar, &series, 40).expect("AR backtest runs");
+    let ewma_errors =
+        backtest(&Ewma::new(0.3).expect("valid alpha"), &series, 40).expect("EWMA backtest runs");
+
+    assert!(
+        ar_errors.mae < ewma_errors.mae,
+        "AR mae {} not better than EWMA mae {}",
+        ar_errors.mae,
+        ewma_errors.mae
+    );
+    assert!(
+        ar_errors.rmse < ewma_errors.rmse,
+        "AR rmse {} not better than EWMA rmse {}",
+        ar_errors.rmse,
+        ewma_errors.rmse
+    );
+}
+
+#[test]
+fn forecast_series_stats_degenerate_and_constant_inputs() {
+    // Empty history or zero horizon: all-zero stats, no panic.
+    let zero = forecast_series_stats(&[], 10);
+    assert_eq!(zero.mean, 0.0);
+    assert_eq!(zero.std, 0.0);
+    let zero = forecast_series_stats(&[40.0; 50], 0);
+    assert_eq!(zero.mean, 0.0);
+
+    // A constant history forecasts flat at that constant: mean exact,
+    // no spread, no drift.
+    let stats = forecast_series_stats(&[55.0; 200], 30);
+    assert!((stats.mean - 55.0).abs() < 1e-3, "mean = {}", stats.mean);
+    assert!(stats.std.abs() < 1e-3, "std = {}", stats.std);
+    assert!(
+        stats.diff_mean.abs() < 1e-3,
+        "diff_mean = {}",
+        stats.diff_mean
+    );
+}
+
+#[test]
+fn forecast_series_stats_tracks_a_trending_series() {
+    // A slow upward ramp: the forecast window's mean must land above the
+    // history's last value minus noise, i.e. the model extrapolates
+    // rather than resetting to the series mean.
+    let history: Vec<f32> = (0..240).map(|t| 20.0 + 0.05 * t as f32).collect();
+    let last = *history.last().expect("non-empty");
+    let stats = forecast_series_stats(&history, 20);
+    assert!(
+        stats.mean > last - 2.0,
+        "forecast mean {} fell far below last observation {}",
+        stats.mean,
+        last
+    );
+    assert!(stats.mean.is_finite() && stats.std.is_finite());
+}

@@ -7,12 +7,25 @@
 //! `cargo test --release --test golden -- --ignored regenerate_golden`
 //! and commit the new file alongside the change that explains it.
 
+use gpu_error_prediction::mlkit::gbdt::Gbdt;
+use gpu_error_prediction::obskit::{NullClock, Recorder};
+use gpu_error_prediction::parkit::Threads;
+use gpu_error_prediction::sbepred::datasets::DsSplit;
 use gpu_error_prediction::sbepred::experiments::{prediction, Lab};
+use gpu_error_prediction::sbepred::features::FeatureSpec;
+use gpu_error_prediction::sbepred::twostage::{
+    prepare_with_extractor_observed, run_classifier_observed,
+};
 use gpu_error_prediction::titan_sim::config::SimConfig;
-use gpu_error_prediction::titan_sim::engine::generate;
+use gpu_error_prediction::titan_sim::engine::{generate, generate_observed};
 use serde_json::Value;
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/results/golden_tiny.json");
+
+const GOLDEN_METRICS_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/results/golden_metrics_tiny.json"
+);
 
 /// Cross-platform slack for transcendental libm differences; the metrics
 /// themselves are deterministic integer-ratio style quantities.
@@ -79,6 +92,37 @@ fn assert_close(path: &str, got: &Value, want: &Value) {
     }
 }
 
+/// Computes the pinned observability snapshot: the tiny(13) trace plus
+/// one observed DS1 pass with a light GBDT, recorded serially. Counters,
+/// histograms, and span ticks are all logical quantities, so the
+/// `obskit/1` snapshot is byte-stable across platforms and thread
+/// policies — the comparison below is exact, not tolerance-based.
+fn compute_metrics() -> String {
+    let mut rec = Recorder::new();
+    let cfg = SimConfig::tiny(13).with_threads(Threads::Serial);
+    let trace = generate_observed(&cfg, &mut rec).expect("trace generates");
+    let lab = Lab::with_threads(&trace, Threads::Serial).expect("lab builds");
+    let split = DsSplit::ds1(&trace).expect("ds1 splits");
+    let prepared = prepare_with_extractor_observed(
+        lab.extractor(),
+        lab.samples(),
+        &split,
+        &FeatureSpec::all(),
+        &mut rec,
+    )
+    .expect("two-stage prepares");
+    let mut model = Gbdt::new()
+        .n_trees(20)
+        .max_depth(4)
+        .min_samples_leaf(10)
+        .subsample(0.8)
+        .pos_weight(2.0)
+        .seed(7)
+        .threads(Threads::Serial);
+    run_classifier_observed(&prepared, &mut model, &mut rec, &NullClock).expect("two-stage runs");
+    rec.snapshot_json() + "\n"
+}
+
 #[test]
 fn tiny_pipeline_matches_golden() {
     let golden_text = std::fs::read_to_string(GOLDEN_PATH)
@@ -88,11 +132,25 @@ fn tiny_pipeline_matches_golden() {
     assert_close("$", &got, &golden);
 }
 
-/// Rewrites the golden file from the current pipeline. Run explicitly
+#[test]
+fn tiny_metrics_snapshot_matches_golden() {
+    let golden = std::fs::read_to_string(GOLDEN_METRICS_PATH)
+        .expect("results/golden_metrics_tiny.json is committed; regenerate with the ignored test");
+    let got = compute_metrics();
+    assert_eq!(
+        got, golden,
+        "obskit snapshot drifted from results/golden_metrics_tiny.json; \
+         if the instrumentation change is intentional, regenerate with \
+         `cargo test --release --test golden -- --ignored regenerate_golden`"
+    );
+}
+
+/// Rewrites the golden files from the current pipeline. Run explicitly
 /// (`-- --ignored regenerate_golden`) after an intentional metric change.
 #[test]
-#[ignore = "regenerates the golden file; run on intentional metric changes"]
+#[ignore = "regenerates the golden files; run on intentional metric changes"]
 fn regenerate_golden() {
     let text = serde_json::to_string_pretty(&compute()).expect("serializes");
     std::fs::write(GOLDEN_PATH, text + "\n").expect("golden file writes");
+    std::fs::write(GOLDEN_METRICS_PATH, compute_metrics()).expect("metrics golden writes");
 }
