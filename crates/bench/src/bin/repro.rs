@@ -1,10 +1,17 @@
-//! Regenerates the paper's tables and figures from a synthetic trace.
+//! Regenerates the paper's tables and figures from a synthetic trace,
+//! and drives the streaming inference subsystem.
 //!
 //! Usage:
 //!
 //! ```text
 //! repro [--config scaled|tiny|titan] [--seed N] [--out DIR]
 //!       [--metrics-out FILE] <experiment>...
+//! repro save-trace [--config C] [--seed N] --out FILE
+//! repro train [--config C] [--seed N | --trace PATH] [--split ds1|ds2|ds3]
+//!       [--model gbdt|lr] --out ARTIFACT
+//! repro serve --model ARTIFACT --trace PATH [--alerts-out FILE]
+//!       [--metrics-out FILE] [--batch N] [--delay N] [--from M] [--until M]
+//!       [--threads N]
 //! ```
 //!
 //! `--metrics-out FILE` records pipeline observability metrics (trace
@@ -15,14 +22,21 @@
 //! `<experiment>` is one or more of: `fig1 fig2 fig3 fig4 fig5 fig6 fig7
 //! fig8 table1 fig10 table2 table3 fig11 table4 fig12 fig13 table5 table6`,
 //! or the groups `characterization`, `prediction`, `all`.
+//!
+//! The `save-trace` / `train` / `serve` subcommands form the deployment
+//! loop: persist a generated trace, train and ship a versioned TwoStage
+//! pipeline artifact, then replay the trace through `streamd`'s online
+//! scoring loop. `--trace PATH` accepts either a trace JSON file or a
+//! directory containing `trace.json`.
 
 use sbe_bench::{persist_json, WallClock};
 use sbepred::experiments::{
     characterization as ch, extensions as ext, prediction as pr, ExperimentOutput, Lab, ModelKind,
 };
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use titan_sim::config::SimConfig;
+use titan_sim::trace::TraceSet;
 
 const CHARACTERIZATION: [&str; 8] = [
     "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
@@ -42,6 +56,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro [--config scaled|tiny|titan] [--seed N] [--out DIR] \
          [--metrics-out FILE] <experiment>...\n\
+         repro save-trace [--config C] [--seed N] --out FILE\n\
+         repro train [--config C] [--seed N | --trace PATH] [--split ds1|ds2|ds3] \
+         [--model gbdt|lr] --out ARTIFACT\n\
+         repro serve --model ARTIFACT --trace PATH [--alerts-out FILE] \
+         [--metrics-out FILE] [--batch N] [--delay N] [--from M] [--until M] [--threads N]\n\
          experiments: {} {} {} | groups: characterization prediction extensions all",
         CHARACTERIZATION.join(" "),
         PREDICTION.join(" "),
@@ -50,14 +69,441 @@ fn usage() -> ExitCode {
     ExitCode::FAILURE
 }
 
+/// Builds the named simulator config.
+fn build_config(config: &str, seed: u64) -> Option<SimConfig> {
+    match config {
+        "scaled" => Some(SimConfig::scaled(seed)),
+        "tiny" => Some(SimConfig::tiny(seed)),
+        "titan" => Some(SimConfig::titan_scale(seed)),
+        other => {
+            eprintln!("unknown config `{other}`");
+            None
+        }
+    }
+}
+
+/// Generates a trace, narrating progress to stderr.
+fn generate_trace(cfg: &SimConfig, seed: u64) -> Option<TraceSet> {
+    eprintln!(
+        "generating trace: {} nodes, {} days, seed {seed}...",
+        cfg.topology.n_nodes(),
+        cfg.days
+    );
+    match titan_sim::engine::generate(cfg) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("trace generation failed: {e}");
+            None
+        }
+    }
+}
+
+/// Loads a persisted trace from a JSON file or a directory holding
+/// `trace.json`.
+fn load_trace(path: &Path) -> Option<TraceSet> {
+    let file = if path.is_dir() {
+        path.join("trace.json")
+    } else {
+        path.to_path_buf()
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read trace `{}`: {e}", file.display());
+            return None;
+        }
+    };
+    match serde_json::from_str(&text) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("could not parse trace `{}`: {e}", file.display());
+            None
+        }
+    }
+}
+
+/// `repro save-trace`: generate a trace and persist it as JSON.
+fn cmd_save_trace(args: &[String]) -> ExitCode {
+    let mut config = "tiny".to_string();
+    let mut seed = 42u64;
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => match it.next() {
+                Some(v) => config = v.clone(),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("save-trace requires --out FILE");
+        return ExitCode::FAILURE;
+    };
+    let Some(cfg) = build_config(&config, seed) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(trace) = generate_trace(&cfg, seed) else {
+        return ExitCode::FAILURE;
+    };
+    let json = match serde_json::to_string(&trace) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("could not serialise trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(dir) = out.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).ok();
+        }
+    }
+    match std::fs::write(&out, json) {
+        Ok(()) => {
+            eprintln!(
+                "trace written to {} ({} apruns, {} samples)",
+                out.display(),
+                trace.apruns().len(),
+                trace.samples().len()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("could not write `{}`: {e}", out.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro train`: fit a TwoStage pipeline on a split and ship it as a
+/// versioned artifact.
+fn cmd_train(args: &[String]) -> ExitCode {
+    let mut config = "tiny".to_string();
+    let mut seed = 42u64;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut split_name = "ds1".to_string();
+    let mut model_name = "gbdt".to_string();
+    let mut out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--config" => match it.next() {
+                Some(v) => config = v.clone(),
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--trace" => match it.next() {
+                Some(v) => trace_path = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--split" => match it.next() {
+                Some(v) => split_name = v.clone(),
+                None => return usage(),
+            },
+            "--model" => match it.next() {
+                Some(v) => model_name = v.clone(),
+                None => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(out) = out else {
+        eprintln!("train requires --out ARTIFACT");
+        return ExitCode::FAILURE;
+    };
+    let trace = match &trace_path {
+        Some(p) => load_trace(p),
+        None => build_config(&config, seed).and_then(|cfg| generate_trace(&cfg, seed)),
+    };
+    let Some(trace) = trace else {
+        return ExitCode::FAILURE;
+    };
+    match train_artifact(&trace, &split_name, &model_name, seed) {
+        Ok((artifact, f1)) => {
+            eprintln!(
+                "trained {} on {}: test F1 {f1:.3}, {} offender nodes",
+                artifact.model().name(),
+                artifact.split_name(),
+                artifact.offenders().len()
+            );
+            match artifact.save(&out) {
+                Ok(()) => {
+                    eprintln!("artifact written to {}", out.display());
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("could not write artifact: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Fits the requested classifier on the split and bundles the pipeline.
+fn train_artifact(
+    trace: &TraceSet,
+    split_name: &str,
+    model_name: &str,
+    seed: u64,
+) -> Result<(streamd::artifact::PipelineArtifact, f64), Box<dyn std::error::Error>> {
+    use sbepred::datasets::DsSplit;
+    use sbepred::features::{FeatureExtractor, FeatureSpec};
+    use sbepred::twostage::{prepare_with_extractor, run_classifier};
+    use streamd::artifact::{PipelineArtifact, PipelineModel};
+
+    let split = match split_name {
+        "ds1" => DsSplit::ds1(trace)?,
+        "ds2" => DsSplit::ds2(trace)?,
+        "ds3" => DsSplit::ds3(trace)?,
+        other => return Err(format!("unknown split `{other}` (ds1|ds2|ds3)").into()),
+    };
+    let spec = FeatureSpec::all();
+    let samples = sbepred::samples::build_samples(trace)?;
+    let fx = FeatureExtractor::new(trace, &samples)?;
+    let prepared = prepare_with_extractor(&fx, &samples, &split, &spec)?;
+    // The concrete model types (not `ModelKind`'s boxed trait objects):
+    // the artifact serialises the fitted model itself. Hyper-parameters
+    // mirror `ModelKind::build`.
+    let (model, outcome) = match model_name {
+        "gbdt" => {
+            let mut m = mlkit::gbdt::Gbdt::new()
+                .n_trees(120)
+                .max_depth(5)
+                .learning_rate(0.1)
+                .min_samples_leaf(20)
+                .subsample(0.8)
+                .pos_weight(2.0)
+                .seed(seed);
+            let out = run_classifier(&prepared, &mut m)?;
+            (PipelineModel::Gbdt(m), out)
+        }
+        "lr" => {
+            let mut m = mlkit::linear::LogisticRegression::new()
+                .learning_rate(0.5)
+                .epochs(40)
+                .batch_size(256)
+                .pos_weight(2.0)
+                .seed(seed);
+            let out = run_classifier(&prepared, &mut m)?;
+            (PipelineModel::Logistic(m), out)
+        }
+        other => return Err(format!("unknown model `{other}` (gbdt|lr)").into()),
+    };
+    let f1 = outcome.confusion()?.f1();
+    let offenders: Vec<u32> = fx
+        .history()
+        .offender_nodes_before(split.train_end_min())
+        .into_iter()
+        .map(|n| n.0)
+        .collect();
+    let artifact = PipelineArtifact::new(
+        spec,
+        offenders,
+        prepared.scaler.clone(),
+        model,
+        split.train_end_min(),
+        split.name(),
+    );
+    Ok((artifact, f1))
+}
+
+/// `repro serve`: replay a trace through the streaming scoring loop.
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use streamd::serve::{serve_observed, ServeConfig};
+
+    let mut model_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut alerts_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut batch = 64usize;
+    let mut delay = 5u64;
+    let mut from: Option<u64> = None;
+    let mut until: Option<u64> = None;
+    let mut threads = parkit::Threads::Auto;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => match it.next() {
+                Some(v) => model_path = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--trace" => match it.next() {
+                Some(v) => trace_path = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--alerts-out" => match it.next() {
+                Some(v) => alerts_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => batch = v,
+                None => return usage(),
+            },
+            "--delay" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => delay = v,
+                None => return usage(),
+            },
+            "--from" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => from = Some(v),
+                None => return usage(),
+            },
+            "--until" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => until = Some(v),
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = parkit::Threads::Fixed(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (Some(model_path), Some(trace_path)) = (model_path, trace_path) else {
+        eprintln!("serve requires --model ARTIFACT and --trace PATH");
+        return ExitCode::FAILURE;
+    };
+    let artifact = match streamd::artifact::PipelineArtifact::load(&model_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("could not load artifact `{}`: {e}", model_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "artifact: {} trained on {} up to minute {}, {} offender nodes, schema {:#018x}",
+        artifact.model().name(),
+        artifact.split_name(),
+        artifact.trained_end_min(),
+        artifact.offenders().len(),
+        artifact.schema_hash()
+    );
+    let Some(trace) = load_trace(&trace_path) else {
+        return ExitCode::FAILURE;
+    };
+    let score_from = from.unwrap_or_else(|| artifact.trained_end_min());
+    let score_until = until.unwrap_or_else(|| trace.config().total_minutes());
+    let cfg = ServeConfig {
+        batch_capacity: batch,
+        max_delay_min: delay,
+        score_from_min: score_from,
+        score_until_min: score_until,
+        threads,
+    };
+    let mut rec = if metrics_out.is_some() {
+        obskit::Recorder::new()
+    } else {
+        obskit::Recorder::null()
+    };
+    let mut alerts: Vec<streamd::serve::Alert> = Vec::new();
+    let t0 = std::time::Instant::now();
+    let report = match serve_observed(&trace, &artifact, &cfg, &mut alerts, &mut rec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = t0.elapsed();
+    let rate = report.scored.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "served window [{score_from}, {score_until}): {} events, {} launches, \
+         {} requests ({} stage-2) in {} batches; {} alerts",
+        report.n_events,
+        report.n_launches,
+        report.n_requests,
+        report.n_stage2,
+        report.n_batches,
+        report.n_alerts
+    );
+    eprintln!(
+        "scored {} launch-nodes in {elapsed:.1?} ({rate:.0} samples/sec)",
+        report.scored.len()
+    );
+    let mut failures = 0;
+    if let Some(path) = &alerts_out {
+        match serde_json::to_string(&alerts) {
+            Ok(json) => {
+                if let Some(dir) = path.parent() {
+                    if !dir.as_os_str().is_empty() {
+                        std::fs::create_dir_all(dir).ok();
+                    }
+                }
+                match std::fs::write(path, json) {
+                    Ok(()) => eprintln!("alert log written to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("could not write alert log: {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("could not serialise alerts: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(path) = &metrics_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
+        match std::fs::write(path, rec.snapshot_json()) {
+            Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write metrics snapshot: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
+    let all_args: Vec<String> = std::env::args().skip(1).collect();
+    match all_args.first().map(String::as_str) {
+        Some("save-trace") => return cmd_save_trace(&all_args[1..]),
+        Some("train") => return cmd_train(&all_args[1..]),
+        Some("serve") => return cmd_serve(&all_args[1..]),
+        _ => {}
+    }
+
     let mut config = "scaled".to_string();
     let mut seed = 42u64;
     let mut out_dir: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut wanted: Vec<String> = Vec::new();
 
-    let mut args = std::env::args().skip(1);
+    let mut args = all_args.into_iter();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => match args.next() {

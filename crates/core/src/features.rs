@@ -20,16 +20,18 @@
 //! Counts enter as `ln(1 + x)`; scaling is left to the caller (the
 //! TwoStage pipeline standardises with train-set statistics).
 
-use crate::history::SbeHistory;
+use crate::history::{HistoryView, SbeHistory};
 use crate::samples::LabeledSample;
 use crate::{PredError, Result};
 use mlkit::dataset::Dataset;
 use mlkit::matrix::Matrix;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use titan_sim::apps::AppId;
 use titan_sim::config::MINUTES_PER_DAY;
 use titan_sim::engine::{SampleTelemetry, TelemetryQueryEngine};
 use titan_sim::telemetry::WindowStats;
+use titan_sim::topology::{NodeId, NodeLocation};
 use titan_sim::trace::TraceSet;
 
 /// Which feature groups to emit.
@@ -281,6 +283,209 @@ impl FeatureSpec {
     }
 }
 
+/// Per-sample scalar facts a feature row is assembled from, independent
+/// of *how* they were obtained: the batch [`FeatureExtractor`] derives
+/// them from a full trace index, while the streaming engine maintains
+/// them incrementally. Both paths feed [`assemble_row`], which is what
+/// guarantees bit-identical features.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleFacts {
+    /// Application id.
+    pub app: u32,
+    /// Most recent application to *start* on the node before this run
+    /// (`None` for a node's first run).
+    pub prev_app: Option<u32>,
+    /// Run length in minutes.
+    pub runtime_min: u64,
+    /// Allocation size in nodes.
+    pub n_nodes: u32,
+    /// Application GPU core utilisation (from the catalog profile).
+    pub core_util: f64,
+    /// Application GPU memory utilisation (from the catalog profile).
+    pub mem_util: f64,
+    /// Physical location of the node.
+    pub loc: NodeLocation,
+    /// The node id.
+    pub node: u32,
+}
+
+/// The integer SBE-history counts behind the Hist feature group, queried
+/// at a sample's start minute. Counts are exact integers, so batch and
+/// incremental indexes agreeing on them implies bit-identical `ln(1+x)`
+/// features.
+///
+/// Fields for scopes the [`FeatureSpec`] disables are left 0 and never
+/// emitted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistCounts {
+    /// Node-scope count over the past 24 h.
+    pub node_24h: u64,
+    /// Node-scope count since midnight.
+    pub node_today: u64,
+    /// Node-scope count during yesterday.
+    pub node_yesterday: u64,
+    /// Node-scope count before yesterday.
+    pub node_before: u64,
+    /// Machine-scope count over the past 24 h.
+    pub machine_24h: u64,
+    /// Machine-scope count since midnight.
+    pub machine_today: u64,
+    /// Machine-scope count during yesterday.
+    pub machine_yesterday: u64,
+    /// Machine-scope count before yesterday.
+    pub machine_before: u64,
+    /// Application-scope count over the past 24 h.
+    pub app_24h: u64,
+    /// Sum over the allocation's nodes of their past-24 h counts.
+    pub alloc_24h: u64,
+}
+
+impl HistCounts {
+    /// Queries the counts `spec` needs from any [`HistoryView`] at minute
+    /// `start`, for a run of `app` on `node` allocated `alloc_nodes`.
+    pub fn at<H: HistoryView + ?Sized>(
+        history: &H,
+        spec: &FeatureSpec,
+        node: NodeId,
+        app: AppId,
+        alloc_nodes: &[NodeId],
+        start: u64,
+    ) -> HistCounts {
+        let mut c = HistCounts::default();
+        if !(spec.hist_local || spec.hist_global || spec.hist_app) {
+            return c;
+        }
+        let day0 = start - start % MINUTES_PER_DAY;
+        let yday = day0.saturating_sub(MINUTES_PER_DAY);
+        let h24 = start.saturating_sub(MINUTES_PER_DAY);
+        if spec.hist_local {
+            c.node_24h = history.node_between(node, h24, start);
+            if spec.hist_today {
+                c.node_today = history.node_between(node, day0, start);
+            }
+            if spec.hist_yesterday {
+                c.node_yesterday = history.node_between(node, yday, day0);
+            }
+            if spec.hist_before {
+                c.node_before = history.node_before(node, yday);
+            }
+        }
+        if spec.hist_global {
+            c.machine_24h = history.machine_between(h24, start);
+            if spec.hist_today {
+                c.machine_today = history.machine_between(day0, start);
+            }
+            if spec.hist_yesterday {
+                c.machine_yesterday = history.machine_between(yday, day0);
+            }
+            if spec.hist_before {
+                c.machine_before = history.machine_before(yday);
+            }
+        }
+        if spec.hist_app {
+            c.app_24h = history.app_between(app, h24, start);
+            c.alloc_24h = alloc_nodes
+                .iter()
+                .map(|&n| history.node_between(n, h24, start))
+                .sum();
+        }
+        c
+    }
+}
+
+/// Assembles one feature row in [`FeatureSpec::feature_names`] order from
+/// pre-gathered facts. This is *the* row constructor: the batch extractor
+/// and the streaming feature engine both call it, so their arithmetic is
+/// the same code path.
+///
+/// # Errors
+///
+/// Returns [`PredError::InvalidInput`] when `spec` needs telemetry but
+/// `telemetry` is `None`.
+pub fn assemble_row(
+    spec: &FeatureSpec,
+    facts: &SampleFacts,
+    telemetry: Option<&SampleTelemetry>,
+    hist: &HistCounts,
+    row: &mut Vec<f32>,
+) -> Result<()> {
+    if spec.app {
+        // The paper feeds the application *binary name* (and the
+        // previous application on the node) as categorical features. We
+        // encode raw identity: tree models can isolate applications by
+        // splitting on it, while linear models cannot — the same
+        // asymmetry the paper observes.
+        row.push(facts.app as f32);
+        row.push(facts.prev_app.map_or(-1.0, |a| a as f32));
+        row.push(ln1p(facts.runtime_min as f64));
+        row.push(ln1p(facts.n_nodes as f64));
+        let core_time = facts.runtime_min as f64 * facts.n_nodes as f64 * facts.core_util / 60.0;
+        row.push(ln1p(core_time));
+        row.push(ln1p(facts.mem_util * facts.n_nodes as f64));
+        row.push(facts.mem_util as f32);
+    }
+    if spec.location {
+        let loc = &facts.loc;
+        row.push(loc.cabinet_x as f32);
+        row.push(loc.cabinet_y as f32);
+        row.push(loc.cage as f32);
+        row.push(loc.slot as f32);
+        row.push(loc.node as f32);
+        row.push(facts.node as f32);
+    }
+    if spec.needs_telemetry() {
+        let t = telemetry.ok_or_else(|| PredError::InvalidInput {
+            reason: "feature spec needs telemetry but none was supplied".into(),
+        })?;
+        if spec.tp_cur {
+            push_stats(row, &t.run_temp);
+            push_stats(row, &t.run_power);
+        }
+        if spec.tp_prev {
+            for w in &t.prev_temp {
+                push_stats(row, w);
+            }
+            for w in &t.prev_power {
+                push_stats(row, w);
+            }
+        }
+        if spec.tp_nei {
+            push_stats(row, &t.cpu_temp);
+            push_stats(row, &t.nei_temp);
+            push_stats(row, &t.nei_power);
+        }
+    }
+    if spec.hist_local {
+        row.push(ln1p(hist.node_24h as f64));
+        if spec.hist_today {
+            row.push(ln1p(hist.node_today as f64));
+        }
+        if spec.hist_yesterday {
+            row.push(ln1p(hist.node_yesterday as f64));
+        }
+        if spec.hist_before {
+            row.push(ln1p(hist.node_before as f64));
+        }
+    }
+    if spec.hist_global {
+        row.push(ln1p(hist.machine_24h as f64));
+        if spec.hist_today {
+            row.push(ln1p(hist.machine_today as f64));
+        }
+        if spec.hist_yesterday {
+            row.push(ln1p(hist.machine_yesterday as f64));
+        }
+        if spec.hist_before {
+            row.push(ln1p(hist.machine_before as f64));
+        }
+    }
+    if spec.hist_app {
+        row.push(ln1p(hist.app_24h as f64));
+        row.push(ln1p(hist.alloc_24h as f64));
+    }
+    Ok(())
+}
+
 /// Target-encoding context fitted on the *training* window only.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EncoderContext {
@@ -430,6 +635,46 @@ impl<'a> FeatureExtractor<'a> {
         Ok(ds)
     }
 
+    /// Gathers the [`SampleFacts`] of one sample from the trace indexes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog/topology lookup errors.
+    pub fn sample_facts(&self, s: &LabeledSample) -> Result<SampleFacts> {
+        let profile = self.trace.catalog().profile(s.app)?;
+        let loc = self.trace.config().topology.location(s.node)?;
+        Ok(SampleFacts {
+            app: s.app.0,
+            prev_app: self.previous_app(s.node.0, s.start_min),
+            runtime_min: s.runtime_min(),
+            n_nodes: s.n_nodes,
+            core_util: profile.core_util,
+            mem_util: profile.mem_util,
+            loc,
+            node: s.node.0,
+        })
+    }
+
+    /// Queries the [`HistCounts`] of one sample at its start minute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates aprun lookup errors.
+    pub fn hist_counts(&self, s: &LabeledSample, spec: &FeatureSpec) -> Result<HistCounts> {
+        if !(spec.hist_local || spec.hist_global || spec.hist_app) {
+            return Ok(HistCounts::default());
+        }
+        let run = self.trace.aprun(s.aprun)?;
+        Ok(HistCounts::at(
+            &self.history,
+            spec,
+            s.node,
+            s.app,
+            &run.nodes,
+            s.start_min,
+        ))
+    }
+
     fn extract_impl(&self, samples: &[LabeledSample], spec: &FeatureSpec) -> Result<Dataset> {
         if samples.is_empty() {
             return Err(PredError::InvalidInput {
@@ -451,98 +696,16 @@ impl<'a> FeatureExtractor<'a> {
 
         let d = names.len();
         let mut x = Matrix::zeros(samples.len(), d);
-        let topo = &self.trace.config().topology;
         for (i, s) in samples.iter().enumerate() {
+            let facts = self.sample_facts(s)?;
+            let hist = self.hist_counts(s, spec)?;
+            let t = if spec.needs_telemetry() {
+                Some(&telemetry[i])
+            } else {
+                None
+            };
             let mut row: Vec<f32> = Vec::with_capacity(d);
-            if spec.app {
-                let profile = self.trace.catalog().profile(s.app)?;
-                // The paper feeds the application *binary name* (and the
-                // previous application on the node) as categorical
-                // features. We encode raw identity: tree models can
-                // isolate applications by splitting on it, while linear
-                // models cannot — the same asymmetry the paper observes.
-                row.push(s.app.0 as f32);
-                let prev = self
-                    .previous_app(s.node.0, s.start_min)
-                    .map_or(-1.0, |a| a as f32);
-                row.push(prev);
-                row.push(ln1p(s.runtime_min() as f64));
-                row.push(ln1p(s.n_nodes as f64));
-                let core_time =
-                    s.runtime_min() as f64 * s.n_nodes as f64 * profile.core_util / 60.0;
-                row.push(ln1p(core_time));
-                row.push(ln1p(profile.mem_util * s.n_nodes as f64));
-                row.push(profile.mem_util as f32);
-            }
-            if spec.location {
-                let loc = topo.location(s.node)?;
-                row.push(loc.cabinet_x as f32);
-                row.push(loc.cabinet_y as f32);
-                row.push(loc.cage as f32);
-                row.push(loc.slot as f32);
-                row.push(loc.node as f32);
-                row.push(s.node.0 as f32);
-            }
-            if spec.needs_telemetry() {
-                let t = &telemetry[i];
-                if spec.tp_cur {
-                    push_stats(&mut row, &t.run_temp);
-                    push_stats(&mut row, &t.run_power);
-                }
-                if spec.tp_prev {
-                    for w in &t.prev_temp {
-                        push_stats(&mut row, w);
-                    }
-                    for w in &t.prev_power {
-                        push_stats(&mut row, w);
-                    }
-                }
-                if spec.tp_nei {
-                    push_stats(&mut row, &t.cpu_temp);
-                    push_stats(&mut row, &t.nei_temp);
-                    push_stats(&mut row, &t.nei_power);
-                }
-            }
-            if spec.hist_local || spec.hist_global || spec.hist_app {
-                let start = s.start_min;
-                let day0 = start - start % MINUTES_PER_DAY;
-                let yday = day0.saturating_sub(MINUTES_PER_DAY);
-                let h24 = start.saturating_sub(MINUTES_PER_DAY);
-                if spec.hist_local {
-                    row.push(ln1p(self.history.node_between(s.node, h24, start) as f64));
-                    if spec.hist_today {
-                        row.push(ln1p(self.history.node_between(s.node, day0, start) as f64));
-                    }
-                    if spec.hist_yesterday {
-                        row.push(ln1p(self.history.node_between(s.node, yday, day0) as f64));
-                    }
-                    if spec.hist_before {
-                        row.push(ln1p(self.history.node_before(s.node, yday) as f64));
-                    }
-                }
-                if spec.hist_global {
-                    row.push(ln1p(self.history.machine_between(h24, start) as f64));
-                    if spec.hist_today {
-                        row.push(ln1p(self.history.machine_between(day0, start) as f64));
-                    }
-                    if spec.hist_yesterday {
-                        row.push(ln1p(self.history.machine_between(yday, day0) as f64));
-                    }
-                    if spec.hist_before {
-                        row.push(ln1p(self.history.machine_before(yday) as f64));
-                    }
-                }
-                if spec.hist_app {
-                    row.push(ln1p(self.history.app_between(s.app, h24, start) as f64));
-                    let run = self.trace.aprun(s.aprun)?;
-                    let alloc: u64 = run
-                        .nodes
-                        .iter()
-                        .map(|&n| self.history.node_between(n, h24, start))
-                        .sum();
-                    row.push(ln1p(alloc as f64));
-                }
-            }
+            assemble_row(spec, &facts, t, &hist, &mut row)?;
             debug_assert_eq!(row.len(), d, "feature row width mismatch");
             x.row_mut(i).copy_from_slice(&row);
         }

@@ -37,6 +37,20 @@ impl CumSeries {
         CumSeries { points }
     }
 
+    /// Appends one event; `t` must be monotonically non-decreasing (the
+    /// caller enforces this). Equivalent to rebuilding with
+    /// [`CumSeries::from_events`] over the same event multiset.
+    fn append(&mut self, t: u64, c: u32) {
+        if let Some((lt, lc)) = self.points.last_mut() {
+            if *lt == t {
+                *lc += c as u64;
+                return;
+            }
+        }
+        let cum = self.points.last().map_or(0, |&(_, lc)| lc) + c as u64;
+        self.points.push((t, cum));
+    }
+
     /// Total count visible strictly before `t`.
     fn before(&self, t: u64) -> u64 {
         let idx = self.points.partition_point(|&(pt, _)| pt < t);
@@ -164,6 +178,134 @@ impl SbeHistory {
     }
 }
 
+/// Read-only view of observable SBE history: the query surface the
+/// history feature group needs, abstracted so the batch index
+/// ([`SbeHistory`]) and the streaming index ([`IncrementalHistory`]) can
+/// feed the exact same row-assembly code.
+///
+/// All queries use strict visibility: `*_before(t)` counts events visible
+/// strictly before minute `t`, and `*_between(a, b)` counts `[a, b)`.
+pub trait HistoryView {
+    /// SBEs on `node` visible in `[a, b)`.
+    fn node_between(&self, node: NodeId, a: u64, b: u64) -> u64;
+    /// SBEs on `node` visible strictly before `t`.
+    fn node_before(&self, node: NodeId, t: u64) -> u64;
+    /// SBEs attributed to `app` visible in `[a, b)`.
+    fn app_between(&self, app: AppId, a: u64, b: u64) -> u64;
+    /// Machine-wide SBEs visible in `[a, b)`.
+    fn machine_between(&self, a: u64, b: u64) -> u64;
+    /// Machine-wide SBEs visible strictly before `t`.
+    fn machine_before(&self, t: u64) -> u64;
+}
+
+impl HistoryView for SbeHistory {
+    fn node_between(&self, node: NodeId, a: u64, b: u64) -> u64 {
+        SbeHistory::node_between(self, node, a, b)
+    }
+
+    fn node_before(&self, node: NodeId, t: u64) -> u64 {
+        SbeHistory::node_before(self, node, t)
+    }
+
+    fn app_between(&self, app: AppId, a: u64, b: u64) -> u64 {
+        SbeHistory::app_between(self, app, a, b)
+    }
+
+    fn machine_between(&self, a: u64, b: u64) -> u64 {
+        SbeHistory::machine_between(self, a, b)
+    }
+
+    fn machine_before(&self, t: u64) -> u64 {
+        SbeHistory::machine_before(self, t)
+    }
+}
+
+/// An SBE-history index built *incrementally*, one visibility event at a
+/// time, as a replay driver walks a trace forward.
+///
+/// Semantics are identical to [`SbeHistory`]: ingesting the same event
+/// multiset (in non-decreasing `visible_at` order) yields the same answer
+/// to every [`HistoryView`] query — the stream/batch parity suite holds
+/// the two to byte-identical feature rows.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IncrementalHistory {
+    node: BTreeMap<u32, CumSeries>,
+    app: BTreeMap<u32, CumSeries>,
+    machine: CumSeries,
+    frontier: u64,
+}
+
+impl IncrementalHistory {
+    /// An empty index with frontier 0.
+    pub fn new() -> IncrementalHistory {
+        IncrementalHistory::default()
+    }
+
+    /// Ingests one job-boundary SBE snapshot delta.
+    ///
+    /// Events must arrive in non-decreasing `visible_at` order (the order
+    /// a replay driver naturally produces); zero counts are accepted and
+    /// ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::PredError::InvalidInput`] when `visible_at` is
+    /// behind an already-ingested event.
+    pub fn ingest(&mut self, visible_at: u64, node: NodeId, app: AppId, count: u32) -> Result<()> {
+        if visible_at < self.frontier {
+            return Err(crate::PredError::InvalidInput {
+                reason: format!(
+                    "out-of-order history event: visible_at {visible_at} < frontier {}",
+                    self.frontier
+                ),
+            });
+        }
+        self.frontier = visible_at;
+        if count == 0 {
+            return Ok(());
+        }
+        self.node
+            .entry(node.0)
+            .or_default()
+            .append(visible_at, count);
+        self.app.entry(app.0).or_default().append(visible_at, count);
+        self.machine.append(visible_at, count);
+        Ok(())
+    }
+
+    /// The latest `visible_at` ingested so far.
+    pub fn frontier(&self) -> u64 {
+        self.frontier
+    }
+
+    /// Total SBE count ingested.
+    pub fn total(&self) -> u64 {
+        self.machine.before(u64::MAX)
+    }
+}
+
+impl HistoryView for IncrementalHistory {
+    fn node_between(&self, node: NodeId, a: u64, b: u64) -> u64 {
+        self.node.get(&node.0).map_or(0, |s| s.between(a, b))
+    }
+
+    fn node_before(&self, node: NodeId, t: u64) -> u64 {
+        self.node.get(&node.0).map_or(0, |s| s.before(t))
+    }
+
+    fn app_between(&self, app: AppId, a: u64, b: u64) -> u64 {
+        self.app.get(&app.0).map_or(0, |s| s.between(a, b))
+    }
+
+    fn machine_between(&self, a: u64, b: u64) -> u64 {
+        self.machine.between(a, b)
+    }
+
+    fn machine_before(&self, t: u64) -> u64 {
+        self.machine.before(t)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +404,70 @@ mod tests {
         let (_, h) = setup();
         assert_eq!(h.node_before(NodeId(999_999), u64::MAX), 0);
         assert_eq!(h.app_between(AppId(999_999), 0, u64::MAX), 0);
+    }
+
+    /// The visibility-event list of a sample set, ordered by `visible_at`
+    /// — the stream a replay driver would feed [`IncrementalHistory`].
+    fn visibility_events(ss: &[LabeledSample]) -> Vec<(u64, u32, u32, u32)> {
+        let mut job_end: BTreeMap<u32, u64> = BTreeMap::new();
+        for s in ss {
+            let e = job_end.entry(s.job.0).or_insert(0);
+            *e = (*e).max(s.end_min);
+        }
+        let mut job_node: BTreeMap<(u32, u32), (u64, u32, u32)> = BTreeMap::new();
+        for s in ss {
+            if s.sbe_count > 0 {
+                job_node.entry((s.job.0, s.node.0)).or_insert((
+                    job_end[&s.job.0],
+                    s.sbe_count,
+                    s.app.0,
+                ));
+            }
+        }
+        let mut events: Vec<(u64, u32, u32, u32)> = job_node
+            .iter()
+            .map(|(&(_, node), &(t, c, app))| (t, node, app, c))
+            .collect();
+        events.sort_unstable();
+        events
+    }
+
+    #[test]
+    fn incremental_matches_batch_index() {
+        let (ss, h) = setup();
+        let mut inc = IncrementalHistory::new();
+        for (t, node, app, c) in visibility_events(&ss) {
+            inc.ingest(t, NodeId(node), AppId(app), c).unwrap();
+        }
+        assert_eq!(inc.total(), h.machine_before(u64::MAX));
+        // Every query the feature engine issues must agree at every
+        // sample's start minute.
+        for s in ss.iter().take(500) {
+            let t = s.start_min;
+            let day0 = t - t % 1_440;
+            assert_eq!(inc.node_before(s.node, t), h.node_before(s.node, t));
+            assert_eq!(
+                inc.node_between(s.node, day0, t),
+                h.node_between(s.node, day0, t)
+            );
+            assert_eq!(inc.machine_before(t), h.machine_before(t));
+            assert_eq!(
+                inc.app_between(s.app, t.saturating_sub(1_440), t),
+                h.app_between(s.app, t.saturating_sub(1_440), t)
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_rejects_out_of_order_and_ignores_zero() {
+        let mut inc = IncrementalHistory::new();
+        inc.ingest(10, NodeId(1), AppId(2), 3).unwrap();
+        inc.ingest(10, NodeId(1), AppId(2), 2).unwrap(); // same-minute merge
+        inc.ingest(12, NodeId(1), AppId(2), 0).unwrap(); // advances frontier only
+        assert_eq!(inc.frontier(), 12);
+        assert_eq!(inc.total(), 5);
+        assert_eq!(inc.node_before(NodeId(1), 11), 5);
+        assert_eq!(inc.node_before(NodeId(1), 10), 0);
+        assert!(inc.ingest(9, NodeId(1), AppId(2), 1).is_err());
     }
 }

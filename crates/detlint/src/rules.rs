@@ -113,13 +113,14 @@ impl RuleSet {
 /// Crates whose iteration order feeds model training or trace output,
 /// and therefore must not use hash-ordered collections (rule D001).
 /// `detlint` polices itself so its diagnostics order is reproducible.
-const D001_CRATES: [&str; 6] = [
+const D001_CRATES: [&str; 7] = [
     "crates/core/",
     "crates/mlkit/",
     "crates/titan-sim/",
     "crates/parkit/",
     "crates/detlint/",
     "crates/obskit/",
+    "crates/streamd/",
 ];
 
 /// Maps a workspace-relative path to the rules that apply to it.

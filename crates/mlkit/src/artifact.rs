@@ -1,0 +1,278 @@
+//! Versioned binary envelope for shipped model artifacts.
+//!
+//! A trained model leaving the training pipeline crosses a trust
+//! boundary: the file on disk may be truncated, bit-rotted, produced by
+//! an older build, or simply be the wrong file. The envelope makes every
+//! one of those failure modes a *typed error* instead of a garbage model:
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic            b"SBEMODL\x01"
+//!      8     4  format version   u32 LE (FORMAT_VERSION)
+//!     12     8  schema hash      u64 LE (producer-defined, e.g. FNV-1a
+//!                                 over the ordered feature names)
+//!     20     2  kind length      u16 LE
+//!     22     k  kind             UTF-8 (e.g. "sbepred/twostage")
+//!   22+k     8  payload length   u64 LE
+//!   30+k     8  payload checksum u64 LE (FNV-1a 64 of the payload)
+//!   38+k     n  payload          producer-defined (serde JSON here)
+//! ```
+//!
+//! The envelope itself is payload-agnostic; consumers decode the payload
+//! and decide what the schema hash means. Everything is little-endian and
+//! self-delimiting, so decoding is a pure function of the byte slice.
+
+use crate::{MlError, Result};
+
+/// Leading magic; the trailing byte doubles as a format generation marker
+/// so even version-0 prototypes are distinguishable from arbitrary files.
+pub const MAGIC: [u8; 8] = *b"SBEMODL\x01";
+
+/// Envelope format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed header bytes before the variable-length kind string.
+const FIXED_HEADER_LEN: usize = 8 + 4 + 8 + 2;
+
+/// 64-bit FNV-1a hash — the checksum/schema-fingerprint primitive used
+/// throughout the artifact layer (stable, dependency-free, and fast
+/// enough for megabyte payloads).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A decoded artifact envelope: kind tag, schema hash, and the verified
+/// payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// Producer-defined artifact kind (e.g. `"sbepred/twostage"`).
+    pub kind: String,
+    /// Producer-defined schema fingerprint.
+    pub schema_hash: u64,
+    /// The payload, checksum-verified.
+    pub payload: Vec<u8>,
+}
+
+impl Envelope {
+    /// Wraps a payload.
+    pub fn new(kind: impl Into<String>, schema_hash: u64, payload: Vec<u8>) -> Envelope {
+        Envelope {
+            kind: kind.into(),
+            schema_hash,
+            payload,
+        }
+    }
+
+    /// Serialises the envelope to bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] when the kind string exceeds
+    /// the 2-byte length field.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        let kind = self.kind.as_bytes();
+        if kind.len() > u16::MAX as usize {
+            return Err(MlError::InvalidParameter {
+                name: "kind",
+                reason: format!("kind string of {} bytes exceeds u16::MAX", kind.len()),
+            });
+        }
+        let mut out = Vec::with_capacity(FIXED_HEADER_LEN + kind.len() + 16 + self.payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.schema_hash.to_le_bytes());
+        out.extend_from_slice(&(kind.len() as u16).to_le_bytes());
+        out.extend_from_slice(kind);
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a64(&self.payload).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        Ok(out)
+    }
+
+    /// Parses and verifies an envelope from bytes.
+    ///
+    /// # Errors
+    ///
+    /// * [`MlError::ArtifactCorrupt`] — truncation, wrong magic, invalid
+    ///   kind encoding, checksum mismatch, or trailing garbage;
+    /// * [`MlError::ArtifactVersionMismatch`] — a format version this
+    ///   build does not read.
+    pub fn decode(bytes: &[u8]) -> Result<Envelope> {
+        let mut rest = bytes;
+        let magic = take(&mut rest, 8, "magic")?;
+        if magic != MAGIC {
+            return Err(MlError::ArtifactCorrupt {
+                reason: "bad magic: not a model artifact".into(),
+            });
+        }
+        let version = u32::from_le_bytes(le4(take(&mut rest, 4, "format version")?));
+        if version != FORMAT_VERSION {
+            return Err(MlError::ArtifactVersionMismatch {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let schema_hash = u64::from_le_bytes(le8(take(&mut rest, 8, "schema hash")?));
+        let kind_len = u16::from_le_bytes(le2(take(&mut rest, 2, "kind length")?)) as usize;
+        let kind_bytes = take(&mut rest, kind_len, "kind string")?;
+        let kind = std::str::from_utf8(kind_bytes)
+            .map_err(|_| MlError::ArtifactCorrupt {
+                reason: "kind string is not valid UTF-8".into(),
+            })?
+            .to_string();
+        let payload_len = u64::from_le_bytes(le8(take(&mut rest, 8, "payload length")?));
+        let checksum = u64::from_le_bytes(le8(take(&mut rest, 8, "payload checksum")?));
+        if payload_len != rest.len() as u64 {
+            return Err(MlError::ArtifactCorrupt {
+                reason: format!(
+                    "payload length mismatch: header says {payload_len} bytes, {} remain",
+                    rest.len()
+                ),
+            });
+        }
+        let actual = fnv1a64(rest);
+        if actual != checksum {
+            return Err(MlError::ArtifactCorrupt {
+                reason: format!(
+                    "payload checksum mismatch: stored {checksum:#018x}, computed {actual:#018x}"
+                ),
+            });
+        }
+        Ok(Envelope {
+            kind,
+            schema_hash,
+            payload: rest.to_vec(),
+        })
+    }
+}
+
+/// Splits `n` bytes off the front of `buf`, or reports what was being
+/// read when the file ran out.
+fn take<'a>(buf: &mut &'a [u8], n: usize, what: &str) -> Result<&'a [u8]> {
+    if buf.len() < n {
+        return Err(MlError::ArtifactCorrupt {
+            reason: format!(
+                "truncated while reading {what}: need {n} bytes, have {}",
+                buf.len()
+            ),
+        });
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn le2(b: &[u8]) -> [u8; 2] {
+    let mut a = [0u8; 2];
+    a.copy_from_slice(&b[..2]);
+    a
+}
+
+fn le4(b: &[u8]) -> [u8; 4] {
+    let mut a = [0u8; 4];
+    a.copy_from_slice(&b[..4]);
+    a
+}
+
+fn le8(b: &[u8]) -> [u8; 8] {
+    let mut a = [0u8; 8];
+    a.copy_from_slice(&b[..8]);
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Envelope {
+        Envelope::new(
+            "test/kind",
+            0xdead_beef_cafe_f00d,
+            b"hello payload".to_vec(),
+        )
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let env = sample();
+        let bytes = env.encode().unwrap();
+        let back = Envelope::decode(&bytes).unwrap();
+        assert_eq!(back, env);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let env = Envelope::new("k", 0, Vec::new());
+        let back = Envelope::decode(&env.encode().unwrap()).unwrap();
+        assert_eq!(back.payload, Vec::<u8>::new());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample().encode().unwrap();
+        for n in 0..bytes.len() {
+            match Envelope::decode(&bytes[..n]) {
+                Err(MlError::ArtifactCorrupt { .. }) => {}
+                other => panic!("truncation at {n} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[0] ^= 0xff;
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(MlError::ArtifactCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            Envelope::decode(&bytes),
+            Err(MlError::ArtifactVersionMismatch {
+                found: FORMAT_VERSION + 1,
+                supported: FORMAT_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn payload_corruption_fails_checksum() {
+        let env = sample();
+        let mut bytes = env.encode().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(MlError::ArtifactCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().encode().unwrap();
+        bytes.push(0);
+        assert!(matches!(
+            Envelope::decode(&bytes),
+            Err(MlError::ArtifactCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -26,6 +26,36 @@ pub enum MlError {
     SingleClass,
     /// A numeric operation produced a non-finite value.
     NumericalError(String),
+    /// A model artifact is structurally damaged: truncated, wrong magic,
+    /// bad checksum, or an undecodable payload.
+    ArtifactCorrupt {
+        /// What was damaged.
+        reason: String,
+    },
+    /// A model artifact was written by an incompatible format version.
+    ArtifactVersionMismatch {
+        /// Version found in the artifact header.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// A model artifact declares a different kind than the caller expects
+    /// (e.g. loading a forecast model as a classifier pipeline).
+    ArtifactKindMismatch {
+        /// Kind the caller expected.
+        expected: String,
+        /// Kind found in the artifact header.
+        found: String,
+    },
+    /// A model artifact's feature schema does not match the schema the
+    /// running code would produce — scoring it would silently misalign
+    /// features.
+    ArtifactSchemaMismatch {
+        /// Schema hash the running code expects.
+        expected: u64,
+        /// Schema hash found in the artifact header.
+        found: u64,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -43,6 +73,27 @@ impl fmt::Display for MlError {
                 write!(f, "training data contains a single class; two are required")
             }
             MlError::NumericalError(msg) => write!(f, "numerical error: {msg}"),
+            MlError::ArtifactCorrupt { reason } => {
+                write!(f, "artifact corrupt: {reason}")
+            }
+            MlError::ArtifactVersionMismatch { found, supported } => {
+                write!(
+                    f,
+                    "artifact format version {found} not supported (this build reads version {supported})"
+                )
+            }
+            MlError::ArtifactKindMismatch { expected, found } => {
+                write!(
+                    f,
+                    "artifact kind mismatch: expected `{expected}`, found `{found}`"
+                )
+            }
+            MlError::ArtifactSchemaMismatch { expected, found } => {
+                write!(
+                    f,
+                    "artifact feature-schema mismatch: expected {expected:#018x}, found {found:#018x}"
+                )
+            }
         }
     }
 }

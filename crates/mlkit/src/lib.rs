@@ -42,6 +42,7 @@
 //! # Ok::<(), mlkit::MlError>(())
 //! ```
 
+pub mod artifact;
 pub mod calibration;
 pub mod crossval;
 pub mod dataset;

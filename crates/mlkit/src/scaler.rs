@@ -85,17 +85,36 @@ impl StandardScaler {
         }
         let mut out = Matrix::zeros(data.len(), data.n_features());
         for (i, row) in data.x().rows_iter().enumerate() {
-            let orow = out.row_mut(i);
-            for (j, &v) in row.iter().enumerate() {
-                let s = self.stds[j];
-                orow[j] = if s > 0.0 {
-                    (v - self.means[j]) / s
-                } else {
-                    0.0
-                };
-            }
+            self.transform_row(out.row_mut(i), row)?;
         }
         Dataset::new(out, data.y().to_vec())?.with_feature_names(data.feature_names().to_vec())
+    }
+
+    /// Applies the learned transform to one feature row, writing into
+    /// `out`. This is the per-element kernel [`StandardScaler::transform`]
+    /// uses, exposed so streaming scorers standardise single rows with
+    /// bit-identical arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] when either slice length
+    /// differs from the fitted feature count.
+    pub fn transform_row(&self, out: &mut [f32], row: &[f32]) -> Result<()> {
+        if row.len() != self.means.len() || out.len() != self.means.len() {
+            return Err(MlError::DimensionMismatch {
+                expected: format!("{} features", self.means.len()),
+                found: format!("{} in / {} out", row.len(), out.len()),
+            });
+        }
+        for (j, &v) in row.iter().enumerate() {
+            let s = self.stds[j];
+            out[j] = if s > 0.0 {
+                (v - self.means[j]) / s
+            } else {
+                0.0
+            };
+        }
+        Ok(())
     }
 }
 

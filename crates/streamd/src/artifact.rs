@@ -1,0 +1,322 @@
+//! The shipped TwoStage pipeline artifact.
+//!
+//! An artifact bundles everything a scoring daemon needs and nothing it
+//! must recompute: the [`FeatureSpec`] the model was trained under, the
+//! frozen stage-1 offender-node set, the train-window
+//! [`StandardScaler`], and the fitted stage-2 classifier. It serialises
+//! through the versioned [`mlkit::artifact`] envelope; the envelope's
+//! schema hash is the FNV-1a fingerprint of the spec's *ordered feature
+//! names*, so an artifact trained by a build whose feature schema has
+//! since drifted is rejected at load time instead of silently misaligning
+//! columns.
+
+use crate::{Result, StreamError};
+use mlkit::artifact::{fnv1a64, Envelope};
+use mlkit::dataset::Dataset;
+use mlkit::gbdt::Gbdt;
+use mlkit::linear::LogisticRegression;
+use mlkit::model::Classifier;
+use mlkit::scaler::StandardScaler;
+use sbepred::features::FeatureSpec;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The artifact kind tag for TwoStage pipelines.
+pub const PIPELINE_KIND: &str = "sbepred/twostage";
+
+/// The stage-2 classifier inside an artifact: the serialisable subset of
+/// the workspace's model zoo (the paper's deployment-relevant models).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum PipelineModel {
+    /// Gradient-boosted decision trees — the paper's best model.
+    Gbdt(Gbdt),
+    /// Logistic regression.
+    Logistic(LogisticRegression),
+}
+
+impl PipelineModel {
+    /// The wrapped classifier's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PipelineModel::Gbdt(m) => m.name(),
+            PipelineModel::Logistic(m) => m.name(),
+        }
+    }
+
+    /// The wrapped classifier's decision threshold.
+    pub fn threshold(&self) -> f32 {
+        match self {
+            PipelineModel::Gbdt(m) => m.threshold(),
+            PipelineModel::Logistic(m) => m.threshold(),
+        }
+    }
+
+    /// Positive-class probabilities for `data`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the classifier's predict errors (not fitted, dimension
+    /// mismatch).
+    pub fn predict_proba(&self, data: &Dataset) -> Result<Vec<f32>> {
+        let p = match self {
+            PipelineModel::Gbdt(m) => m.predict_proba(data)?,
+            PipelineModel::Logistic(m) => m.predict_proba(data)?,
+        };
+        Ok(p)
+    }
+}
+
+/// The FNV-1a fingerprint of a spec's ordered feature names — the value
+/// stored in the envelope's schema-hash field.
+pub fn feature_schema_hash(spec: &FeatureSpec) -> u64 {
+    let mut joined = String::new();
+    for name in spec.feature_names() {
+        joined.push_str(&name);
+        joined.push('\n');
+    }
+    fnv1a64(joined.as_bytes())
+}
+
+/// A trained, shippable TwoStage pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineArtifact {
+    spec: FeatureSpec,
+    /// Sorted ascending; stage-1 membership is a binary search.
+    offenders: Vec<u32>,
+    scaler: StandardScaler,
+    model: PipelineModel,
+    trained_end_min: u64,
+    split_name: String,
+}
+
+impl PipelineArtifact {
+    /// Bundles a trained pipeline. `offenders` is the stage-1 offender
+    /// node set frozen at `trained_end_min` (sorted and deduplicated
+    /// here).
+    pub fn new(
+        spec: FeatureSpec,
+        mut offenders: Vec<u32>,
+        scaler: StandardScaler,
+        model: PipelineModel,
+        trained_end_min: u64,
+        split_name: impl Into<String>,
+    ) -> PipelineArtifact {
+        offenders.sort_unstable();
+        offenders.dedup();
+        PipelineArtifact {
+            spec,
+            offenders,
+            scaler,
+            model,
+            trained_end_min,
+            split_name: split_name.into(),
+        }
+    }
+
+    /// The feature spec the model was trained under.
+    pub fn spec(&self) -> &FeatureSpec {
+        &self.spec
+    }
+
+    /// The frozen stage-1 offender node set, sorted ascending.
+    pub fn offenders(&self) -> &[u32] {
+        &self.offenders
+    }
+
+    /// Whether stage 1 passes `node` to the classifier.
+    pub fn is_offender(&self, node: u32) -> bool {
+        self.offenders.binary_search(&node).is_ok()
+    }
+
+    /// The train-window feature standardiser.
+    pub fn scaler(&self) -> &StandardScaler {
+        &self.scaler
+    }
+
+    /// The fitted stage-2 classifier.
+    pub fn model(&self) -> &PipelineModel {
+        &self.model
+    }
+
+    /// The minute observable history was frozen at for stage 1.
+    pub fn trained_end_min(&self) -> u64 {
+        self.trained_end_min
+    }
+
+    /// The split the pipeline was trained on (`DS1`…).
+    pub fn split_name(&self) -> &str {
+        &self.split_name
+    }
+
+    /// The artifact's feature-schema fingerprint under the *running*
+    /// code's [`FeatureSpec::feature_names`].
+    pub fn schema_hash(&self) -> u64 {
+        feature_schema_hash(&self.spec)
+    }
+
+    /// Serialises to envelope bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload-encoding and envelope errors.
+    pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        let payload = serde_json::to_string(self)
+            .map_err(|e| StreamError::Payload {
+                reason: e.to_string(),
+            })?
+            .into_bytes();
+        let env = Envelope::new(PIPELINE_KIND, self.schema_hash(), payload);
+        Ok(env.encode()?)
+    }
+
+    /// Parses envelope bytes back into an artifact, verifying magic,
+    /// format version, checksum, kind, and feature-schema hash.
+    ///
+    /// # Errors
+    ///
+    /// * [`mlkit::MlError::ArtifactCorrupt`] / `ArtifactVersionMismatch`
+    ///   (via [`StreamError::Ml`]) — envelope damage;
+    /// * [`mlkit::MlError::ArtifactKindMismatch`] — not a TwoStage
+    ///   pipeline;
+    /// * [`StreamError::Payload`] — undecodable payload;
+    /// * [`mlkit::MlError::ArtifactSchemaMismatch`] — the stored schema
+    ///   hash disagrees with what the running code derives from the
+    ///   decoded spec (stale artifact or tampered header).
+    pub fn from_bytes(bytes: &[u8]) -> Result<PipelineArtifact> {
+        let env = Envelope::decode(bytes)?;
+        if env.kind != PIPELINE_KIND {
+            return Err(mlkit::MlError::ArtifactKindMismatch {
+                expected: PIPELINE_KIND.to_string(),
+                found: env.kind,
+            }
+            .into());
+        }
+        let text = std::str::from_utf8(&env.payload).map_err(|e| StreamError::Payload {
+            reason: format!("payload is not UTF-8: {e}"),
+        })?;
+        let mut art: PipelineArtifact =
+            serde_json::from_str(text).map_err(|e| StreamError::Payload {
+                reason: e.to_string(),
+            })?;
+        let expected = art.schema_hash();
+        if env.schema_hash != expected {
+            return Err(mlkit::MlError::ArtifactSchemaMismatch {
+                expected,
+                found: env.schema_hash,
+            }
+            .into());
+        }
+        // Stage-1 membership relies on sortedness; do not trust the wire.
+        art.offenders.sort_unstable();
+        art.offenders.dedup();
+        Ok(art)
+    }
+
+    /// Writes the artifact to `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineArtifact::to_bytes`]; plus [`StreamError::Io`].
+    pub fn save(&self, path: &Path) -> Result<()> {
+        let bytes = self.to_bytes()?;
+        std::fs::write(path, bytes).map_err(|e| StreamError::Io {
+            path: path.display().to_string(),
+            source: e,
+        })
+    }
+
+    /// Reads an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineArtifact::from_bytes`]; plus [`StreamError::Io`].
+    pub fn load(path: &Path) -> Result<PipelineArtifact> {
+        let bytes = std::fs::read(path).map_err(|e| StreamError::Io {
+            path: path.display().to_string(),
+            source: e,
+        })?;
+        PipelineArtifact::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_artifact() -> PipelineArtifact {
+        let rows = vec![
+            vec![0.0f32, 1.0],
+            vec![1.0, 0.0],
+            vec![0.5, 0.5],
+            vec![0.9, 0.1],
+        ];
+        let y = vec![0.0, 1.0, 0.0, 1.0];
+        let ds = Dataset::from_rows(&rows, &y).unwrap();
+        let scaler = StandardScaler::fit(&ds).unwrap();
+        let scaled = scaler.transform(&ds).unwrap();
+        let mut lr = LogisticRegression::new().epochs(50);
+        lr.fit(&scaled).unwrap();
+        // A 2-feature toy spec: app group off, only location would not
+        // give 2 columns — the spec is metadata here, not used to score.
+        PipelineArtifact::new(
+            FeatureSpec::only_hist(),
+            vec![7, 3, 7, 1],
+            scaler,
+            PipelineModel::Logistic(lr),
+            1_000,
+            "DS1",
+        )
+    }
+
+    #[test]
+    fn offenders_sorted_and_deduped() {
+        let art = toy_artifact();
+        assert_eq!(art.offenders(), &[1, 3, 7]);
+        assert!(art.is_offender(3));
+        assert!(!art.is_offender(4));
+    }
+
+    #[test]
+    fn bytes_round_trip() {
+        let art = toy_artifact();
+        let bytes = art.to_bytes().unwrap();
+        let back = PipelineArtifact::from_bytes(&bytes).unwrap();
+        assert_eq!(back.offenders(), art.offenders());
+        assert_eq!(back.trained_end_min(), art.trained_end_min());
+        assert_eq!(back.split_name(), art.split_name());
+        assert_eq!(back.spec(), art.spec());
+        assert_eq!(back.schema_hash(), art.schema_hash());
+        assert_eq!(back.model().name(), "LR");
+    }
+
+    #[test]
+    fn schema_hash_tracks_feature_names() {
+        assert_ne!(
+            feature_schema_hash(&FeatureSpec::all()),
+            feature_schema_hash(&FeatureSpec::only_hist())
+        );
+        assert_eq!(
+            feature_schema_hash(&FeatureSpec::all()),
+            feature_schema_hash(&FeatureSpec::cur_prev_nei())
+        );
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let art = toy_artifact();
+        let path = std::env::temp_dir().join(format!(
+            "streamd-artifact-test-{}.sbemodel",
+            std::process::id()
+        ));
+        art.save(&path).unwrap();
+        let back = PipelineArtifact::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.offenders(), art.offenders());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = PipelineArtifact::load(Path::new("/nonexistent/nope.sbemodel")).unwrap_err();
+        assert!(matches!(err, StreamError::Io { .. }));
+    }
+}

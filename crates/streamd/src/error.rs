@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Errors produced by the streaming inference subsystem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// An underlying ML error (includes every artifact-envelope failure:
+    /// corruption, version/kind/schema mismatches).
+    Ml(mlkit::MlError),
+    /// An underlying prediction-pipeline error.
+    Pred(sbepred::PredError),
+    /// An underlying simulator error.
+    Sim(titan_sim::SimError),
+    /// An artifact payload failed to decode after its envelope verified.
+    Payload {
+        /// Decoder diagnostic.
+        reason: String,
+    },
+    /// Reading or writing an artifact or log file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The serve configuration is unusable.
+    InvalidConfig {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Ml(e) => write!(f, "ml error: {e}"),
+            StreamError::Pred(e) => write!(f, "pipeline error: {e}"),
+            StreamError::Sim(e) => write!(f, "simulator error: {e}"),
+            StreamError::Payload { reason } => {
+                write!(f, "artifact payload undecodable: {reason}")
+            }
+            StreamError::Io { path, source } => {
+                write!(f, "io error on `{path}`: {source}")
+            }
+            StreamError::InvalidConfig { reason } => {
+                write!(f, "invalid serve config: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Ml(e) => Some(e),
+            StreamError::Pred(e) => Some(e),
+            StreamError::Sim(e) => Some(e),
+            StreamError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<mlkit::MlError> for StreamError {
+    fn from(e: mlkit::MlError) -> StreamError {
+        StreamError::Ml(e)
+    }
+}
+
+impl From<sbepred::PredError> for StreamError {
+    fn from(e: sbepred::PredError) -> StreamError {
+        StreamError::Pred(e)
+    }
+}
+
+impl From<titan_sim::SimError> for StreamError {
+    fn from(e: titan_sim::SimError) -> StreamError {
+        StreamError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_sources_and_displays() {
+        let e = StreamError::from(mlkit::MlError::NotFitted);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("ml error"));
+        let e = StreamError::InvalidConfig {
+            reason: "batch capacity 0".into(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("batch capacity 0"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StreamError>();
+    }
+}

@@ -1,0 +1,30 @@
+//! streamd — deterministic online streaming inference for SBE prediction.
+//!
+//! The batch pipeline in `sbepred` answers "how well would the paper's
+//! models have predicted?"; this crate answers "what would deploying one
+//! look like?". It provides:
+//!
+//! * [`artifact`] — a versioned, checksummed on-disk format for trained
+//!   TwoStage pipelines (feature spec + offender set + scaler +
+//!   classifier), with load-time rejection of corrupt, stale-format, or
+//!   schema-drifted artifacts;
+//! * [`engine`] — an incremental feature engine that reproduces the batch
+//!   extractor's per-(app, node) sliding-window state event by event;
+//! * [`serve`] — an event-stream replay driver with bounded request
+//!   batching, per-stage obskit metrics, and a mitigation alert sink.
+//!
+//! The subsystem's contract is *stream/batch parity*: replaying a trace
+//! through [`serve::serve`] yields bit-identical probabilities to the
+//! batch `TwoStage` evaluation of the same window, at any thread count —
+//! locked down by `tests/stream_batch_parity.rs` at the workspace root.
+
+pub mod artifact;
+pub mod engine;
+pub mod serve;
+
+mod error;
+
+pub use error::StreamError;
+
+/// Crate-wide result type.
+pub type Result<T> = std::result::Result<T, StreamError>;

@@ -1,0 +1,499 @@
+//! The online scoring loop.
+//!
+//! [`serve`] replays a trace's [`EventStream`] against a shipped
+//! [`PipelineArtifact`]: launches inside the scoring window become score
+//! requests, requests batch up to a bounded capacity (or a maximum
+//! queueing delay in trace minutes), and each flush runs stage 1
+//! (offender-set membership), feature assembly + standardisation across
+//! parkit workers, and the stage-2 classifier. Predicted-SBE launches are
+//! emitted to an [`AlertSink`] as mitigation decisions.
+//!
+//! Determinism: every obskit measurement is recorded from the driver
+//! thread with values that are pure functions of the trace and config
+//! (batch sizes, queue delays, probabilities), so the metrics snapshot is
+//! byte-identical across thread counts; parallelism lives inside the
+//! telemetry query engine, row assembly, and the classifier — all
+//! order-preserving parkit fan-outs.
+//!
+//! Parity: feature values are captured at *launch-event time* from the
+//! incremental engine (frozen, strictly-before-launch state), while
+//! telemetry, scaling, and prediction are pure per-row functions — so
+//! batching policy affects throughput and latency, never a prediction.
+
+use crate::artifact::PipelineArtifact;
+use crate::engine::StreamFeatureEngine;
+use crate::{Result, StreamError};
+use mlkit::dataset::Dataset;
+use obskit::Recorder;
+use sbepred::features::{assemble_row, HistCounts, SampleFacts};
+use serde::Serialize;
+use titan_sim::engine::{SampleTelemetry, TelemetryQueryEngine};
+use titan_sim::events::{EventStream, TraceEvent};
+use titan_sim::schedule::ApRunId;
+use titan_sim::topology::NodeId;
+use titan_sim::trace::TraceSet;
+
+/// Tuning and windowing for one serve run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Flush a batch once this many requests are pending.
+    pub batch_capacity: usize,
+    /// Flush once the oldest pending request has waited this many trace
+    /// minutes (bounded scoring latency).
+    pub max_delay_min: u64,
+    /// First minute (inclusive) whose launches are scored. History is
+    /// always replayed from minute 0 regardless.
+    pub score_from_min: u64,
+    /// End of the scoring window (exclusive).
+    pub score_until_min: u64,
+    /// Worker threads for row assembly (telemetry and the classifier
+    /// resolve their own, both through parkit).
+    pub threads: parkit::Threads,
+}
+
+impl ServeConfig {
+    /// A config scoring `[from, until)` with the defaults: batches of 64,
+    /// 5-minute latency bound, auto threads.
+    pub fn window(from: u64, until: u64) -> ServeConfig {
+        ServeConfig {
+            batch_capacity: 64,
+            max_delay_min: 5,
+            score_from_min: from,
+            score_until_min: until,
+            threads: parkit::Threads::Auto,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.batch_capacity == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "batch_capacity must be at least 1".into(),
+            });
+        }
+        if self.score_from_min >= self.score_until_min {
+            return Err(StreamError::InvalidConfig {
+                reason: format!(
+                    "empty scoring window [{}, {})",
+                    self.score_from_min, self.score_until_min
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One scored launch-node: the streaming counterpart of a row of the
+/// batch `TwoStageOutcome`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ScoredLaunch {
+    /// Launch minute.
+    pub minute: u64,
+    /// The application run.
+    pub aprun: u32,
+    /// The application.
+    pub app: u32,
+    /// The node.
+    pub node: u32,
+    /// Predicted-SBE probability (0 when stage 1 filtered the node).
+    pub probability: f32,
+    /// Hard decision at the model threshold.
+    pub predicted: bool,
+    /// Whether the request reached the stage-2 classifier.
+    pub stage2: bool,
+}
+
+/// The mitigation a flagged launch should receive — the paper's §I
+/// motivation (checkpoint-interval tuning; pulling a node out of the
+/// schedulable pool for the worst offenders).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Mitigation {
+    /// Shorten the application's checkpoint interval for this run.
+    ShortenCheckpoint,
+    /// Drain the node after the run: predicted risk is high enough that
+    /// follow-on work should not be placed there.
+    DrainNode,
+}
+
+/// Probability at or above which the mitigation escalates from
+/// checkpoint tuning to node draining.
+pub const DRAIN_THRESHOLD: f32 = 0.9;
+
+/// An emitted mitigation decision for a flagged launch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Alert {
+    /// Launch minute.
+    pub minute: u64,
+    /// The application run.
+    pub aprun: u32,
+    /// The node at risk.
+    pub node: u32,
+    /// The application.
+    pub app: u32,
+    /// Predicted-SBE probability.
+    pub probability: f32,
+    /// The decision.
+    pub decision: Mitigation,
+}
+
+impl Alert {
+    fn for_launch(s: &ScoredLaunch) -> Alert {
+        Alert {
+            minute: s.minute,
+            aprun: s.aprun,
+            node: s.node,
+            app: s.app,
+            probability: s.probability,
+            decision: if s.probability >= DRAIN_THRESHOLD {
+                Mitigation::DrainNode
+            } else {
+                Mitigation::ShortenCheckpoint
+            },
+        }
+    }
+}
+
+/// Receives mitigation decisions as the loop emits them.
+pub trait AlertSink {
+    /// Called once per flagged launch, in emission order.
+    ///
+    /// # Errors
+    ///
+    /// A sink error aborts the serve run.
+    fn on_alert(&mut self, alert: &Alert) -> Result<()>;
+}
+
+/// The in-memory sink: collects alerts into a `Vec`.
+impl AlertSink for Vec<Alert> {
+    fn on_alert(&mut self, alert: &Alert) -> Result<()> {
+        self.push(*alert);
+        Ok(())
+    }
+}
+
+/// A sink that drops everything (scoring-only runs).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl AlertSink for NullSink {
+    fn on_alert(&mut self, _alert: &Alert) -> Result<()> {
+        Ok(())
+    }
+}
+
+/// The outcome of one serve run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Every scored launch-node in the window, sorted by
+    /// `(minute, aprun, node)`.
+    pub scored: Vec<ScoredLaunch>,
+    /// Stream events replayed.
+    pub n_events: u64,
+    /// Launch events replayed (whole trace, not just the window).
+    pub n_launches: u64,
+    /// SBE visibility events ingested.
+    pub n_sbe_events: u64,
+    /// Score requests issued (launch-nodes inside the window).
+    pub n_requests: u64,
+    /// Requests that reached the stage-2 classifier.
+    pub n_stage2: u64,
+    /// Batches flushed.
+    pub n_batches: u64,
+    /// Alerts emitted.
+    pub n_alerts: u64,
+}
+
+/// A queued stage-2 score request with its launch-time feature facts.
+#[derive(Debug, Clone)]
+struct PendingRequest {
+    minute: u64,
+    aprun: ApRunId,
+    node: NodeId,
+    app: u32,
+    facts: SampleFacts,
+    hist: HistCounts,
+}
+
+/// Replays `trace` against `artifact` (see the module docs).
+///
+/// # Errors
+///
+/// Propagates config validation, trace lookup, telemetry, classifier,
+/// and sink errors.
+pub fn serve(
+    trace: &TraceSet,
+    artifact: &PipelineArtifact,
+    cfg: &ServeConfig,
+    sink: &mut dyn AlertSink,
+) -> Result<ServeReport> {
+    serve_observed(trace, artifact, cfg, sink, &mut Recorder::null())
+}
+
+/// Like [`serve`], but records per-stage latency/throughput metrics into
+/// `rec`: request/batch counters, batch-size and queue-delay histograms,
+/// a probability histogram, and `streamd.flush` / `streamd.features` /
+/// `streamd.score` spans. All measurements are driver-side and
+/// deterministic — the snapshot is byte-identical across thread counts.
+///
+/// # Errors
+///
+/// See [`serve`].
+pub fn serve_observed(
+    trace: &TraceSet,
+    artifact: &PipelineArtifact,
+    cfg: &ServeConfig,
+    sink: &mut dyn AlertSink,
+    rec: &mut Recorder,
+) -> Result<ServeReport> {
+    cfg.validate()?;
+    let spec = *artifact.spec();
+    let n_features = spec.feature_names().len();
+    if n_features == 0 {
+        return Err(StreamError::InvalidConfig {
+            reason: "artifact feature spec selects no features".into(),
+        });
+    }
+    let query_engine = if spec.needs_telemetry() {
+        Some(TelemetryQueryEngine::new(trace)?)
+    } else {
+        None
+    };
+
+    let serve_span = rec.span_start("streamd.serve");
+    rec.gauge("streamd.batch_capacity", cfg.batch_capacity as f64);
+    rec.gauge("streamd.max_delay_min", cfg.max_delay_min as f64);
+
+    let mut engine = StreamFeatureEngine::new();
+    let mut pending: Vec<PendingRequest> = Vec::new();
+    let mut scored: Vec<ScoredLaunch> = Vec::new();
+    let mut report = ServeReport {
+        scored: Vec::new(),
+        n_events: 0,
+        n_launches: 0,
+        n_sbe_events: 0,
+        n_requests: 0,
+        n_stage2: 0,
+        n_batches: 0,
+        n_alerts: 0,
+    };
+
+    let stream = EventStream::new(trace)?;
+    rec.gauge("streamd.horizon_min", stream.horizon_min() as f64);
+    let catalog = trace.catalog();
+    let topology = &trace.config().topology;
+
+    for event in stream {
+        report.n_events += 1;
+        match event {
+            TraceEvent::Tick { minute } => {
+                // The tick opens `minute`; everything queued in earlier
+                // minutes is now strictly in the past.
+                engine.end_minute();
+                let deadline_hit = pending
+                    .first()
+                    .is_some_and(|p| minute.saturating_sub(p.minute) >= cfg.max_delay_min);
+                if deadline_hit {
+                    flush(
+                        artifact,
+                        cfg,
+                        &spec,
+                        query_engine.as_ref(),
+                        &mut pending,
+                        minute,
+                        &mut scored,
+                        sink,
+                        rec,
+                        &mut report,
+                    )?;
+                }
+            }
+            TraceEvent::Launch { minute, aprun } => {
+                report.n_launches += 1;
+                let run = trace.aprun(aprun)?;
+                engine.observe_launch(run);
+                if minute < cfg.score_from_min || minute >= cfg.score_until_min {
+                    continue;
+                }
+                let profile = catalog.profile(run.app_id)?;
+                // Requests in (aprun, node) order, matching the batch
+                // sample universe.
+                let mut nodes = run.nodes.clone();
+                nodes.sort_unstable();
+                for node in nodes {
+                    report.n_requests += 1;
+                    rec.incr("streamd.requests", 1);
+                    if !artifact.is_offender(node.0) {
+                        // Stage 1: never-offending node — predicted
+                        // SBE-free without touching the classifier.
+                        rec.incr("streamd.stage1_filtered", 1);
+                        scored.push(ScoredLaunch {
+                            minute,
+                            aprun: aprun.0,
+                            app: run.app_id.0,
+                            node: node.0,
+                            probability: 0.0,
+                            predicted: false,
+                            stage2: false,
+                        });
+                        continue;
+                    }
+                    let facts = SampleFacts {
+                        app: run.app_id.0,
+                        prev_app: engine.previous_app(node.0),
+                        runtime_min: run.runtime_min(),
+                        n_nodes: run.nodes.len() as u32,
+                        core_util: profile.core_util,
+                        mem_util: profile.mem_util,
+                        loc: topology.location(node)?,
+                        node: node.0,
+                    };
+                    let hist = engine.hist_counts(&spec, node, run.app_id, &run.nodes, minute);
+                    pending.push(PendingRequest {
+                        minute,
+                        aprun,
+                        node,
+                        app: run.app_id.0,
+                        facts,
+                        hist,
+                    });
+                    if pending.len() >= cfg.batch_capacity {
+                        flush(
+                            artifact,
+                            cfg,
+                            &spec,
+                            query_engine.as_ref(),
+                            &mut pending,
+                            minute,
+                            &mut scored,
+                            sink,
+                            rec,
+                            &mut report,
+                        )?;
+                    }
+                }
+            }
+            TraceEvent::SbeVisible {
+                minute,
+                node,
+                app,
+                count,
+                ..
+            } => {
+                report.n_sbe_events += 1;
+                rec.incr("streamd.sbe_events", 1);
+                engine.observe_sbe(minute, node, app, count)?;
+            }
+        }
+    }
+    engine.end_minute();
+    // Final flush: whatever is still queued at end of trace.
+    let final_minute = cfg.score_until_min;
+    flush(
+        artifact,
+        cfg,
+        &spec,
+        query_engine.as_ref(),
+        &mut pending,
+        final_minute,
+        &mut scored,
+        sink,
+        rec,
+        &mut report,
+    )?;
+
+    rec.incr("streamd.events", report.n_events);
+    rec.span_end(serve_span);
+
+    scored.sort_unstable_by_key(|s| (s.minute, s.aprun, s.node));
+    report.scored = scored;
+    Ok(report)
+}
+
+/// Scores and drains the pending batch.
+#[allow(clippy::too_many_arguments)]
+fn flush(
+    artifact: &PipelineArtifact,
+    cfg: &ServeConfig,
+    spec: &sbepred::features::FeatureSpec,
+    query_engine: Option<&TelemetryQueryEngine<'_>>,
+    pending: &mut Vec<PendingRequest>,
+    now_min: u64,
+    scored: &mut Vec<ScoredLaunch>,
+    sink: &mut dyn AlertSink,
+    rec: &mut Recorder,
+    report: &mut ServeReport,
+) -> Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let batch: Vec<PendingRequest> = std::mem::take(pending);
+    let flush_span = rec.span_start("streamd.flush");
+    report.n_batches += 1;
+    rec.incr("streamd.batches", 1);
+    rec.observe("streamd.batch_rows", batch.len() as f64);
+    for p in &batch {
+        rec.observe(
+            "streamd.queue_delay_min",
+            now_min.saturating_sub(p.minute) as f64,
+        );
+    }
+
+    // Telemetry for the whole batch in one order-preserving query; the
+    // engine's window statistics are pure functions of (aprun, node), so
+    // batch composition cannot change a value.
+    let feature_span = rec.span_start("streamd.features");
+    let telemetry: Vec<SampleTelemetry> = match query_engine {
+        Some(qe) => {
+            let pairs: Vec<_> = batch.iter().map(|p| (p.aprun, p.node)).collect();
+            qe.query(&pairs)?
+        }
+        None => Vec::new(),
+    };
+    let scaler = artifact.scaler();
+    let indices: Vec<usize> = (0..batch.len()).collect();
+    let rows: Vec<Vec<f32>> =
+        parkit::try_par_map::<_, _, StreamError, _>(cfg.threads, &indices, |&i| {
+            let p = &batch[i];
+            let t = if spec.needs_telemetry() {
+                Some(&telemetry[i])
+            } else {
+                None
+            };
+            let mut raw: Vec<f32> = Vec::with_capacity(scaler.means().len());
+            assemble_row(spec, &p.facts, t, &p.hist, &mut raw).map_err(StreamError::from)?;
+            let mut out = vec![0.0f32; raw.len()];
+            scaler
+                .transform_row(&mut out, &raw)
+                .map_err(StreamError::from)?;
+            Ok(out)
+        })?;
+    rec.span_end(feature_span);
+
+    let score_span = rec.span_start("streamd.score");
+    let ds = Dataset::from_rows(&rows, &vec![0.0; rows.len()]).map_err(StreamError::from)?;
+    let proba = artifact.model().predict_proba(&ds)?;
+    let threshold = artifact.model().threshold();
+    rec.span_end(score_span);
+
+    for (p, &prob) in batch.iter().zip(&proba) {
+        report.n_stage2 += 1;
+        rec.incr("streamd.stage2_scored", 1);
+        rec.observe("streamd.probability_pct", prob as f64 * 100.0);
+        let s = ScoredLaunch {
+            minute: p.minute,
+            aprun: p.aprun.0,
+            app: p.app,
+            node: p.node.0,
+            probability: prob,
+            predicted: prob >= threshold,
+            stage2: true,
+        };
+        scored.push(s);
+        if s.predicted {
+            report.n_alerts += 1;
+            rec.incr("streamd.alerts", 1);
+            sink.on_alert(&Alert::for_launch(&s))?;
+        }
+    }
+    rec.span_end(flush_span);
+    Ok(())
+}

@@ -48,6 +48,7 @@
 pub mod apps;
 pub mod config;
 pub mod engine;
+pub mod events;
 pub mod faults;
 pub mod rng;
 pub mod schedule;

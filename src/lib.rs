@@ -9,7 +9,10 @@
 //! * [`parkit`] — the deterministic parallel execution layer,
 //! * [`obskit`] — the deterministic observability layer,
 //! * [`sbepred`] — the paper's contribution: feature engineering, the
-//!   TwoStage prediction method, baselines, and experiment drivers.
+//!   TwoStage prediction method, baselines, and experiment drivers,
+//! * [`streamd`] — online streaming inference: versioned model
+//!   artifacts, trace replay, and batched scoring with stream/batch
+//!   parity.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
@@ -17,5 +20,6 @@ pub use mlkit;
 pub use obskit;
 pub use parkit;
 pub use sbepred;
+pub use streamd;
 pub use titan_sim;
 pub use tscast;

@@ -76,3 +76,66 @@ fn trace_samples_serialise() {
         serde_json::from_str(&json).expect("deserialises");
     assert_eq!(&t.samples()[..10], restored.as_slice());
 }
+
+#[test]
+fn full_twostage_pipeline_round_trips_through_artifact() {
+    use gpu_error_prediction::sbepred::datasets::DsSplit;
+    use gpu_error_prediction::sbepred::features::{FeatureExtractor, FeatureSpec};
+    use gpu_error_prediction::sbepred::samples::build_samples;
+    use gpu_error_prediction::sbepred::twostage::{prepare_with_extractor, run_classifier};
+    use gpu_error_prediction::streamd::artifact::{PipelineArtifact, PipelineModel};
+
+    // Train a real TwoStage pipeline end to end.
+    let trace = generate(&SimConfig::tiny(13)).expect("generates");
+    let samples = build_samples(&trace).expect("samples");
+    let fx = FeatureExtractor::new(&trace, &samples).expect("extractor");
+    let split = DsSplit::ds1(&trace).expect("split");
+    let spec = FeatureSpec::all();
+    let prepared = prepare_with_extractor(&fx, &samples, &split, &spec).expect("prepares");
+    let mut model = Gbdt::new().n_trees(20).min_samples_leaf(2).seed(7);
+    run_classifier(&prepared, &mut model).expect("fits");
+    let before = model.predict_proba(&prepared.test).expect("predicts");
+
+    let offenders: Vec<u32> = fx
+        .history()
+        .offender_nodes_before(split.train_end_min())
+        .into_iter()
+        .map(|n| n.0)
+        .collect();
+    let artifact = PipelineArtifact::new(
+        spec,
+        offenders.clone(),
+        prepared.scaler.clone(),
+        PipelineModel::Gbdt(model),
+        split.train_end_min(),
+        split.name(),
+    );
+
+    // Every component must survive the versioned envelope byte-for-byte:
+    // spec, offender set, scaler transform, and classifier output.
+    let restored =
+        PipelineArtifact::from_bytes(&artifact.to_bytes().expect("encodes")).expect("decodes");
+    assert_eq!(restored.spec(), artifact.spec());
+    assert_eq!(restored.offenders(), offenders.as_slice());
+    assert_eq!(restored.trained_end_min(), split.train_end_min());
+    assert_eq!(restored.split_name(), split.name());
+    assert_eq!(
+        restored
+            .scaler()
+            .transform(&prepared.test)
+            .expect("transforms")
+            .x()
+            .as_slice(),
+        artifact
+            .scaler()
+            .transform(&prepared.test)
+            .expect("transforms")
+            .x()
+            .as_slice()
+    );
+    let after = restored
+        .model()
+        .predict_proba(&prepared.test)
+        .expect("predicts");
+    assert_eq!(before, after);
+}
