@@ -1,0 +1,268 @@
+//! Interpreted vs compiled inference throughput — the fastpath trajectory.
+//!
+//! Two comparisons on the same fitted models:
+//!
+//! * **batch** — raw model inference over a pre-built feature buffer:
+//!   interpreted `Gbdt::predict_proba` vs the compiled struct-of-arrays
+//!   scorer's `predict_proba_into`, on a production-sized ensemble
+//!   (deep trees whose node tables outgrow the upper cache levels —
+//!   the regime the lockstep-lane kernel is built for). The batch is
+//!   kept below the interpreted path's parallel-row threshold so both
+//!   sides run serial and the numbers are per-core predictions/sec.
+//! * **stream** — the end-to-end `streamd::serve` replay with the
+//!   interpreted vs compiled backend, which dilutes the model speedup
+//!   with event replay and feature assembly.
+//!
+//! Besides the Criterion timings, the bench hand-times both sides and
+//! writes the machine-readable `BENCH_fastpath.json` report (schema
+//! `sbe-bench/fastpath/1`) that `repro check-bench` gates on in CI. Set
+//! `FASTPATH_BENCH_OUT` to redirect the report path. Parity is asserted
+//! bit-for-bit before anything is timed: a fast wrong answer is not a
+//! result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlkit::dataset::Dataset;
+use mlkit::fastpath::{CompiledGbdt, FeatureFrame};
+use mlkit::gbdt::Gbdt;
+use mlkit::model::Classifier;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use sbe_bench::{FastpathReport, FastpathSection, FastpathWorkload, FASTPATH_SCHEMA};
+use sbepred::datasets::DsSplit;
+use sbepred::features::{FeatureExtractor, FeatureSpec};
+use sbepred::samples::build_samples;
+use sbepred::twostage::{prepare_with_extractor, run_classifier};
+use streamd::artifact::{PipelineArtifact, PipelineModel};
+use streamd::serve::{serve, NullSink, ScorerBackend, ServeConfig};
+use titan_sim::config::SimConfig;
+use titan_sim::engine::generate;
+use titan_sim::trace::TraceSet;
+
+/// Below `Gbdt`'s parallel-row threshold (4096): keeps the interpreted
+/// side serial so batch numbers compare one core against one core.
+const BATCH_ROWS: usize = 4_000;
+const N_FEATURES: usize = 64;
+/// A production-scale ensemble: ~170k nodes, well past what fits in the
+/// upper cache levels, so scoring cost is dominated by per-step memory
+/// latency — serialized on the interpreted walk, overlapped eight-wide
+/// on the compiled one.
+const N_TREES: usize = 150;
+const MAX_DEPTH: usize = 10;
+const TRAIN_ROWS: usize = 12_000;
+
+struct BatchFixture {
+    model: Gbdt,
+    compiled: CompiledGbdt,
+    ds: Dataset,
+    frame: FeatureFrame,
+    out: Vec<f32>,
+}
+
+fn batch_fixture() -> BatchFixture {
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut gen_rows = |n: usize| -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| {
+                (0..N_FEATURES)
+                    .map(|_| rng.gen::<f32>() * 4.0 - 2.0)
+                    .collect()
+            })
+            .collect()
+    };
+    let train_rows = gen_rows(TRAIN_ROWS);
+    let y: Vec<f32> = train_rows
+        .iter()
+        .map(|r| {
+            if r.iter().take(8).sum::<f32>() > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let train = Dataset::from_rows(&train_rows, &y).expect("train dataset");
+    let mut model = Gbdt::new()
+        .n_trees(N_TREES)
+        .max_depth(MAX_DEPTH)
+        .min_samples_leaf(1)
+        .seed(7);
+    model.fit(&train).expect("fits");
+    let compiled = model.compile().expect("compiles");
+
+    let score_rows = gen_rows(BATCH_ROWS);
+    let ds = Dataset::from_rows(&score_rows, &vec![0.0; BATCH_ROWS]).expect("score dataset");
+    let frame = FeatureFrame::from_rows(&score_rows).expect("frame");
+    let out = vec![0.0f32; BATCH_ROWS];
+    let f = BatchFixture {
+        model,
+        compiled,
+        ds,
+        frame,
+        out,
+    };
+    assert_batch_parity(&f);
+    f
+}
+
+/// Bit-for-bit parity gate: refuse to publish a speedup for a scorer
+/// that disagrees with the reference.
+fn assert_batch_parity(f: &BatchFixture) {
+    let interpreted = f.model.predict_proba(&f.ds).expect("predicts");
+    let mut out = vec![0.0f32; BATCH_ROWS];
+    f.compiled
+        .predict_proba_into(&f.frame, &mut out)
+        .expect("compiled predicts");
+    for (i, (a, b)) in interpreted.iter().zip(&out).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "parity violation at row {i}: interpreted {a} vs compiled {b}"
+        );
+    }
+}
+
+struct StreamFixture {
+    trace: TraceSet,
+    artifact: PipelineArtifact,
+    window: (u64, u64),
+    n_test: usize,
+}
+
+fn stream_fixture() -> StreamFixture {
+    let trace = generate(&SimConfig::tiny(13)).expect("generates");
+    let samples = build_samples(&trace).expect("samples build");
+    let fx = FeatureExtractor::new(&trace, &samples).expect("extractor builds");
+    let split = DsSplit::ds1(&trace).expect("split");
+    let spec = FeatureSpec::all();
+    let prepared = prepare_with_extractor(&fx, &samples, &split, &spec).expect("prepares");
+    let mut model = Gbdt::new().n_trees(20).min_samples_leaf(2).seed(7);
+    run_classifier(&prepared, &mut model).expect("fits");
+    let offenders: Vec<u32> = fx
+        .history()
+        .offender_nodes_before(split.train_end_min())
+        .into_iter()
+        .map(|n| n.0)
+        .collect();
+    let artifact = PipelineArtifact::new(
+        spec,
+        offenders,
+        prepared.scaler.clone(),
+        PipelineModel::Gbdt(model),
+        split.train_end_min(),
+        split.name(),
+    );
+    StreamFixture {
+        trace,
+        artifact,
+        window: split.test_window(),
+        n_test: prepared.test_samples.len(),
+    }
+}
+
+fn serve_pass(f: &StreamFixture, backend: ScorerBackend) -> usize {
+    let cfg = ServeConfig {
+        backend,
+        ..ServeConfig::window(f.window.0, f.window.1)
+    };
+    let mut sink = NullSink;
+    let report = serve(&f.trace, &f.artifact, &cfg, &mut sink).expect("serves");
+    report.scored.len()
+}
+
+/// Hand-times `reps` runs of `pass` and returns events-per-second for
+/// `per_rep` events per run.
+fn rate_of(reps: u32, per_rep: usize, mut pass: impl FnMut()) -> f64 {
+    let t0 = std::time::Instant::now();
+    for _ in 0..reps {
+        pass();
+    }
+    (reps as usize * per_rep) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn write_report(report: &FastpathReport) {
+    let path = std::env::var("FASTPATH_BENCH_OUT").unwrap_or_else(|_| "BENCH_fastpath.json".into());
+    let json = serde_json::to_string_pretty(report).expect("serialises");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("fastpath report written to {path}"),
+        Err(e) => eprintln!("could not write fastpath report to {path}: {e}"),
+    }
+}
+
+fn bench_fastpath(c: &mut Criterion) {
+    let bf = batch_fixture();
+    let sf = stream_fixture();
+
+    // Hand-timed predictions/sec for the JSON report; the vendored
+    // criterion cannot report throughput units.
+    const BATCH_REPS: u32 = 20;
+    const STREAM_REPS: u32 = 5;
+    let batch_interpreted = rate_of(BATCH_REPS, BATCH_ROWS, || {
+        std::hint::black_box(bf.model.predict_proba(&bf.ds).expect("predicts"));
+    });
+    let mut out = bf.out.clone();
+    let batch_compiled = rate_of(BATCH_REPS, BATCH_ROWS, || {
+        bf.compiled
+            .predict_proba_into(&bf.frame, &mut out)
+            .expect("compiled predicts");
+        std::hint::black_box(&out);
+    });
+    let stream_interpreted = rate_of(STREAM_REPS, sf.n_test, || {
+        std::hint::black_box(serve_pass(&sf, ScorerBackend::Interpreted));
+    });
+    let stream_compiled = rate_of(STREAM_REPS, sf.n_test, || {
+        std::hint::black_box(serve_pass(&sf, ScorerBackend::Compiled));
+    });
+
+    let report = FastpathReport {
+        schema: FASTPATH_SCHEMA.into(),
+        workload: FastpathWorkload {
+            batch_rows: BATCH_ROWS,
+            n_features: N_FEATURES,
+            n_trees: N_TREES,
+            max_depth: MAX_DEPTH,
+        },
+        batch: FastpathSection::from_rates(batch_interpreted, batch_compiled),
+        stream: FastpathSection::from_rates(stream_interpreted, stream_compiled),
+    };
+    eprintln!(
+        "batch ({BATCH_ROWS} rows x {N_FEATURES} features, {N_TREES} trees, depth {MAX_DEPTH}): \
+         interpreted {batch_interpreted:.0} pps, compiled {batch_compiled:.0} pps \
+         ({:.2}x)",
+        report.batch.speedup
+    );
+    eprintln!(
+        "stream ({} test samples): interpreted {stream_interpreted:.0} pps, \
+         compiled {stream_compiled:.0} pps ({:.2}x)",
+        sf.n_test, report.stream.speedup
+    );
+    write_report(&report);
+
+    let mut group = c.benchmark_group("fastpath");
+    group.sample_size(10);
+    group.bench_function("batch_interpreted", |b| {
+        b.iter(|| {
+            bf.model
+                .predict_proba(std::hint::black_box(&bf.ds))
+                .expect("predicts")
+        })
+    });
+    let mut out = bf.out.clone();
+    group.bench_function("batch_compiled", |b| {
+        b.iter(|| {
+            bf.compiled
+                .predict_proba_into(std::hint::black_box(&bf.frame), &mut out)
+                .expect("compiled predicts")
+        })
+    });
+    group.bench_function("stream_interpreted", |b| {
+        b.iter(|| serve_pass(&sf, ScorerBackend::Interpreted))
+    });
+    group.bench_function("stream_compiled", |b| {
+        b.iter(|| serve_pass(&sf, ScorerBackend::Compiled))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fastpath);
+criterion_main!(benches);

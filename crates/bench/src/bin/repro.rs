@@ -11,7 +11,9 @@
 //!       [--model gbdt|lr] --out ARTIFACT
 //! repro serve --model ARTIFACT --trace PATH [--alerts-out FILE]
 //!       [--metrics-out FILE] [--batch N] [--delay N] [--from M] [--until M]
-//!       [--threads N]
+//!       [--threads N] [--backend interpreted|compiled]
+//! repro check-bench --file BENCH_fastpath.json
+//!       [--min-batch-speedup X] [--min-stream-speedup X]
 //! ```
 //!
 //! `--metrics-out FILE` records pipeline observability metrics (trace
@@ -27,7 +29,12 @@
 //! loop: persist a generated trace, train and ship a versioned TwoStage
 //! pipeline artifact, then replay the trace through `streamd`'s online
 //! scoring loop. `--trace PATH` accepts either a trace JSON file or a
-//! directory containing `trace.json`.
+//! directory containing `trace.json`. `serve --backend compiled` scores
+//! through the flattened fastpath tables instead of the interpreted
+//! trees — bit-identical output, higher throughput. `check-bench` reads
+//! a `BENCH_fastpath.json` emitted by `cargo bench --bench fastpath` and
+//! fails if the compiled/interpreted speedups fall below the floors —
+//! the CI guard on the performance trajectory.
 
 use sbe_bench::{persist_json, WallClock};
 use sbepred::experiments::{
@@ -60,7 +67,10 @@ fn usage() -> ExitCode {
          repro train [--config C] [--seed N | --trace PATH] [--split ds1|ds2|ds3] \
          [--model gbdt|lr] --out ARTIFACT\n\
          repro serve --model ARTIFACT --trace PATH [--alerts-out FILE] \
-         [--metrics-out FILE] [--batch N] [--delay N] [--from M] [--until M] [--threads N]\n\
+         [--metrics-out FILE] [--batch N] [--delay N] [--from M] [--until M] [--threads N] \
+         [--backend interpreted|compiled]\n\
+         repro check-bench --file BENCH_fastpath.json \
+         [--min-batch-speedup X] [--min-stream-speedup X]\n\
          experiments: {} {} {} | groups: characterization prediction extensions all",
         CHARACTERIZATION.join(" "),
         PREDICTION.join(" "),
@@ -325,12 +335,44 @@ fn train_artifact(
         split.train_end_min(),
         split.name(),
     );
+    compiled_self_check(&artifact, &prepared.test)?;
     Ok((artifact, f1))
+}
+
+/// Verifies the compiled fastpath scorer reproduces the interpreted
+/// model bit for bit on the held-out test split before the artifact
+/// ships. A mismatch means the flattening is broken for this specific
+/// fitted ensemble — refuse to ship it.
+fn compiled_self_check(
+    artifact: &streamd::artifact::PipelineArtifact,
+    test: &mlkit::dataset::Dataset,
+) -> Result<(), Box<dyn std::error::Error>> {
+    use mlkit::fastpath::FeatureFrame;
+
+    let compiled = artifact.compile()?;
+    let interpreted = artifact.model().predict_proba(test)?;
+    let rows: Vec<Vec<f32>> = (0..test.len()).map(|i| test.x().row(i).to_vec()).collect();
+    let frame = FeatureFrame::from_rows(&rows)?;
+    let mut out = vec![0.0f32; rows.len()];
+    compiled.predict_proba_into(&frame, &mut out)?;
+    for (i, (a, b)) in interpreted.iter().zip(&out).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(format!(
+                "compiled self-check failed at test row {i}: interpreted {a} vs compiled {b}"
+            )
+            .into());
+        }
+    }
+    eprintln!(
+        "compiled self-check: {} test rows bit-identical to the interpreted path",
+        rows.len()
+    );
+    Ok(())
 }
 
 /// `repro serve`: replay a trace through the streaming scoring loop.
 fn cmd_serve(args: &[String]) -> ExitCode {
-    use streamd::serve::{serve_observed, ServeConfig};
+    use streamd::serve::{serve_observed, ScorerBackend, ServeConfig};
 
     let mut model_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
@@ -341,6 +383,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let mut from: Option<u64> = None;
     let mut until: Option<u64> = None;
     let mut threads = parkit::Threads::Auto;
+    let mut backend = ScorerBackend::Interpreted;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -380,6 +423,10 @@ fn cmd_serve(args: &[String]) -> ExitCode {
                 Some(v) => threads = parkit::Threads::Fixed(v),
                 None => return usage(),
             },
+            "--backend" => match it.next().and_then(|v| ScorerBackend::parse(v)) {
+                Some(v) => backend = v,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
@@ -413,6 +460,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         score_from_min: score_from,
         score_until_min: score_until,
         threads,
+        backend,
     };
     let mut rec = if metrics_out.is_some() {
         obskit::Recorder::new()
@@ -441,8 +489,9 @@ fn cmd_serve(args: &[String]) -> ExitCode {
         report.n_alerts
     );
     eprintln!(
-        "scored {} launch-nodes in {elapsed:.1?} ({rate:.0} samples/sec)",
-        report.scored.len()
+        "scored {} launch-nodes in {elapsed:.1?} ({rate:.0} samples/sec, {:?} backend)",
+        report.scored.len(),
+        backend
     );
     let mut failures = 0;
     if let Some(path) = &alerts_out {
@@ -488,12 +537,90 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro check-bench`: gate CI on the fastpath performance trajectory.
+///
+/// Reads a `BENCH_fastpath.json` written by `cargo bench --bench fastpath`
+/// and fails unless the compiled/interpreted speedups clear the floors.
+fn cmd_check_bench(args: &[String]) -> ExitCode {
+    let mut file: Option<PathBuf> = None;
+    // CI floors, deliberately below the ~6x batch speedup the bench
+    // reports on a quiet machine: shared runners are noisy, and the gate
+    // exists to catch the compiled path regressing toward interpreted
+    // speed, not to flake on scheduler jitter. Stream is dominated by
+    // event replay and feature assembly, so its floor only guards
+    // against the compiled backend being *slower* end to end.
+    let mut min_batch = 3.0f64;
+    let mut min_stream = 0.8f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--file" => match it.next() {
+                Some(v) => file = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--min-batch-speedup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_batch = v,
+                None => return usage(),
+            },
+            "--min-stream-speedup" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_stream = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("check-bench requires --file BENCH_fastpath.json");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("could not read `{}`: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let report: sbe_bench::FastpathReport = match serde_json::from_str(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("could not parse `{}`: {e}", file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "fastpath bench ({} rows x {} features, {} trees, depth {}):",
+        report.workload.batch_rows,
+        report.workload.n_features,
+        report.workload.n_trees,
+        report.workload.max_depth
+    );
+    eprintln!(
+        "  batch:  {:>12.0} -> {:>12.0} pps ({:.2}x, floor {min_batch:.2}x)",
+        report.batch.interpreted_pps, report.batch.compiled_pps, report.batch.speedup
+    );
+    eprintln!(
+        "  stream: {:>12.0} -> {:>12.0} pps ({:.2}x, floor {min_stream:.2}x)",
+        report.stream.interpreted_pps, report.stream.compiled_pps, report.stream.speedup
+    );
+    match report.check(min_batch, min_stream) {
+        Ok(()) => {
+            eprintln!("check-bench: PASS");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("check-bench: FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let all_args: Vec<String> = std::env::args().skip(1).collect();
     match all_args.first().map(String::as_str) {
         Some("save-trace") => return cmd_save_trace(&all_args[1..]),
         Some("train") => return cmd_train(&all_args[1..]),
         Some("serve") => return cmd_serve(&all_args[1..]),
+        Some("check-bench") => return cmd_check_bench(&all_args[1..]),
         _ => {}
     }
 

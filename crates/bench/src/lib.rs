@@ -5,8 +5,108 @@
 //! model training/prediction cost (Table III) and pipeline throughput.
 
 use sbepred::experiments::ExperimentOutput;
+use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
+
+/// Schema tag of [`FastpathReport`] / `BENCH_fastpath.json`.
+pub const FASTPATH_SCHEMA: &str = "sbe-bench/fastpath/1";
+
+/// One interpreted-vs-compiled throughput comparison.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FastpathSection {
+    /// Predictions per second through the interpreted path.
+    pub interpreted_pps: f64,
+    /// Predictions per second through the compiled fastpath.
+    pub compiled_pps: f64,
+    /// `compiled_pps / interpreted_pps`.
+    pub speedup: f64,
+}
+
+impl FastpathSection {
+    /// Builds a section from raw rates, deriving the speedup.
+    #[must_use]
+    pub fn from_rates(interpreted_pps: f64, compiled_pps: f64) -> FastpathSection {
+        FastpathSection {
+            interpreted_pps,
+            compiled_pps,
+            speedup: compiled_pps / interpreted_pps.max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+/// Workload shape the fastpath bench measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FastpathWorkload {
+    /// Rows in the batch-scoring buffer.
+    pub batch_rows: usize,
+    /// Feature columns per row.
+    pub n_features: usize,
+    /// Trees in the measured GBDT ensemble.
+    pub n_trees: usize,
+    /// Depth limit the measured ensemble was grown to.
+    pub max_depth: usize,
+}
+
+/// Machine-readable fastpath benchmark report — the `BENCH_fastpath.json`
+/// artifact CI emits and `repro check-bench` gates on.
+///
+/// The report compares the interpreted tree-walking scorer against the
+/// compiled struct-of-arrays fastpath on the same fitted model, both for
+/// raw batch scoring (`batch`) and for the end-to-end streaming serve
+/// loop (`stream`, which dilutes the model-scoring speedup with feature
+/// assembly and event replay).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FastpathReport {
+    /// Always [`FASTPATH_SCHEMA`].
+    pub schema: String,
+    /// Shape of the measured workload.
+    pub workload: FastpathWorkload,
+    /// Raw batch scoring, model inference only.
+    pub batch: FastpathSection,
+    /// End-to-end `streamd::serve` replay.
+    pub stream: FastpathSection,
+}
+
+impl FastpathReport {
+    /// Enforces speedup floors on the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the schema tag is wrong,
+    /// a rate is non-finite or non-positive, or a speedup falls below
+    /// its floor.
+    pub fn check(&self, min_batch_speedup: f64, min_stream_speedup: f64) -> Result<(), String> {
+        if self.schema != FASTPATH_SCHEMA {
+            return Err(format!(
+                "unexpected schema `{}` (want `{FASTPATH_SCHEMA}`)",
+                self.schema
+            ));
+        }
+        for (name, s) in [("batch", &self.batch), ("stream", &self.stream)] {
+            let healthy = |r: f64| r.is_finite() && r > 0.0;
+            if !healthy(s.interpreted_pps) || !healthy(s.compiled_pps) {
+                return Err(format!(
+                    "{name}: degenerate rates (interpreted {} pps, compiled {} pps)",
+                    s.interpreted_pps, s.compiled_pps
+                ));
+            }
+        }
+        if self.batch.speedup < min_batch_speedup {
+            return Err(format!(
+                "batch speedup {:.2}x below floor {min_batch_speedup:.2}x",
+                self.batch.speedup
+            ));
+        }
+        if self.stream.speedup < min_stream_speedup {
+            return Err(format!(
+                "stream speedup {:.2}x below floor {min_stream_speedup:.2}x",
+                self.stream.speedup
+            ));
+        }
+        Ok(())
+    }
+}
 
 /// The workspace's only real [`obskit::Clock`]: nanoseconds since the
 /// clock's construction, backed by [`std::time::Instant`].
@@ -70,6 +170,57 @@ mod tests {
         let a = c.now_nanos();
         let b = c.now_nanos();
         assert!(b >= a);
+    }
+
+    fn report(batch: f64, stream: f64) -> FastpathReport {
+        FastpathReport {
+            schema: FASTPATH_SCHEMA.into(),
+            workload: FastpathWorkload {
+                batch_rows: 4096,
+                n_features: 80,
+                n_trees: 120,
+                max_depth: 8,
+            },
+            batch: FastpathSection::from_rates(1_000.0, 1_000.0 * batch),
+            stream: FastpathSection::from_rates(500.0, 500.0 * stream),
+        }
+    }
+
+    #[test]
+    fn fastpath_report_passes_at_or_above_floor() {
+        assert!(report(5.0, 1.5).check(5.0, 1.5).is_ok());
+        assert!(report(8.0, 2.0).check(5.0, 1.5).is_ok());
+    }
+
+    #[test]
+    fn fastpath_report_fails_below_floor() {
+        let err = report(4.9, 2.0).check(5.0, 1.0).unwrap_err();
+        assert!(err.contains("batch speedup"), "{err}");
+        let err = report(8.0, 0.9).check(5.0, 1.0).unwrap_err();
+        assert!(err.contains("stream speedup"), "{err}");
+    }
+
+    #[test]
+    fn fastpath_report_rejects_wrong_schema_and_degenerate_rates() {
+        let mut r = report(5.0, 2.0);
+        r.schema = "sbe-bench/fastpath/0".into();
+        assert!(r.check(1.0, 1.0).unwrap_err().contains("schema"));
+        let mut r = report(5.0, 2.0);
+        r.batch.interpreted_pps = 0.0;
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("degenerate"));
+        let mut r = report(5.0, 2.0);
+        r.stream.compiled_pps = f64::NAN;
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("degenerate"));
+    }
+
+    #[test]
+    fn fastpath_report_round_trips_through_json() {
+        let r = report(6.0, 1.8);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: FastpathReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, FASTPATH_SCHEMA);
+        assert_eq!(back.batch.speedup.to_bits(), r.batch.speedup.to_bits());
+        assert_eq!(back.workload.n_trees, 120);
     }
 
     #[test]

@@ -204,6 +204,42 @@ impl FeatureSpec {
         self.tp_cur || self.tp_prev || self.tp_nei
     }
 
+    /// The number of features this spec emits — the width of every
+    /// assembled row, computed without building the name list (the serve
+    /// fastpath sizes its reusable scratch from this).
+    pub fn n_features(&self) -> usize {
+        let mut n = 0;
+        if self.app {
+            n += 7;
+        }
+        if self.location {
+            n += 6;
+        }
+        if self.tp_cur {
+            n += 8;
+        }
+        if self.tp_prev {
+            n += 32;
+        }
+        if self.tp_nei {
+            n += 12;
+        }
+        let hist_splits = 1
+            + usize::from(self.hist_today)
+            + usize::from(self.hist_yesterday)
+            + usize::from(self.hist_before);
+        if self.hist_local {
+            n += hist_splits;
+        }
+        if self.hist_global {
+            n += hist_splits;
+        }
+        if self.hist_app {
+            n += 2;
+        }
+        n
+    }
+
     /// The ordered feature names this spec emits.
     pub fn feature_names(&self) -> Vec<String> {
         let mut names = Vec::new();
@@ -770,6 +806,27 @@ mod tests {
         let ds = fx.extract(&ss[..60], &FeatureSpec::all()).unwrap();
         for v in ds.x().as_slice() {
             assert!(v.is_finite(), "non-finite feature {v}");
+        }
+    }
+
+    #[test]
+    fn n_features_matches_name_list_for_every_preset() {
+        for spec in [
+            FeatureSpec::all(),
+            FeatureSpec::none(),
+            FeatureSpec::only_app(),
+            FeatureSpec::only_tp(),
+            FeatureSpec::only_hist(),
+            FeatureSpec::cur(),
+            FeatureSpec::cur_prev(),
+            FeatureSpec::cur_nei(),
+            FeatureSpec::without_global_hist(),
+            FeatureSpec::without_local_hist(),
+            FeatureSpec::without_hist_today(),
+            FeatureSpec::without_hist_yesterday(),
+            FeatureSpec::without_hist_before(),
+        ] {
+            assert_eq!(spec.n_features(), spec.feature_names().len(), "{spec:?}");
         }
     }
 

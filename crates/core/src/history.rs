@@ -25,16 +25,11 @@ struct CumSeries {
 impl CumSeries {
     fn from_events(mut events: Vec<(u64, u32)>) -> CumSeries {
         events.sort_unstable();
-        let mut points = Vec::with_capacity(events.len());
-        let mut cum = 0u64;
+        let mut series = CumSeries::default();
         for (t, c) in events {
-            cum += c as u64;
-            match points.last_mut() {
-                Some((lt, lc)) if *lt == t => *lc = cum,
-                _ => points.push((t, cum)),
-            }
+            series.append(t, c);
         }
-        CumSeries { points }
+        series
     }
 
     /// Appends one event; `t` must be monotonically non-decreasing (the
@@ -220,19 +215,154 @@ impl HistoryView for SbeHistory {
     }
 }
 
+/// Sentinel chunk/series link meaning "none".
+const ARENA_NONE: u32 = u32::MAX;
+
+/// Points per [`SeriesArena`] chunk. Most series are short (a node's
+/// SBE events over a trace), so small chunks keep slack bounded while
+/// still amortising growth: one allocation per `CHUNK_CAP` points
+/// instead of one `Vec` per key plus its doublings.
+const CHUNK_CAP: usize = 8;
+
+/// A chunked arena of append-only cumulative series.
+///
+/// All per-key `(time, cumulative_count)` points live in four flat
+/// vectors, carved into fixed-size chunks that are chained per series —
+/// the backing store [`IncrementalHistory`] uses so the streaming serve
+/// loop ingests without a per-key allocation. Chunks are ordered within
+/// a series, and times are non-decreasing (the owner enforces a
+/// frontier), so a query walks the chain and binary-searches one chunk.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct SeriesArena {
+    /// Point times, `CHUNK_CAP` slots per chunk.
+    chunk_t: Vec<u64>,
+    /// Cumulative counts, parallel to `chunk_t`.
+    chunk_c: Vec<u64>,
+    /// Occupied slots per chunk (1..=CHUNK_CAP).
+    chunk_len: Vec<u8>,
+    /// Per chunk: the series' next chunk, or [`ARENA_NONE`].
+    chunk_next: Vec<u32>,
+    /// Per series: first chunk, or [`ARENA_NONE`] while empty.
+    head: Vec<u32>,
+    /// Per series: last chunk, or [`ARENA_NONE`] while empty.
+    tail: Vec<u32>,
+}
+
+impl SeriesArena {
+    /// Registers a new empty series and returns its handle.
+    fn new_series(&mut self) -> u32 {
+        let s = self.head.len() as u32;
+        self.head.push(ARENA_NONE);
+        self.tail.push(ARENA_NONE);
+        s
+    }
+
+    /// Carves a fresh chunk holding one point; returns its id.
+    fn alloc_chunk(&mut self, t: u64, cum: u64) -> u32 {
+        let ci = self.chunk_len.len();
+        self.chunk_t.resize((ci + 1) * CHUNK_CAP, 0);
+        self.chunk_c.resize((ci + 1) * CHUNK_CAP, 0);
+        self.chunk_t[ci * CHUNK_CAP] = t;
+        self.chunk_c[ci * CHUNK_CAP] = cum;
+        self.chunk_len.push(1);
+        self.chunk_next.push(ARENA_NONE);
+        ci as u32
+    }
+
+    /// Appends one event to `series`; `t` must be non-decreasing within
+    /// the series. Same-`t` events merge into the last point, exactly
+    /// like [`CumSeries::append`].
+    fn append(&mut self, series: u32, t: u64, c: u32) {
+        let s = series as usize;
+        let tail = self.tail[s];
+        if tail == ARENA_NONE {
+            let chunk = self.alloc_chunk(t, c as u64);
+            self.head[s] = chunk;
+            self.tail[s] = chunk;
+            return;
+        }
+        let ci = tail as usize;
+        let len = self.chunk_len[ci] as usize;
+        let last = ci * CHUNK_CAP + len - 1;
+        if self.chunk_t[last] == t {
+            self.chunk_c[last] += c as u64;
+            return;
+        }
+        let cum = self.chunk_c[last] + c as u64;
+        if len < CHUNK_CAP {
+            self.chunk_t[ci * CHUNK_CAP + len] = t;
+            self.chunk_c[ci * CHUNK_CAP + len] = cum;
+            self.chunk_len[ci] += 1;
+        } else {
+            let chunk = self.alloc_chunk(t, cum);
+            self.chunk_next[ci] = chunk;
+            self.tail[s] = chunk;
+        }
+    }
+
+    /// Total count of `series` visible strictly before `t`.
+    fn before(&self, series: u32, t: u64) -> u64 {
+        let mut best = 0u64;
+        let mut cur = self.head[series as usize];
+        while cur != ARENA_NONE {
+            let ci = cur as usize;
+            let len = self.chunk_len[ci] as usize;
+            let ts = &self.chunk_t[ci * CHUNK_CAP..ci * CHUNK_CAP + len];
+            // Chunks are time-ordered: once a chunk starts at/after `t`
+            // the running best is the answer.
+            if ts[0] >= t {
+                break;
+            }
+            let idx = ts.partition_point(|&pt| pt < t);
+            best = self.chunk_c[ci * CHUNK_CAP + idx - 1];
+            if idx < len {
+                break;
+            }
+            cur = self.chunk_next[ci];
+        }
+        best
+    }
+
+    /// Count of `series` visible in `[a, b)`.
+    fn between(&self, series: u32, a: u64, b: u64) -> u64 {
+        self.before(series, b)
+            .saturating_sub(self.before(series, a))
+    }
+}
+
 /// An SBE-history index built *incrementally*, one visibility event at a
 /// time, as a replay driver walks a trace forward.
 ///
 /// Semantics are identical to [`SbeHistory`]: ingesting the same event
 /// multiset (in non-decreasing `visible_at` order) yields the same answer
 /// to every [`HistoryView`] query — the stream/batch parity suite holds
-/// the two to byte-identical feature rows.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// the two to byte-identical feature rows. Storage differs: all series
+/// share one chunked [`SeriesArena`], so steady-state ingest is
+/// allocation-free except when a series fills a chunk.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct IncrementalHistory {
-    node: BTreeMap<u32, CumSeries>,
-    app: BTreeMap<u32, CumSeries>,
-    machine: CumSeries,
+    arena: SeriesArena,
+    /// Per-node series handle into the arena.
+    node: BTreeMap<u32, u32>,
+    /// Per-app series handle into the arena.
+    app: BTreeMap<u32, u32>,
+    /// The machine-wide series handle.
+    machine: u32,
     frontier: u64,
+}
+
+impl Default for IncrementalHistory {
+    fn default() -> IncrementalHistory {
+        let mut arena = SeriesArena::default();
+        let machine = arena.new_series();
+        IncrementalHistory {
+            arena,
+            node: BTreeMap::new(),
+            app: BTreeMap::new(),
+            machine,
+            frontier: 0,
+        }
+    }
 }
 
 impl IncrementalHistory {
@@ -264,12 +394,15 @@ impl IncrementalHistory {
         if count == 0 {
             return Ok(());
         }
-        self.node
+        let arena = &mut self.arena;
+        let node_series = *self
+            .node
             .entry(node.0)
-            .or_default()
-            .append(visible_at, count);
-        self.app.entry(app.0).or_default().append(visible_at, count);
-        self.machine.append(visible_at, count);
+            .or_insert_with(|| arena.new_series());
+        arena.append(node_series, visible_at, count);
+        let app_series = *self.app.entry(app.0).or_insert_with(|| arena.new_series());
+        arena.append(app_series, visible_at, count);
+        arena.append(self.machine, visible_at, count);
         Ok(())
     }
 
@@ -280,29 +413,35 @@ impl IncrementalHistory {
 
     /// Total SBE count ingested.
     pub fn total(&self) -> u64 {
-        self.machine.before(u64::MAX)
+        self.arena.before(self.machine, u64::MAX)
     }
 }
 
 impl HistoryView for IncrementalHistory {
     fn node_between(&self, node: NodeId, a: u64, b: u64) -> u64 {
-        self.node.get(&node.0).map_or(0, |s| s.between(a, b))
+        self.node
+            .get(&node.0)
+            .map_or(0, |&s| self.arena.between(s, a, b))
     }
 
     fn node_before(&self, node: NodeId, t: u64) -> u64 {
-        self.node.get(&node.0).map_or(0, |s| s.before(t))
+        self.node
+            .get(&node.0)
+            .map_or(0, |&s| self.arena.before(s, t))
     }
 
     fn app_between(&self, app: AppId, a: u64, b: u64) -> u64 {
-        self.app.get(&app.0).map_or(0, |s| s.between(a, b))
+        self.app
+            .get(&app.0)
+            .map_or(0, |&s| self.arena.between(s, a, b))
     }
 
     fn machine_between(&self, a: u64, b: u64) -> u64 {
-        self.machine.between(a, b)
+        self.arena.between(self.machine, a, b)
     }
 
     fn machine_before(&self, t: u64) -> u64 {
-        self.machine.before(t)
+        self.arena.before(self.machine, t)
     }
 }
 
@@ -455,6 +594,77 @@ mod tests {
                 inc.app_between(s.app, t.saturating_sub(1_440), t),
                 h.app_between(s.app, t.saturating_sub(1_440), t)
             );
+        }
+    }
+
+    #[test]
+    fn arena_series_cross_chunk_boundaries_like_cum_series() {
+        // 3 × CHUNK_CAP distinct minutes forces chained chunks; a
+        // reference CumSeries answers the same queries.
+        let mut arena = SeriesArena::default();
+        let s = arena.new_series();
+        let mut reference = CumSeries::default();
+        for i in 0..(3 * CHUNK_CAP as u64) {
+            let t = 10 * i;
+            let c = (i % 5 + 1) as u32;
+            arena.append(s, t, c);
+            reference.append(t, c);
+        }
+        for t in 0..(31 * CHUNK_CAP as u64) {
+            assert_eq!(arena.before(s, t), reference.before(t), "before({t})");
+        }
+        assert_eq!(arena.between(s, 35, 155), reference.between(35, 155));
+        assert_eq!(arena.between(s, 155, 35), 0);
+    }
+
+    #[test]
+    fn arena_merges_same_minute_at_chunk_boundary() {
+        let mut arena = SeriesArena::default();
+        let s = arena.new_series();
+        for i in 0..CHUNK_CAP as u64 {
+            arena.append(s, i, 1);
+        }
+        // The chunk is full; a same-minute event must merge into the
+        // last point, not open a new chunk.
+        arena.append(s, CHUNK_CAP as u64 - 1, 4);
+        assert_eq!(arena.chunk_len.len(), 1);
+        assert_eq!(arena.before(s, CHUNK_CAP as u64), CHUNK_CAP as u64 + 4);
+        // The next distinct minute does open one.
+        arena.append(s, CHUNK_CAP as u64, 2);
+        assert_eq!(arena.chunk_len.len(), 2);
+        assert_eq!(arena.before(s, u64::MAX), CHUNK_CAP as u64 + 6);
+    }
+
+    #[test]
+    fn arena_empty_series_answers_zero() {
+        let mut arena = SeriesArena::default();
+        let s = arena.new_series();
+        assert_eq!(arena.before(s, u64::MAX), 0);
+        assert_eq!(arena.between(s, 0, 100), 0);
+    }
+
+    #[test]
+    fn incremental_history_serde_round_trip() {
+        let mut inc = IncrementalHistory::new();
+        for i in 0..40u64 {
+            inc.ingest(
+                i,
+                NodeId((i % 3) as u32),
+                AppId((i % 2) as u32),
+                1 + (i % 4) as u32,
+            )
+            .unwrap();
+        }
+        let json = serde_json::to_string(&inc).unwrap();
+        let back: IncrementalHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.total(), inc.total());
+        assert_eq!(back.frontier(), inc.frontier());
+        for t in [0, 7, 20, 41, u64::MAX] {
+            assert_eq!(
+                back.node_before(NodeId(1), t),
+                inc.node_before(NodeId(1), t)
+            );
+            assert_eq!(back.machine_before(t), inc.machine_before(t));
         }
     }
 

@@ -591,6 +591,34 @@ mod tests {
     }
 
     #[test]
+    fn fastpath_surface_is_fully_policed() {
+        // The compiled-inference layer must stay under the strict
+        // ruleset with D001 on: its node tables and arena chains feed
+        // bit-exactness guarantees, so hash-ordered iteration or a
+        // stray unwrap there is a determinism bug, not a style nit.
+        for path in [
+            "crates/mlkit/src/fastpath.rs",
+            "crates/mlkit/src/tree.rs",
+            "crates/streamd/src/serve.rs",
+            "crates/streamd/src/artifact.rs",
+            "crates/core/src/history.rs",
+        ] {
+            let rules = classify(path).expect("fastpath module is policed");
+            assert_eq!(rules, RuleSet::strict(true), "{path}");
+        }
+        // The bench emitting BENCH_fastpath.json times wall-clock on
+        // purpose; the differential suite is test code.
+        assert_eq!(
+            classify("crates/bench/benches/fastpath.rs"),
+            Some(RuleSet::BENCH)
+        );
+        assert_eq!(
+            classify("tests/fastpath_equivalence.rs"),
+            Some(RuleSet::RELAXED)
+        );
+    }
+
+    #[test]
     fn d001_flags_hashmap_in_core() {
         let ds = check(
             "crates/core/src/x.rs",

@@ -171,6 +171,38 @@ impl Gbdt {
         self.trees.len()
     }
 
+    /// Flattens the fitted ensemble into a branch-free
+    /// [`CompiledGbdt`](crate::fastpath::CompiledGbdt) whose
+    /// probabilities are bit-identical to
+    /// [`Classifier::predict_proba`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before fitting.
+    pub fn compile(&self) -> Result<crate::fastpath::CompiledGbdt> {
+        crate::fastpath::CompiledGbdt::from_gbdt(self)
+    }
+
+    /// The fitted trees, for fastpath flattening.
+    pub(crate) fn fitted_trees(&self) -> &[RegressionTree] {
+        &self.trees
+    }
+
+    /// The fitted base score (log-odds prior).
+    pub(crate) fn fitted_base_score(&self) -> f32 {
+        self.base_score
+    }
+
+    /// The shrinkage applied to each tree's leaf values.
+    pub(crate) fn shrinkage(&self) -> f32 {
+        self.learning_rate
+    }
+
+    /// The fitted feature count.
+    pub(crate) fn fitted_n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Split-count feature importances, or `None` before fitting.
     pub fn feature_importances(&self) -> Option<Vec<u32>> {
         if self.trees.is_empty() {

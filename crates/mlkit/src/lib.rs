@@ -47,6 +47,7 @@ pub mod calibration;
 pub mod crossval;
 pub mod dataset;
 pub mod ensemble;
+pub mod fastpath;
 pub mod gbdt;
 pub mod kmeans;
 pub mod linear;

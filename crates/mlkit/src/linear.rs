@@ -124,6 +124,22 @@ impl LogisticRegression {
         self.bias
     }
 
+    /// Reduces the fitted model to a
+    /// [`CompiledLinear`](crate::fastpath::CompiledLinear) scorer with
+    /// bit-identical probabilities.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::NotFitted`] before fitting.
+    pub fn compile(&self) -> Result<crate::fastpath::CompiledLinear> {
+        let w = self.weights.clone().ok_or(MlError::NotFitted)?;
+        Ok(crate::fastpath::CompiledLinear::new(
+            w,
+            self.bias,
+            self.threshold(),
+        ))
+    }
+
     fn validate(&self) -> Result<()> {
         if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
             return Err(MlError::InvalidParameter {

@@ -391,6 +391,67 @@ impl RegressionTree {
         }
     }
 
+    /// Appends this tree to a compiled ensemble's shared
+    /// [`NodeTables`](crate::fastpath), returning the number of
+    /// predicated steps that guarantee a leaf (the maximum leaf depth).
+    ///
+    /// Nodes are re-laid-out in breadth-first order so the hot upper
+    /// levels of every tree sit adjacently, and leaves become self-loops
+    /// (`left == right == self`, `+∞` threshold) so a fixed-count walk
+    /// parks on them. Children are numbered *right first*, so every
+    /// split satisfies `left == right + 1` — the packed traversal in
+    /// `fastpath` exploits that to replace two child pointers with one
+    /// (`next = right + (v < t)`); see the module docs for the contract.
+    pub(crate) fn flatten_into(&self, tables: &mut crate::fastpath::NodeTables) -> u32 {
+        let base = tables.len() as u32;
+        let n = self.nodes.len();
+        // BFS numbering: visiting order doubles as the new node id, so a
+        // split's children always receive consecutive ids (right, left).
+        let mut order: Vec<usize> = Vec::with_capacity(n);
+        let mut new_id = vec![0u32; n];
+        let mut depth = vec![0u32; n];
+        order.push(0);
+        let mut head = 0;
+        while head < order.len() {
+            let old = order[head];
+            if let Node::Split { left, right, .. } = &self.nodes[old] {
+                new_id[*right] = order.len() as u32;
+                depth[*right] = depth[old] + 1;
+                order.push(*right);
+                new_id[*left] = order.len() as u32;
+                depth[*left] = depth[old] + 1;
+                order.push(*left);
+            }
+            head += 1;
+        }
+        let mut max_leaf_depth = 0;
+        for &old in &order {
+            match &self.nodes[old] {
+                Node::Leaf { value } => {
+                    let me = base + new_id[old];
+                    tables.push(0, f32::INFINITY, me, me, *value);
+                    max_leaf_depth = max_leaf_depth.max(depth[old]);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                    ..
+                } => {
+                    tables.push(
+                        *feature as u32,
+                        *threshold,
+                        base + new_id[*left],
+                        base + new_id[*right],
+                        0.0,
+                    );
+                }
+            }
+        }
+        max_leaf_depth
+    }
+
     /// Number of nodes in the tree.
     pub fn n_nodes(&self) -> usize {
         self.nodes.len()

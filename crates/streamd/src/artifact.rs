@@ -13,6 +13,7 @@
 use crate::{Result, StreamError};
 use mlkit::artifact::{fnv1a64, Envelope};
 use mlkit::dataset::Dataset;
+use mlkit::fastpath::{CompiledGbdt, CompiledLinear, FeatureFrame};
 use mlkit::gbdt::Gbdt;
 use mlkit::linear::LogisticRegression;
 use mlkit::model::Classifier;
@@ -63,6 +64,78 @@ impl PipelineModel {
             PipelineModel::Logistic(m) => m.predict_proba(data)?,
         };
         Ok(p)
+    }
+
+    /// Flattens the wrapped classifier into a [`CompiledScorer`].
+    ///
+    /// Compilation is a load/serve-time derivation: the artifact wire
+    /// format stays the interpreted model, so shipped artifacts are
+    /// unaffected and the compiled form can never drift from the model
+    /// it was derived from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mlkit::MlError::NotFitted`] (via [`StreamError::Ml`])
+    /// for an unfitted model.
+    pub fn compile(&self) -> Result<CompiledScorer> {
+        let s = match self {
+            PipelineModel::Gbdt(m) => CompiledScorer::Gbdt(Box::new(m.compile()?)),
+            PipelineModel::Logistic(m) => CompiledScorer::Logistic(m.compile()?),
+        };
+        Ok(s)
+    }
+}
+
+/// The branch-free counterpart of [`PipelineModel`]: struct-of-arrays
+/// node tables (GBDT) or a bare weight vector (LR), scoring a reusable
+/// [`FeatureFrame`] without allocating. Probabilities are bit-identical
+/// to [`PipelineModel::predict_proba`] on the same rows.
+#[derive(Debug, Clone)]
+pub enum CompiledScorer {
+    /// Flattened gradient-boosted trees (boxed: the packed node
+    /// tables make this variant much larger than the LR one).
+    Gbdt(Box<CompiledGbdt>),
+    /// Compiled logistic regression.
+    Logistic(CompiledLinear),
+}
+
+impl CompiledScorer {
+    /// The underlying model's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompiledScorer::Gbdt(_) => "GBDT",
+            CompiledScorer::Logistic(_) => "LR",
+        }
+    }
+
+    /// Number of features the scorer expects per row.
+    pub fn n_features(&self) -> usize {
+        match self {
+            CompiledScorer::Gbdt(m) => m.n_features(),
+            CompiledScorer::Logistic(m) => m.n_features(),
+        }
+    }
+
+    /// The decision threshold carried over from the interpreted model.
+    pub fn threshold(&self) -> f32 {
+        match self {
+            CompiledScorer::Gbdt(m) => m.threshold(),
+            CompiledScorer::Logistic(m) => m.threshold(),
+        }
+    }
+
+    /// Scores every row of `frame` into `out` without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`mlkit::MlError::DimensionMismatch`] (via
+    /// [`StreamError::Ml`]) on frame-width or output-length mismatch.
+    pub fn predict_proba_into(&self, frame: &FeatureFrame, out: &mut [f32]) -> Result<()> {
+        match self {
+            CompiledScorer::Gbdt(m) => m.predict_proba_into(frame, out)?,
+            CompiledScorer::Logistic(m) => m.predict_proba_into(frame, out)?,
+        }
+        Ok(())
     }
 }
 
@@ -136,6 +209,16 @@ impl PipelineArtifact {
     /// The fitted stage-2 classifier.
     pub fn model(&self) -> &PipelineModel {
         &self.model
+    }
+
+    /// Compiles the stage-2 classifier for the serve fastpath; see
+    /// [`PipelineModel::compile`].
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineModel::compile`].
+    pub fn compile(&self) -> Result<CompiledScorer> {
+        self.model.compile()
     }
 
     /// The minute observable history was frozen at for stage 1.

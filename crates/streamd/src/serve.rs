@@ -19,11 +19,19 @@
 //! incremental engine (frozen, strictly-before-launch state), while
 //! telemetry, scaling, and prediction are pure per-row functions — so
 //! batching policy affects throughput and latency, never a prediction.
+//!
+//! Backends: [`ServeConfig::backend`] selects the stage-2 inference
+//! path. [`ScorerBackend::Interpreted`] scores a per-flush [`Dataset`]
+//! through the model zoo; [`ScorerBackend::Compiled`] flattens the model
+//! once at serve start (`mlkit::fastpath`) and scores batches out of
+//! reusable scratch with zero steady-state allocation. The two are
+//! bit-identical, prediction for prediction and snapshot for snapshot.
 
-use crate::artifact::PipelineArtifact;
+use crate::artifact::{CompiledScorer, PipelineArtifact};
 use crate::engine::StreamFeatureEngine;
 use crate::{Result, StreamError};
 use mlkit::dataset::Dataset;
+use mlkit::fastpath::FeatureFrame;
 use obskit::Recorder;
 use sbepred::features::{assemble_row, HistCounts, SampleFacts};
 use serde::Serialize;
@@ -32,6 +40,32 @@ use titan_sim::events::{EventStream, TraceEvent};
 use titan_sim::schedule::ApRunId;
 use titan_sim::topology::NodeId;
 use titan_sim::trace::TraceSet;
+
+/// Which inference path scores a flushed batch. Both produce
+/// bit-identical probabilities (the differential and parity suites hold
+/// them to it); they differ only in cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum ScorerBackend {
+    /// The model zoo's interpreted `predict_proba`: per-row `Vec`
+    /// assembly, a `Dataset` per flush, pointer-walking tree nodes.
+    #[default]
+    Interpreted,
+    /// The mlkit fastpath: the model is flattened once at serve start
+    /// into struct-of-arrays node tables and batches are scored out of
+    /// reusable scratch — no per-row allocation in steady state.
+    Compiled,
+}
+
+impl ScorerBackend {
+    /// Parses the `repro` CLI spelling (`interpreted` / `compiled`).
+    pub fn parse(s: &str) -> Option<ScorerBackend> {
+        match s {
+            "interpreted" => Some(ScorerBackend::Interpreted),
+            "compiled" => Some(ScorerBackend::Compiled),
+            _ => None,
+        }
+    }
+}
 
 /// Tuning and windowing for one serve run.
 #[derive(Debug, Clone, Copy)]
@@ -49,11 +83,13 @@ pub struct ServeConfig {
     /// Worker threads for row assembly (telemetry and the classifier
     /// resolve their own, both through parkit).
     pub threads: parkit::Threads,
+    /// Inference path for stage-2 scoring.
+    pub backend: ScorerBackend,
 }
 
 impl ServeConfig {
     /// A config scoring `[from, until)` with the defaults: batches of 64,
-    /// 5-minute latency bound, auto threads.
+    /// 5-minute latency bound, auto threads, interpreted scoring.
     pub fn window(from: u64, until: u64) -> ServeConfig {
         ServeConfig {
             batch_capacity: 64,
@@ -61,6 +97,7 @@ impl ServeConfig {
             score_from_min: from,
             score_until_min: until,
             threads: parkit::Threads::Auto,
+            backend: ScorerBackend::Interpreted,
         }
     }
 
@@ -213,6 +250,31 @@ struct PendingRequest {
     hist: HistCounts,
 }
 
+/// Per-run scoring state, built once before the replay starts.
+enum Scorer {
+    /// Interpreted path: stateless, the model scores a per-flush
+    /// `Dataset`.
+    Interpreted,
+    /// Compiled path with its reusable scratch.
+    Compiled(Box<CompiledState>),
+}
+
+/// Scratch for the compiled backend. Every buffer is reused across
+/// flushes, so once the largest batch has been seen a flush performs no
+/// heap allocation at all.
+struct CompiledState {
+    scorer: CompiledScorer,
+    /// Raw (unscaled) feature row.
+    raw: Vec<f32>,
+    /// Standardised feature row (fixed width; doubles as the width
+    /// source for resets).
+    scaled: Vec<f32>,
+    /// Column-major batch buffer.
+    frame: FeatureFrame,
+    /// Probability output.
+    proba: Vec<f32>,
+}
+
 /// Replays `trace` against `artifact` (see the module docs).
 ///
 /// # Errors
@@ -257,6 +319,16 @@ pub fn serve_observed(
     } else {
         None
     };
+    let mut scorer = match cfg.backend {
+        ScorerBackend::Interpreted => Scorer::Interpreted,
+        ScorerBackend::Compiled => Scorer::Compiled(Box::new(CompiledState {
+            scorer: artifact.compile()?,
+            raw: Vec::with_capacity(n_features),
+            scaled: vec![0.0; n_features],
+            frame: FeatureFrame::with_capacity(n_features, cfg.batch_capacity.min(1_024)),
+            proba: Vec::new(),
+        })),
+    };
 
     let serve_span = rec.span_start("streamd.serve");
     rec.gauge("streamd.batch_capacity", cfg.batch_capacity as f64);
@@ -297,6 +369,7 @@ pub fn serve_observed(
                         cfg,
                         &spec,
                         query_engine.as_ref(),
+                        &mut scorer,
                         &mut pending,
                         minute,
                         &mut scored,
@@ -361,6 +434,7 @@ pub fn serve_observed(
                             cfg,
                             &spec,
                             query_engine.as_ref(),
+                            &mut scorer,
                             &mut pending,
                             minute,
                             &mut scored,
@@ -392,6 +466,7 @@ pub fn serve_observed(
         cfg,
         &spec,
         query_engine.as_ref(),
+        &mut scorer,
         &mut pending,
         final_minute,
         &mut scored,
@@ -415,6 +490,7 @@ fn flush(
     cfg: &ServeConfig,
     spec: &sbepred::features::FeatureSpec,
     query_engine: Option<&TelemetryQueryEngine<'_>>,
+    scorer: &mut Scorer,
     pending: &mut Vec<PendingRequest>,
     now_min: u64,
     scored: &mut Vec<ScoredLaunch>,
@@ -449,32 +525,76 @@ fn flush(
         None => Vec::new(),
     };
     let scaler = artifact.scaler();
-    let indices: Vec<usize> = (0..batch.len()).collect();
-    let rows: Vec<Vec<f32>> =
-        parkit::try_par_map::<_, _, StreamError, _>(cfg.threads, &indices, |&i| {
-            let p = &batch[i];
-            let t = if spec.needs_telemetry() {
-                Some(&telemetry[i])
-            } else {
-                None
-            };
-            let mut raw: Vec<f32> = Vec::with_capacity(scaler.means().len());
-            assemble_row(spec, &p.facts, t, &p.hist, &mut raw).map_err(StreamError::from)?;
-            let mut out = vec![0.0f32; raw.len()];
-            scaler
-                .transform_row(&mut out, &raw)
-                .map_err(StreamError::from)?;
-            Ok(out)
-        })?;
-    rec.span_end(feature_span);
+    // Both arms record the identical feature/score span sequence and
+    // produce bit-identical probabilities, so the obskit snapshot does
+    // not depend on the backend.
+    let proba_interpreted: Vec<f32>;
+    let proba: &[f32] = match scorer {
+        Scorer::Interpreted => {
+            let indices: Vec<usize> = (0..batch.len()).collect();
+            let rows: Vec<Vec<f32>> =
+                parkit::try_par_map::<_, _, StreamError, _>(cfg.threads, &indices, |&i| {
+                    let p = &batch[i];
+                    let t = if spec.needs_telemetry() {
+                        Some(&telemetry[i])
+                    } else {
+                        None
+                    };
+                    let mut raw: Vec<f32> = Vec::with_capacity(scaler.means().len());
+                    assemble_row(spec, &p.facts, t, &p.hist, &mut raw)
+                        .map_err(StreamError::from)?;
+                    let mut out = vec![0.0f32; raw.len()];
+                    scaler
+                        .transform_row(&mut out, &raw)
+                        .map_err(StreamError::from)?;
+                    Ok(out)
+                })?;
+            rec.span_end(feature_span);
 
-    let score_span = rec.span_start("streamd.score");
-    let ds = Dataset::from_rows(&rows, &vec![0.0; rows.len()]).map_err(StreamError::from)?;
-    let proba = artifact.model().predict_proba(&ds)?;
+            let score_span = rec.span_start("streamd.score");
+            let ds =
+                Dataset::from_rows(&rows, &vec![0.0; rows.len()]).map_err(StreamError::from)?;
+            proba_interpreted = artifact.model().predict_proba(&ds)?;
+            rec.span_end(score_span);
+            &proba_interpreted
+        }
+        Scorer::Compiled(state) => {
+            // Serial row assembly into the reusable frame: `assemble_row`
+            // and `transform_row` are the same pure per-row functions the
+            // parallel path fans out, in the same batch order.
+            state.frame.reset(state.scaled.len());
+            for (i, p) in batch.iter().enumerate() {
+                let t = if spec.needs_telemetry() {
+                    Some(&telemetry[i])
+                } else {
+                    None
+                };
+                state.raw.clear();
+                assemble_row(spec, &p.facts, t, &p.hist, &mut state.raw)
+                    .map_err(StreamError::from)?;
+                scaler
+                    .transform_row(&mut state.scaled, &state.raw)
+                    .map_err(StreamError::from)?;
+                state
+                    .frame
+                    .push_row(&state.scaled)
+                    .map_err(StreamError::from)?;
+            }
+            rec.span_end(feature_span);
+
+            let score_span = rec.span_start("streamd.score");
+            state.proba.clear();
+            state.proba.resize(batch.len(), 0.0);
+            state
+                .scorer
+                .predict_proba_into(&state.frame, &mut state.proba)?;
+            rec.span_end(score_span);
+            &state.proba
+        }
+    };
     let threshold = artifact.model().threshold();
-    rec.span_end(score_span);
 
-    for (p, &prob) in batch.iter().zip(&proba) {
+    for (p, &prob) in batch.iter().zip(proba) {
         report.n_stage2 += 1;
         rec.incr("streamd.stage2_scored", 1);
         rec.observe("streamd.probability_pct", prob as f64 * 100.0);

@@ -17,7 +17,7 @@ use sbepred::samples::build_samples;
 use sbepred::twostage::{prepare_with_extractor, run_classifier};
 use std::collections::BTreeMap;
 use streamd::artifact::{PipelineArtifact, PipelineModel};
-use streamd::serve::{serve, serve_observed, ServeConfig};
+use streamd::serve::{serve, serve_observed, ScorerBackend, ServeConfig};
 use titan_sim::config::SimConfig;
 use titan_sim::trace::TraceSet;
 
@@ -130,6 +130,65 @@ fn stream_matches_batch_bit_for_bit_across_thread_counts() {
             snap, first,
             "metrics snapshot at thread policy #{i} differs from serial"
         );
+    }
+}
+
+#[test]
+fn compiled_backend_matches_batch_across_thread_counts() {
+    let (trace, artifact, reference, (from, until)) = train_reference();
+    // Reference snapshot from the interpreted serial run: the compiled
+    // backend must reproduce it byte for byte at every thread policy —
+    // the backend may change cost, never a measurement.
+    let interpreted_snapshot = {
+        let cfg = ServeConfig {
+            threads: parkit::Threads::Serial,
+            ..ServeConfig::window(from, until)
+        };
+        let mut rec = obskit::Recorder::new();
+        let mut sink = streamd::serve::NullSink;
+        let report = serve_observed(&trace, &artifact, &cfg, &mut sink, &mut rec).expect("serve");
+        assert_parity(&report, &reference);
+        rec.snapshot_json()
+    };
+    for threads in [
+        parkit::Threads::Serial,
+        parkit::Threads::Fixed(1),
+        parkit::Threads::Fixed(2),
+        parkit::Threads::Fixed(8),
+    ] {
+        let cfg = ServeConfig {
+            threads,
+            backend: ScorerBackend::Compiled,
+            ..ServeConfig::window(from, until)
+        };
+        let mut alerts: Vec<streamd::serve::Alert> = Vec::new();
+        let mut rec = obskit::Recorder::new();
+        let report = serve_observed(&trace, &artifact, &cfg, &mut alerts, &mut rec).expect("serve");
+        assert_parity(&report, &reference);
+        assert_eq!(report.n_alerts as usize, alerts.len());
+        assert_eq!(
+            rec.snapshot_json(),
+            interpreted_snapshot,
+            "compiled snapshot at {threads:?} differs from interpreted serial"
+        );
+    }
+}
+
+#[test]
+fn compiled_backend_survives_batching_policies_and_round_trip() {
+    let (trace, artifact, reference, (from, until)) = train_reference();
+    let shipped =
+        PipelineArtifact::from_bytes(&artifact.to_bytes().expect("encode")).expect("decode");
+    for (capacity, delay) in [(1, 0), (7, 1), (usize::MAX, u64::MAX)] {
+        let cfg = ServeConfig {
+            batch_capacity: capacity,
+            max_delay_min: delay,
+            backend: ScorerBackend::Compiled,
+            ..ServeConfig::window(from, until)
+        };
+        let mut sink = streamd::serve::NullSink;
+        let report = serve(&trace, &shipped, &cfg, &mut sink).expect("serve");
+        assert_parity(&report, &reference);
     }
 }
 
