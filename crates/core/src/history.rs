@@ -49,11 +49,9 @@ impl CumSeries {
     /// Total count visible strictly before `t`.
     fn before(&self, t: u64) -> u64 {
         let idx = self.points.partition_point(|&(pt, _)| pt < t);
-        if idx == 0 {
-            0
-        } else {
-            self.points[idx - 1].1
-        }
+        idx.checked_sub(1)
+            .and_then(|i| self.points.get(i))
+            .map_or(0, |&(_, c)| c)
     }
 
     /// Count visible in `[a, b)`.
@@ -303,22 +301,26 @@ impl SeriesArena {
     /// Total count of `series` visible strictly before `t`.
     fn before(&self, series: u32, t: u64) -> u64 {
         let mut best = 0u64;
-        let mut cur = self.head[series as usize];
+        let mut cur = self.head.get(series as usize).copied().unwrap_or(ARENA_NONE);
         while cur != ARENA_NONE {
             let ci = cur as usize;
-            let len = self.chunk_len[ci] as usize;
-            let ts = &self.chunk_t[ci * CHUNK_CAP..ci * CHUNK_CAP + len];
+            let len = self.chunk_len.get(ci).copied().unwrap_or(0) as usize;
+            let Some(ts) = self.chunk_t.get(ci * CHUNK_CAP..ci * CHUNK_CAP + len) else {
+                break;
+            };
             // Chunks are time-ordered: once a chunk starts at/after `t`
             // the running best is the answer.
-            if ts[0] >= t {
+            if !ts.first().is_some_and(|&first| first < t) {
                 break;
             }
             let idx = ts.partition_point(|&pt| pt < t);
-            best = self.chunk_c[ci * CHUNK_CAP + idx - 1];
+            if let Some(&c) = self.chunk_c.get((ci * CHUNK_CAP + idx).wrapping_sub(1)) {
+                best = c;
+            }
             if idx < len {
                 break;
             }
-            cur = self.chunk_next[ci];
+            cur = self.chunk_next.get(ci).copied().unwrap_or(ARENA_NONE);
         }
         best
     }

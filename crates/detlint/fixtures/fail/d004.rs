@@ -9,3 +9,15 @@ pub fn read_config(path: &str) -> u32 {
     }
     value
 }
+
+/// Regression: the rule operates on the token stream, so a call whose
+/// argument list rustfmt split across lines is still one call.
+pub fn read_port(path: &str) -> u16 {
+    std::fs::read_to_string(path)
+        .expect( //~ D004
+            "config file must exist",
+        )
+        .trim()
+        .parse::<u16>()
+        .unwrap() //~ D004
+}

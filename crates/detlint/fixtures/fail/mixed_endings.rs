@@ -1,0 +1,6 @@
+//! Mixed LF/CRLF fixture: diagnostics must stay line-accurate on
+//! foreign checkouts that rewrite some line endings.
+pub fn windows_checkout(path: &str) -> u32 {
+    let text = std::fs::read_to_string(path).unwrap(); //~ D004
+    text.trim().parse::<u32>().expect("a number") //~ D004
+}

@@ -1,0 +1,11 @@
+//! D006 fixture, root side: the hot root reaches a slice-indexing panic
+//! site two calls away, across a file boundary (see `d006_tables.rs`).
+
+/// Declared as a `[[hotpath]]` root by the self-test's config.
+pub fn score_root(xs: &[f32], i: usize) -> f32 {
+    lookup(xs, i)
+}
+
+fn lookup(xs: &[f32], i: usize) -> f32 {
+    tables::pick(xs, i) + 1.0
+}

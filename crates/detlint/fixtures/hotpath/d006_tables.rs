@@ -1,0 +1,5 @@
+//! D006 fixture, site side: the slice indexing the root reaches.
+
+pub fn pick(xs: &[f32], i: usize) -> f32 {
+    xs[i]
+}

@@ -1,0 +1,12 @@
+//! D006 fixture, waived: same reach as `d006_serve.rs`, but the site
+//! carries a written invariant waiver — the diagnostic must record the
+//! reason and stop blocking.
+
+pub fn score_root(xs: &[f32], i: usize) -> f32 {
+    pick(xs, i)
+}
+
+fn pick(xs: &[f32], i: usize) -> f32 {
+    // detlint: allow(D006) reason=caller clamps the index to xs.len()-1
+    xs[i]
+}

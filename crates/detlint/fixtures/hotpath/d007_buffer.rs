@@ -1,0 +1,7 @@
+//! D007 fixture, site side: the allocation the root reaches.
+
+pub fn push_all(out: &mut Vec<f32>, xs: &[f32]) {
+    for &v in xs {
+        out.push(v);
+    }
+}

@@ -1,0 +1,7 @@
+//! D007 fixture, root side: the hot root reaches a `Vec::push`
+//! allocation site in another file (see `d007_buffer.rs`).
+
+/// Declared as a `[[hotpath]]` root by the self-test's config.
+pub fn assemble_root(out: &mut Vec<f32>, xs: &[f32]) {
+    buffer::push_all(out, xs);
+}

@@ -1,0 +1,13 @@
+//! D007 fixture, waived: same reach as `d007_serve.rs`, but the site
+//! carries a warmup-only growth waiver.
+
+pub fn assemble_root(out: &mut Vec<f32>, xs: &[f32]) {
+    push_all(out, xs);
+}
+
+fn push_all(out: &mut Vec<f32>, xs: &[f32]) {
+    for &v in xs {
+        // detlint: allow(D007) reason=buffer is pre-sized by the caller; capacity reused after warmup
+        out.push(v);
+    }
+}

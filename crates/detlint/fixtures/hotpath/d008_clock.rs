@@ -1,0 +1,5 @@
+//! D008 fixture, site side: the nondeterminism source the root reads.
+
+pub fn lane_count() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}

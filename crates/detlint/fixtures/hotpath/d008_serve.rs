@@ -1,0 +1,8 @@
+//! D008 fixture, root side: a nondeterminism source (thread-count read)
+//! flows into the hot root from another file (see `d008_clock.rs`).
+
+/// Declared as a `[[hotpath]]` root by the self-test's config.
+pub fn serve_root(xs: &[f32]) -> f32 {
+    let lanes = clock::lane_count();
+    xs.iter().take(lanes).sum()
+}

@@ -1,0 +1,12 @@
+//! D008 fixture, waived: same reach as `d008_serve.rs`, but the source
+//! carries a thread-count-invariance waiver.
+
+pub fn serve_root(xs: &[f32]) -> f32 {
+    let lanes = lane_count();
+    xs.iter().take(lanes).sum()
+}
+
+fn lane_count() -> usize {
+    // detlint: allow(D008) reason=thread-count selection only; merge order is fixed
+    std::thread::available_parallelism().map_or(1, usize::from)
+}

@@ -21,3 +21,12 @@ mod tests {
         }
     }
 }
+
+/// Regression: a multi-line `.expect(\n"…")` spans to its closing
+/// paren, so a trailing waiver on *any* spanned line covers it.
+pub fn embedded_default() -> u32 {
+    "42".parse::<u32>()
+        .expect(
+            "literal is a valid u32",
+        ) // detlint: allow(D004) reason=constant literal parses by construction
+}

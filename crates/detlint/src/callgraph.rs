@@ -1,0 +1,415 @@
+//! Workspace call graph over the extracted function items.
+//!
+//! Call sites are recognized purely from the token stream: `path::to::fn(`
+//! and `.method(` (turbofish tolerated). Resolution is name-based:
+//!
+//! - a method call resolves to *every* workspace function with that name
+//!   (receiver types are unknown — over-approximation in the safe
+//!   direction for reachability analyses);
+//! - a path call resolves by qname-suffix match, with leading
+//!   `crate`/`self`/`super` segments dropped and `Self` matching any one
+//!   segment;
+//! - an unresolved call falls through to the builtin effect tables in
+//!   `effects.rs`, or is assumed effect-free (std calls like `f64::max`).
+//!
+//! Test-region functions are excluded from the graph entirely.
+
+use crate::items::FnItem;
+use crate::lexer::{Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// A single call expression inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// What is being called.
+    pub target: Callee,
+    /// 1-based line of the callee name token.
+    pub line: u32,
+    /// 1-based column of the callee name token.
+    pub col: u32,
+}
+
+/// The syntactic shape of a call target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `a::b::c(...)` — path segments in order (leading `crate`/`self`/
+    /// `super` already dropped).
+    Path(Vec<String>),
+    /// `.name(...)` — a method call on an unknown receiver.
+    Method(String),
+}
+
+impl Callee {
+    /// The bare function name being invoked.
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Path(segs) => segs.last().map(String::as_str).unwrap_or(""),
+            Callee::Method(m) => m,
+        }
+    }
+
+    /// Human-readable form for diagnostics.
+    pub fn display(&self) -> String {
+        match self {
+            Callee::Path(segs) => segs.join("::"),
+            Callee::Method(m) => format!(".{m}()"),
+        }
+    }
+}
+
+/// One node of the call graph: an item plus its outgoing call sites.
+#[derive(Debug)]
+pub struct Node {
+    /// The function this node represents.
+    pub item: FnItem,
+    /// Index of the defining file in the caller's file list (the body
+    /// token range indexes into that file's code tokens).
+    pub file: usize,
+    /// Call sites in body order.
+    pub calls: Vec<CallSite>,
+    /// Resolved callee node indices, deduplicated and sorted.
+    pub edges: Vec<usize>,
+}
+
+/// The workspace call graph.
+#[derive(Debug, Default)]
+pub struct Graph {
+    /// Nodes in (file, line) order — the extraction order over the
+    /// sorted file list, so the graph is deterministic.
+    pub nodes: Vec<Node>,
+    by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl Graph {
+    /// Builds the graph from per-file item lists; `fn_lists[k]` holds
+    /// items whose body ranges index into `codes[k]`.
+    pub fn build(fn_lists: Vec<Vec<FnItem>>, codes: &[Vec<Tok>]) -> Graph {
+        let mut g = Graph::default();
+        for (file, fns) in fn_lists.into_iter().enumerate() {
+            for item in fns {
+                if item.is_test {
+                    continue;
+                }
+                let calls = call_sites(&codes[file], item.body);
+                let idx = g.nodes.len();
+                g.by_name.entry(item.name.clone()).or_default().push(idx);
+                g.nodes.push(Node {
+                    item,
+                    file,
+                    calls,
+                    edges: Vec::new(),
+                });
+            }
+        }
+        for i in 0..g.nodes.len() {
+            let mut edges: Vec<usize> = g.nodes[i]
+                .calls
+                .iter()
+                .flat_map(|c| g.resolve(&c.target))
+                .collect();
+            edges.sort_unstable();
+            edges.dedup();
+            g.nodes[i].edges = edges;
+        }
+        g
+    }
+
+    /// Node indices a callee may refer to (possibly empty).
+    pub fn resolve(&self, callee: &Callee) -> Vec<usize> {
+        match callee {
+            Callee::Method(m) => self.by_name.get(m).cloned().unwrap_or_default(),
+            Callee::Path(segs) => {
+                if segs.len() == 1 {
+                    return self.by_name.get(&segs[0]).cloned().unwrap_or_default();
+                }
+                let candidates = match self.by_name.get(segs[segs.len() - 1].as_str()) {
+                    Some(c) => c,
+                    None if segs.last().is_some_and(|s| s == "Self") => return Vec::new(),
+                    None => return Vec::new(),
+                };
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|&i| qname_suffix_matches(&self.nodes[i].item.qname, segs))
+                    .collect()
+            }
+        }
+    }
+
+    /// Resolves a fully/partially qualified function name from config
+    /// (`detlint.toml` hotpath roots and assume entries).
+    pub fn resolve_qname(&self, qname: &str) -> Vec<usize> {
+        let segs: Vec<String> = qname.split("::").map(str::to_string).collect();
+        if segs.len() == 1 {
+            return self.by_name.get(&segs[0]).cloned().unwrap_or_default();
+        }
+        self.resolve(&Callee::Path(segs))
+    }
+}
+
+/// Whether `qname` (e.g. `streamd::serve::flush`) ends with the call
+/// path `segs`, treating a `Self` segment as a single-segment wildcard.
+fn qname_suffix_matches(qname: &str, segs: &[String]) -> bool {
+    let qsegs: Vec<&str> = qname.split("::").collect();
+    if segs.len() > qsegs.len() {
+        return false;
+    }
+    let tail = &qsegs[qsegs.len() - segs.len()..];
+    tail.iter()
+        .zip(segs)
+        .all(|(q, s)| s == "Self" || *q == s.as_str())
+}
+
+/// Keywords that look like idents but never name a callable.
+pub(crate) fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "as"
+            | "in"
+            | "let"
+            | "move"
+            | "ref"
+            | "mut"
+            | "unsafe"
+            | "await"
+            | "dyn"
+            | "impl"
+            | "fn"
+            | "pub"
+            | "where"
+            | "use"
+            | "mod"
+            | "const"
+            | "static"
+            | "type"
+            | "enum"
+            | "struct"
+            | "trait"
+            | "true"
+            | "false"
+            | "box"
+            | "yield"
+    )
+}
+
+/// Extracts the call sites inside a body token range (`{` ..= `}`),
+/// indices into the code-token slice.
+pub fn call_sites(code: &[Tok], body: (usize, usize)) -> Vec<CallSite> {
+    let (open, close) = body;
+    let mut out = Vec::new();
+    let mut i = open;
+    while i <= close && i < code.len() {
+        let t = &code[i];
+        if t.kind != TokKind::Ident || is_keyword(&t.text) {
+            i += 1;
+            continue;
+        }
+        // Nested `fn` names and attribute heads (`#[cfg(...)]`) are not
+        // call sites even though an open paren follows.
+        let in_attr_head =
+            i >= 2 && code[i - 1].is_punct('[') && code[i - 2].is_punct('#');
+        if in_attr_head || (i > 0 && code[i - 1].is_ident("fn")) {
+            i += 1;
+            continue;
+        }
+        let prev_dot = i > 0 && code[i - 1].is_punct('.');
+        let prev_colon = i >= 2 && code[i - 1].is_punct(':') && code[i - 2].is_punct(':');
+        if prev_dot {
+            // `.name(` or `.name::<T>(`
+            if let Some(after) = skip_turbofish(code, i + 1, close) {
+                if code.get(after).is_some_and(|t| t.is_punct('(')) {
+                    out.push(CallSite {
+                        target: Callee::Method(t.text.clone()),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if prev_colon {
+            // Interior of a path already handled at its head.
+            i += 1;
+            continue;
+        }
+        // Path head: collect `seg(::seg)*`.
+        let mut segs = vec![t.text.clone()];
+        let mut j = i + 1;
+        while j + 1 <= close
+            && code[j].is_punct(':')
+            && code.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && code
+                .get(j + 2)
+                .is_some_and(|t| t.kind == TokKind::Ident && !is_keyword(&t.text))
+        {
+            segs.push(code[j + 2].text.clone());
+            j += 3;
+        }
+        if let Some(after) = skip_turbofish(code, j, close) {
+            if code.get(after).is_some_and(|t| t.is_punct('(')) {
+                // Macro invocations (`name!(`) are not calls; the bang
+                // sits between the ident and the paren, so this arm
+                // never sees them. Drop leading path qualifiers.
+                while segs
+                    .first()
+                    .is_some_and(|s| matches!(s.as_str(), "crate" | "self" | "super"))
+                {
+                    segs.remove(0);
+                }
+                if !segs.is_empty() {
+                    out.push(CallSite {
+                        target: Callee::Path(segs),
+                        line: t.line,
+                        col: t.col,
+                    });
+                }
+            }
+        }
+        i = j.max(i + 1);
+    }
+    out
+}
+
+/// Skips a `::<...>` turbofish starting at `i`; returns the index of the
+/// first token after it (or `i` unchanged when there is none). `None`
+/// when the angle brackets never close inside the body.
+fn skip_turbofish(code: &[Tok], i: usize, close: usize) -> Option<usize> {
+    if !(code.get(i).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 1).is_some_and(|t| t.is_punct(':'))
+        && code.get(i + 2).is_some_and(|t| t.is_punct('<')))
+    {
+        return Some(i);
+    }
+    let mut depth = 0i32;
+    let mut k = i + 2;
+    while k <= close {
+        if code[k].is_punct('<') {
+            depth += 1;
+        } else if code[k].is_punct('>') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::items;
+    use crate::lexer::lex;
+
+    fn graph_of(src: &str) -> Graph {
+        let code: Vec<Tok> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let fns = items::extract("crates/x/src/lib.rs", "x", &code);
+        Graph::build(vec![fns], std::slice::from_ref(&code))
+    }
+
+    #[test]
+    fn direct_and_method_calls_resolve() {
+        let g = graph_of(
+            "fn leaf() {}\n\
+             struct S;\n\
+             impl S { fn step(&self) { leaf(); } }\n\
+             fn root(s: &S) { s.step(); crate::leaf(); }",
+        );
+        let idx = |q: &str| {
+            g.nodes
+                .iter()
+                .position(|n| n.item.qname.ends_with(q))
+                .unwrap()
+        };
+        let (leaf, step, root) = (idx("::leaf"), idx("S::step"), idx("::root"));
+        assert_eq!(g.nodes[step].edges, vec![leaf]);
+        assert_eq!(g.nodes[root].edges, vec![leaf, step]);
+    }
+
+    #[test]
+    fn qualified_paths_match_by_suffix() {
+        let g = graph_of(
+            "mod deep { pub fn only() {} }\n\
+             fn a() { deep::only(); }\n\
+             fn b() { x::deep::only(); }\n\
+             fn c() { other::only(); }",
+        );
+        let only = g
+            .nodes
+            .iter()
+            .position(|n| n.item.qname == "x::deep::only")
+            .unwrap();
+        let edges = |q: &str| {
+            &g.nodes
+                .iter()
+                .find(|n| n.item.qname.ends_with(q))
+                .unwrap()
+                .edges
+        };
+        assert_eq!(edges("::a"), &vec![only]);
+        assert_eq!(edges("::b"), &vec![only]);
+        assert!(edges("::c").is_empty(), "wrong module must not match");
+    }
+
+    #[test]
+    fn turbofish_and_macros_are_handled() {
+        let g = graph_of(
+            "fn parse_it(s: &str) -> u32 { s.parse::<u32>().unwrap_or(0) }\n\
+             fn log(s: &str) { println!(\"{s}\"); }",
+        );
+        let parse_calls: Vec<String> = g.nodes[0]
+            .calls
+            .iter()
+            .map(|c| c.target.name().to_string())
+            .collect();
+        assert_eq!(parse_calls, vec!["parse", "unwrap_or"]);
+        assert!(
+            g.nodes[1].calls.is_empty(),
+            "macro invocation is not a call site"
+        );
+    }
+
+    #[test]
+    fn self_segment_is_a_wildcard() {
+        let g = graph_of(
+            "struct S;\n\
+             impl S { fn new() -> S { S } fn mk() -> S { Self::new() } }",
+        );
+        let new = g
+            .nodes
+            .iter()
+            .position(|n| n.item.qname == "x::S::new")
+            .unwrap();
+        let mk = g.nodes.iter().find(|n| n.item.qname == "x::S::mk").unwrap();
+        assert_eq!(mk.edges, vec![new]);
+    }
+
+    #[test]
+    fn test_functions_stay_out_of_the_graph() {
+        let g = graph_of(
+            "fn prod() {}\n\
+             #[cfg(test)]\nmod tests { fn helper() { super::prod(); } }",
+        );
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.nodes[0].item.qname, "x::prod");
+    }
+
+    #[test]
+    fn config_qnames_resolve_functions() {
+        let g = graph_of("mod m { pub fn target() {} }\nfn other() {}");
+        assert_eq!(g.resolve_qname("x::m::target").len(), 1);
+        assert_eq!(g.resolve_qname("m::target").len(), 1);
+        assert_eq!(g.resolve_qname("target").len(), 1);
+        assert!(g.resolve_qname("y::target").is_empty());
+    }
+}

@@ -25,16 +25,21 @@ impl Severity {
 /// One finding, anchored to a file position.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
-    /// Rule id (`D001`..`D005`, or meta ids `D000`, `W001`, `W002`).
+    /// Rule id (`D001`..`D008`, or meta ids `D000`, `W001`..`W003`).
     pub rule: &'static str,
     /// Error or warning.
     pub severity: Severity,
     /// Workspace-relative path with forward slashes.
     pub path: String,
-    /// 1-based line.
+    /// 1-based line of the offending token (the anchor).
     pub line: u32,
     /// 1-based column.
     pub col: u32,
+    /// Last line of the offending *expression* (≥ `line`): a
+    /// multi-line `.expect(\n"…")` call spans from the method token to
+    /// its closing paren, and an inline waiver anywhere in that span
+    /// covers the diagnostic.
+    pub end_line: u32,
     /// What is wrong.
     pub message: String,
     /// How to fix it (or how to waive it).
@@ -86,7 +91,7 @@ pub fn render_text(d: &Diagnostic) -> String {
 }
 
 /// Escapes a string for inclusion in a JSON document.
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -118,12 +123,13 @@ pub fn render_json(diags: &[Diagnostic], files_scanned: usize) -> String {
         let _ = write!(
             out,
             "{{\"rule\":\"{}\",\"severity\":\"{}\",\"path\":\"{}\",\"line\":{},\"col\":{},\
-             \"message\":\"{}\",\"help\":\"{}\",\"waived\":{}",
+             \"end_line\":{},\"message\":\"{}\",\"help\":\"{}\",\"waived\":{}",
             json_escape(d.rule),
             d.severity.label(),
             json_escape(&d.path),
             d.line,
             d.col,
+            d.end_line,
             json_escape(&d.message),
             json_escape(&d.help),
             d.waived,
@@ -158,6 +164,7 @@ mod tests {
             path: "crates/core/src/x.rs".into(),
             line: 3,
             col: 7,
+            end_line: 3,
             message: "order-nondeterministic `HashMap`".into(),
             help: "use `BTreeMap`".into(),
             waived: false,

@@ -1,0 +1,341 @@
+//! Function-item extraction: the module-aware symbol table the
+//! interprocedural pass (D006–D008) is built on.
+//!
+//! The extractor walks one file's code-token stream tracking the scope
+//! stack — inline `mod` blocks, `impl` blocks (whose self type becomes a
+//! path segment), and `trait` blocks — and records every `fn` item with
+//! its fully qualified name (`crate::module::Type::name`), source
+//! position, and body token range. The file's own module path is derived
+//! from its workspace-relative path (`crates/streamd/src/serve.rs` →
+//! `streamd::serve`), with `lib.rs` / `main.rs` / `mod.rs` mapping to
+//! their parent module.
+//!
+//! Precision notes (see DESIGN.md §13): nested `fn` items are *not*
+//! split out of their parent's body — their intrinsic effects attribute
+//! to the enclosing item, which over-approximates in the safe direction.
+//! Functions inside `#[cfg(test)]` / `#[test]` regions are marked and
+//! excluded from the call graph entirely.
+
+use crate::lexer::Tok;
+use crate::rules;
+
+/// One extracted `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Fully qualified name, e.g. `mlkit::fastpath::CompiledGbdt::predict_proba_into`.
+    pub qname: String,
+    /// The bare function name (last `qname` segment).
+    pub name: String,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// 1-based position of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Code-token index range of the body, `{` to `}` inclusive.
+    pub body: (usize, usize),
+    /// Whether the item sits inside a test region (`#[cfg(test)]` or
+    /// `#[test]`); test items stay out of the call graph.
+    pub is_test: bool,
+}
+
+/// Maps a workspace-relative file path to its module path segments
+/// (starting with the normalized crate name).
+pub fn module_path(rel_path: &str, crate_name: &str) -> Vec<String> {
+    let mut segs = vec![crate_name.replace('-', "_")];
+    let p = rel_path.strip_suffix(".rs").unwrap_or(rel_path);
+    let tail = if let Some(idx) = p.find("/src/") {
+        &p[idx + 5..]
+    } else if let Some(s) = p.strip_prefix("src/") {
+        s
+    } else {
+        p
+    };
+    for part in tail.split('/') {
+        if matches!(part, "lib" | "main" | "mod" | "") {
+            continue;
+        }
+        segs.push(part.to_string());
+    }
+    segs
+}
+
+/// Extracts every `fn` item of one file.
+pub fn extract(rel_path: &str, crate_name: &str, code: &[Tok]) -> Vec<FnItem> {
+    let test_regions = rules::test_regions(code);
+    let in_test = |idx: usize| test_regions.iter().any(|&(s, e)| idx >= s && idx <= e);
+    let mut scope = module_path(rel_path, crate_name);
+    let mut out = Vec::new();
+    scan(rel_path, code, 0, code.len(), &mut scope, &in_test, &mut out);
+    out
+}
+
+/// Recursive scope walker over `code[i0..end)`.
+fn scan(
+    path: &str,
+    code: &[Tok],
+    i0: usize,
+    end: usize,
+    scope: &mut Vec<String>,
+    in_test: &dyn Fn(usize) -> bool,
+    out: &mut Vec<FnItem>,
+) {
+    let mut i = i0;
+    while i < end {
+        let t = &code[i];
+        if t.is_ident("mod") && code.get(i + 1).is_some_and(|n| is_name(n)) {
+            if code.get(i + 2).is_some_and(|n| n.is_punct('{')) {
+                let close = matching_brace_bounded(code, i + 2, end);
+                scope.push(code[i + 1].text.clone());
+                scan(path, code, i + 3, close, scope, in_test, out);
+                scope.pop();
+                i = close + 1;
+                continue;
+            }
+            // `mod name;` — out-of-line module, nothing to do here.
+            i += 2;
+            continue;
+        }
+        if t.is_ident("impl") || t.is_ident("trait") {
+            let Some((type_name, open)) = scan_impl_header(code, i, end) else {
+                i += 1;
+                continue;
+            };
+            let close = matching_brace_bounded(code, open, end);
+            scope.push(type_name);
+            scan(path, code, open + 1, close, scope, in_test, out);
+            scope.pop();
+            i = close + 1;
+            continue;
+        }
+        if t.is_ident("fn") && code.get(i + 1).is_some_and(is_name) {
+            let name = code[i + 1]
+                .text
+                .strip_prefix("r#")
+                .unwrap_or(&code[i + 1].text)
+                .to_string();
+            // Walk the signature for the body `{` (or a `;` for a
+            // bodyless trait-method declaration).
+            let mut j = i + 2;
+            let mut paren = 0i32;
+            let mut bracket = 0i32;
+            let mut body = None;
+            while j < end {
+                let s = &code[j];
+                if s.is_punct('(') {
+                    paren += 1;
+                } else if s.is_punct(')') {
+                    paren -= 1;
+                } else if s.is_punct('[') {
+                    bracket += 1;
+                } else if s.is_punct(']') {
+                    bracket -= 1;
+                } else if paren == 0 && bracket == 0 {
+                    if s.is_punct(';') {
+                        break;
+                    }
+                    if s.is_punct('{') {
+                        body = Some(j);
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            let Some(open) = body else {
+                i = j + 1;
+                continue;
+            };
+            let close = matching_brace_bounded(code, open, end);
+            let mut qname = scope.join("::");
+            qname.push_str("::");
+            qname.push_str(&name);
+            out.push(FnItem {
+                qname,
+                name,
+                path: path.to_string(),
+                line: t.line,
+                col: t.col,
+                body: (open, close),
+                is_test: in_test(i),
+            });
+            // Do not descend: nested fns attribute to this item.
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+fn is_name(t: &Tok) -> bool {
+    t.kind == crate::lexer::TokKind::Ident
+        && !matches!(
+            t.text.as_str(),
+            "fn" | "mod" | "impl" | "trait" | "for" | "where" | "pub"
+        )
+}
+
+/// Parses an `impl`/`trait` header starting at `i`: returns the scope
+/// segment (self-type or trait name) and the index of the body `{`.
+fn scan_impl_header(code: &[Tok], i: usize, end: usize) -> Option<(String, usize)> {
+    let mut j = i + 1;
+    // Skip generic parameters `<...>` (lexer emits `<`/`>` as single
+    // puncts, so nested closes are individually balanced).
+    if code.get(j).is_some_and(|t| t.is_punct('<')) {
+        let mut depth = 0i32;
+        while j < end {
+            if code[j].is_punct('<') {
+                depth += 1;
+            } else if code[j].is_punct('>') {
+                depth -= 1;
+                if depth == 0 {
+                    j += 1;
+                    break;
+                }
+            }
+            j += 1;
+        }
+    }
+    // Collect the path up to `for` / `where` / `{`; on `for`, restart —
+    // the self type is what follows.
+    let mut last_ident: Option<String> = None;
+    let mut angle = 0i32;
+    while j < end {
+        let t = &code[j];
+        if t.is_punct('<') {
+            angle += 1;
+        } else if t.is_punct('>') {
+            angle -= 1;
+        } else if angle == 0 {
+            if t.is_ident("for") {
+                last_ident = None;
+            } else if t.is_ident("where") {
+                // Skip ahead to the body brace.
+                while j < end && !code[j].is_punct('{') {
+                    j += 1;
+                }
+                return last_ident.map(|n| (n, j));
+            } else if t.is_punct('{') {
+                return last_ident.map(|n| (n, j));
+            } else if t.kind == crate::lexer::TokKind::Ident
+                && !matches!(t.text.as_str(), "dyn" | "mut" | "const" | "unsafe")
+            {
+                last_ident = Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// `rules::matching_brace`, but clamped to a scope bound.
+fn matching_brace_bounded(code: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < end {
+        if code[k].is_punct('{') {
+            depth += 1;
+        } else if code[k].is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    end.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn items(path: &str, src: &str) -> Vec<FnItem> {
+        let code: Vec<Tok> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        extract(path, "mycrate", &code)
+    }
+
+    #[test]
+    fn file_path_maps_to_module_path() {
+        assert_eq!(
+            module_path("crates/streamd/src/serve.rs", "streamd"),
+            vec!["streamd", "serve"]
+        );
+        assert_eq!(module_path("src/lib.rs", "gpu-error-prediction"), vec![
+            "gpu_error_prediction"
+        ]);
+        assert_eq!(module_path("crates/core/src/a/mod.rs", "sbepred"), vec![
+            "sbepred", "a"
+        ]);
+    }
+
+    #[test]
+    fn free_fns_and_methods_get_qualified_names() {
+        let fns = items(
+            "crates/x/src/m.rs",
+            "pub fn free() {}\n\
+             struct Foo;\n\
+             impl Foo { fn method(&self) {} }\n\
+             impl std::fmt::Display for Foo {\n\
+                 fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result { write!(f, \"\") }\n\
+             }",
+        );
+        let names: Vec<&str> = fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(names, vec![
+            "mycrate::m::free",
+            "mycrate::m::Foo::method",
+            "mycrate::m::Foo::fmt"
+        ]);
+    }
+
+    #[test]
+    fn inline_mods_nest_and_test_items_are_marked() {
+        let fns = items(
+            "crates/x/src/lib.rs",
+            "mod inner { pub fn deep() {} }\n\
+             #[cfg(test)]\nmod tests { fn helper() {} }\n\
+             fn outer() {}",
+        );
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[0].qname, "mycrate::inner::deep");
+        assert!(!fns[0].is_test);
+        assert_eq!(fns[1].qname, "mycrate::tests::helper");
+        assert!(fns[1].is_test);
+        assert_eq!(fns[2].qname, "mycrate::outer");
+    }
+
+    #[test]
+    fn trait_decls_without_bodies_are_skipped_but_defaults_kept() {
+        let fns = items(
+            "crates/x/src/lib.rs",
+            "trait Sink {\n\
+                 fn emit(&mut self, v: u32) -> Result<(), ()>;\n\
+                 fn emit_twice(&mut self, v: u32) { let _ = v; }\n\
+             }",
+        );
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].qname, "mycrate::Sink::emit_twice");
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_their_self_type() {
+        let fns = items(
+            "crates/x/src/lib.rs",
+            "impl<'a, T: Clone> Holder<'a, T> { fn get(&self) -> &T { &self.0 } }\n\
+             impl Iterator for Stream { fn next(&mut self) -> Option<u8> { None } }",
+        );
+        let names: Vec<&str> = fns.iter().map(|f| f.qname.as_str()).collect();
+        assert_eq!(names, vec!["mycrate::Holder::get", "mycrate::Stream::next"]);
+    }
+
+    #[test]
+    fn body_ranges_cover_the_braces() {
+        let src = "fn f() { g(); }";
+        let code: Vec<Tok> = lex(src).into_iter().filter(|t| !t.is_comment()).collect();
+        let fns = extract("crates/x/src/lib.rs", "x", &code);
+        assert_eq!(fns.len(), 1);
+        let (open, close) = fns[0].body;
+        assert!(code[open].is_punct('{'));
+        assert!(code[close].is_punct('}'));
+    }
+}

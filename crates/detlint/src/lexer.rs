@@ -79,7 +79,10 @@ impl Lexer {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.i).copied()?;
         self.i += 1;
-        if c == '\n' {
+        if c == '\n' || (c == '\r' && self.peek(0) != Some('\n')) {
+            // LF and CRLF end the line on the LF; a bare CR (classic
+            // Mac checkout) must end it too, or every diagnostic below
+            // that point lands on the wrong line.
             self.line += 1;
             self.col = 1;
         } else {
@@ -334,7 +337,9 @@ fn lex_number(lx: &mut Lexer) -> (TokKind, String) {
 
 fn lex_line_comment(lx: &mut Lexer) -> (TokKind, String) {
     let mut text = String::new();
-    lx.take_while(&mut text, |c| c != '\n');
+    // Stop before the CR of a CRLF ending so the comment text (which
+    // waiver parsing reads) is identical across checkout line endings.
+    lx.take_while(&mut text, |c| c != '\n' && c != '\r');
     let kind = if (text.starts_with("///") && !text.starts_with("////")) || text.starts_with("//!")
     {
         TokKind::DocComment
@@ -462,6 +467,30 @@ mod tests {
         let ts = lex("a\n  b");
         assert_eq!((ts[0].line, ts[0].col), (1, 1));
         assert_eq!((ts[1].line, ts[1].col), (2, 3));
+    }
+
+    #[test]
+    fn crlf_and_bare_cr_count_lines_like_lf() {
+        // The same three tokens under LF, CRLF, and bare-CR endings must
+        // carry identical positions — diagnostics stay byte-accurate on
+        // foreign checkouts.
+        let lf = lex("a\n b\n  c");
+        for src in ["a\r\n b\r\n  c", "a\r b\r  c", "a\r\n b\r  c"] {
+            let ts = lex(src);
+            assert_eq!(ts.len(), lf.len(), "{src:?}");
+            for (t, want) in ts.iter().zip(&lf) {
+                assert_eq!((t.line, t.col), (want.line, want.col), "{src:?}");
+                assert_eq!(t.text, want.text);
+            }
+        }
+    }
+
+    #[test]
+    fn crlf_line_comment_excludes_carriage_return() {
+        let ts = lex("// detlint: allow(D004) reason=ok\r\nfn f() {}");
+        assert_eq!(ts[0].kind, TokKind::LineComment);
+        assert!(!ts[0].text.contains('\r'), "comment text must be CR-free");
+        assert_eq!(ts[1].line, 2, "code after CRLF comment is on line 2");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! CLI driver: `detlint check [--root DIR] [--format text|json]
-//! [--config FILE]` and `detlint rules`.
+//! [--config FILE]`, `detlint effects` (call-graph + effect-lattice
+//! JSON artifact), and `detlint rules`.
 //!
 //! Exit codes: `0` clean (waived diagnostics and warnings are fine),
 //! `1` at least one non-waived error, `2` usage/config/IO failure.
@@ -21,10 +22,11 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: detlint <check|rules> [--root DIR] [--config FILE] [--format text|json]\n\
+    "usage: detlint <check|effects|rules> [--root DIR] [--config FILE] [--format text|json]\n\
      \n\
-     check   lint all workspace sources against rules D001-D005\n\
-     rules   list the rules and what they enforce"
+     check    lint all workspace sources against rules D001-D008\n\
+     effects  emit the interprocedural call graph + effect summaries as JSON\n\
+     rules    list the rules and what they enforce"
 }
 
 fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
@@ -58,7 +60,7 @@ fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
     Ok((cmd, args))
 }
 
-fn run_check(args: &Args) -> Result<ExitCode, String> {
+fn load_config(args: &Args) -> Result<config::Config, String> {
     let config_path = args
         .config
         .clone()
@@ -70,14 +72,24 @@ fn run_check(args: &Args) -> Result<ExitCode, String> {
     } else {
         config::Config::default()
     };
-
     if !args.root.join("Cargo.toml").exists() {
         return Err(format!(
             "{} does not look like a workspace root (no Cargo.toml); pass --root",
             args.root.display()
         ));
     }
+    Ok(cfg)
+}
 
+fn run_effects(args: &Args) -> Result<ExitCode, String> {
+    let cfg = load_config(args)?;
+    let json = detlint::effects_workspace(&args.root, &cfg)?;
+    print!("{json}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn run_check(args: &Args) -> Result<ExitCode, String> {
+    let cfg = load_config(args)?;
     let report = detlint::check_workspace(&args.root, &cfg)?;
     match args.format {
         Format::Json => println!(
@@ -137,6 +149,13 @@ fn main() -> ExitCode {
     };
     match cmd.as_str() {
         "check" => match run_check(&args) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("detlint: {msg}");
+                ExitCode::from(2)
+            }
+        },
+        "effects" => match run_effects(&args) {
             Ok(code) => code,
             Err(msg) => {
                 eprintln!("detlint: {msg}");

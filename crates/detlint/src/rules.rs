@@ -1,4 +1,4 @@
-//! The determinism & numeric-safety rules (D001–D005), profile
+//! The determinism & numeric-safety rules (D001–D008), profile
 //! classification, test-region detection, and inline waivers.
 //!
 //! Everything here is token-level analysis: no type information, no
@@ -20,8 +20,9 @@ pub struct RuleInfo {
     pub help: &'static str,
 }
 
-/// All enforced rules, in id order.
-pub const RULES: [RuleInfo; 5] = [
+/// All enforced rules, in id order. D001–D005 are per-file token rules;
+/// D006–D008 are interprocedural hot-path rules (see `effects`).
+pub const RULES: [RuleInfo; 8] = [
     RuleInfo {
         id: "D001",
         summary: "order-nondeterministic `HashMap`/`HashSet` in a deterministic crate",
@@ -52,6 +53,26 @@ pub const RULES: [RuleInfo; 5] = [
         summary: "iterator float reduction chained onto a `par_map` result",
         help: "reduce parallel results with the fixed-order helpers `parkit::sum_in_order` / \
                `parkit::fold_in_order`",
+    },
+    RuleInfo {
+        id: "D006",
+        summary: "a declared hot-path root can reach a panic site (indexing, unwrap-family, \
+                  integer division, assert!)",
+        help: "make the access infallible (iterators, `.get()`, pre-validated bounds) or waive \
+               the proven invariant with `// detlint: allow(D006) reason=...`",
+    },
+    RuleInfo {
+        id: "D007",
+        summary: "a declared hot-path root can reach a steady-state allocation site",
+        help: "hoist the allocation out of the loop into pre-sized buffers, or waive \
+               warmup-only growth with `// detlint: allow(D007) reason=...`",
+    },
+    RuleInfo {
+        id: "D008",
+        summary: "a nondeterminism source (entropy, clock, thread id, pointer-as-int) flows \
+                  into a declared hot-path root",
+        help: "route randomness through seeded streams and remove clock/thread-id reads, or \
+               waive with `// detlint: allow(D008) reason=...`",
     },
 ];
 
@@ -288,6 +309,7 @@ pub fn inline_waivers(
                 path: path.to_string(),
                 line: t.line,
                 col: t.col,
+                end_line: t.line,
                 message: msg,
                 help: "waiver syntax: `// detlint: allow(D00X) reason=why this is sound`"
                     .to_string(),
@@ -346,11 +368,31 @@ fn diag(rule: &'static str, path: &str, t: &Tok, message: String) -> Diagnostic 
         path: path.to_string(),
         line: t.line,
         col: t.col,
+        end_line: t.line,
         message,
         help: rule_help(rule).to_string(),
         waived: false,
         waive_reason: None,
     }
+}
+
+/// Index of the `)` matching the `(` at `open` (or the last token when
+/// unbalanced input degrades).
+pub(crate) fn matching_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut k = open;
+    while k < toks.len() {
+        if toks[k].is_punct('(') {
+            depth += 1;
+        } else if toks[k].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    toks.len().saturating_sub(1)
 }
 
 /// Runs all applicable rules over the code tokens of one file.
@@ -444,20 +486,33 @@ fn check_ident(path: &str, code: &[Tok], i: usize, t: &Tok, r: RuleSet, out: &mu
                 && prev.is_some_and(|p| p.is_punct('.'))
                 && next.is_some_and(|n| n.is_punct('(')) =>
         {
-            out.push(diag(
+            // The call's argument list may span lines (rustfmt splits
+            // `.expect(\n"…")`); the diagnostic's span runs to the
+            // closing paren so a trailing waiver on any of those lines
+            // covers it.
+            let close = matching_paren(code, i + 1);
+            let mut d = diag(
                 "D004",
                 path,
                 t,
                 format!("`{}()` in library non-test code", t.text),
-            ));
+            );
+            d.end_line = code[close].line.max(t.line);
+            out.push(d);
         }
         "panic" if r.d004 && next.is_some_and(|n| n.is_punct('!')) => {
-            out.push(diag(
+            let mut d = diag(
                 "D004",
                 path,
                 t,
                 "`panic!` in library non-test code".to_string(),
-            ));
+            );
+            // `panic!("…",\n args)` spans to its closing delimiter.
+            if code.get(i + 2).is_some_and(|n| n.is_punct('(')) {
+                let close = matching_paren(code, i + 2);
+                d.end_line = code[close].line.max(t.line);
+            }
+            out.push(d);
         }
         "par_map"
         | "par_map_indexed"
@@ -538,7 +593,8 @@ pub fn apply_inline_waivers(
             continue;
         }
         for w in waivers.iter_mut() {
-            if w.target_line == d.line && w.rules.iter().any(|r| r == d.rule) {
+            let in_span = w.target_line >= d.line && w.target_line <= d.end_line;
+            if in_span && w.rules.iter().any(|r| r == d.rule) {
                 d.waived = true;
                 d.waive_reason = Some(w.reason.clone());
                 w.used = true;
@@ -555,6 +611,7 @@ pub fn apply_inline_waivers(
             path: path.to_string(),
             line: w.at.0,
             col: w.at.1,
+            end_line: w.at.0,
             message: format!(
                 "inline waiver for {} suppresses nothing",
                 w.rules.join(", ")
@@ -717,6 +774,33 @@ mod tests {
             "fn f() { let v = par_map(t, xs, |x| x.iter().sum::<f64>()); }",
         );
         assert!(inner.iter().all(|d| d.rule != "D005"), "{inner:?}");
+    }
+
+    #[test]
+    fn d004_multiline_expect_is_flagged_with_span() {
+        let ds = check(
+            "crates/mlkit/src/x.rs",
+            "fn f() {\n    x\n        .expect(\n            \"msg\",\n        );\n}",
+        );
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].rule, "D004");
+        assert_eq!(ds[0].line, 3, "anchored at the method token");
+        assert_eq!(ds[0].end_line, 5, "spans to the closing paren");
+    }
+
+    #[test]
+    fn d004_waiver_on_closing_paren_line_covers_multiline_call() {
+        let path = "crates/core/src/x.rs";
+        let src = "fn f() {\n    x.expect(\n        \"msg\",\n    ); \
+                   // detlint: allow(D004) reason=proven invariant\n}";
+        let all = lex(src);
+        let code: Vec<Tok> = all.iter().filter(|t| !t.is_comment()).cloned().collect();
+        let mut ds = run_rules(path, &code, classify(path).expect("policed"));
+        let (mut ws, _) = inline_waivers(path, &all, &code);
+        let unused = apply_inline_waivers(path, &mut ds, &mut ws);
+        assert!(unused.is_empty(), "trailing waiver must bind to the span");
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].waived);
     }
 
     #[test]

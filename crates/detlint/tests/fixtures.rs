@@ -68,6 +68,21 @@ fn fail_fixtures_flag_exactly_the_marked_lines() {
 }
 
 #[test]
+fn mixed_line_endings_keep_diagnostics_line_accurate() {
+    // The fixture interleaves CRLF and LF endings; every `//~ D004`
+    // marker must still match its diagnostic's line exactly.
+    let src = load("fail", "mixed_endings");
+    assert!(src.contains("\r\n"), "fixture must carry CRLF endings");
+    assert!(
+        src.matches('\n').count() > src.matches("\r\n").count(),
+        "fixture must also carry plain LF endings"
+    );
+    let want = expected(&src);
+    assert_eq!(want.len(), 2, "fixture declares two markers");
+    assert_eq!(blocking(&src), want, "mixed-endings diagnostic mismatch");
+}
+
+#[test]
 fn pass_fixtures_are_clean() {
     for name in ["d001", "d002", "d003", "d004", "d005"] {
         let src = load("pass", name);

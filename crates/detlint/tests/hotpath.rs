@@ -1,0 +1,215 @@
+//! Interprocedural self-tests: the `fixtures/hotpath/` corpus seeds one
+//! violation per rule (D006/D007/D008), each reached across a file
+//! boundary, and the tests pin the *exact* diagnostics — rule, site
+//! position, and the full root → site call chain in the message. Each
+//! rule also gets a waived case (site-level inline waiver discharges the
+//! obligation for the root) and a stale-config case (an `[[allow]]`
+//! entry that matches nothing must surface as W001).
+
+use detlint::config;
+use detlint::diag::render_text;
+use detlint::{check_sources, Diagnostic, SourceFile};
+
+/// Loads one corpus file as a strict-profile source of the synthetic
+/// `hotfix` crate; `module` decides the qname segment (`serve`,
+/// `tables`, ...).
+fn fixture(module: &str, name: &str) -> SourceFile {
+    let path = format!(
+        "{}/fixtures/hotpath/{name}.rs",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    SourceFile {
+        rel_path: format!("crates/hotfix/src/{module}.rs"),
+        crate_name: "hotfix".to_string(),
+        src,
+    }
+}
+
+fn cfg(toml: &str) -> config::Config {
+    config::parse(toml).expect("fixture config must parse")
+}
+
+/// (rule, path, line, col, message) of every non-waived error.
+fn blocking(diags: &[Diagnostic]) -> Vec<(String, String, u32, u32, String)> {
+    diags
+        .iter()
+        .filter(|d| d.is_blocking())
+        .map(|d| {
+            (
+                d.rule.to_string(),
+                d.path.clone(),
+                d.line,
+                d.col,
+                d.message.clone(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn d006_reports_the_cross_file_call_chain() {
+    let files = [fixture("serve", "d006_serve"), fixture("tables", "d006_tables")];
+    let report = check_sources(
+        &files,
+        &cfg("[[hotpath]]\nroot = \"hotfix::serve::score_root\"\nrules = \"D006\"\n"),
+    );
+    assert_eq!(
+        blocking(&report.diagnostics),
+        vec![(
+            "D006".to_string(),
+            "crates/hotfix/src/tables.rs".to_string(),
+            4,
+            7,
+            "hot path `hotfix::serve::score_root` may panic: slice indexing `[...]` may be \
+             out of bounds (via hotfix::serve::score_root → hotfix::serve::lookup → \
+             hotfix::tables::pick)"
+                .to_string(),
+        )],
+    );
+}
+
+#[test]
+fn d007_reports_the_cross_file_call_chain() {
+    let files = [fixture("serve", "d007_serve"), fixture("buffer", "d007_buffer")];
+    let report = check_sources(
+        &files,
+        &cfg("[[hotpath]]\nroot = \"hotfix::serve::assemble_root\"\nrules = \"D007\"\n"),
+    );
+    assert_eq!(
+        blocking(&report.diagnostics),
+        vec![(
+            "D007".to_string(),
+            "crates/hotfix/src/buffer.rs".to_string(),
+            5,
+            13,
+            "hot path `hotfix::serve::assemble_root` may allocate: `.push()` allocates \
+             (via hotfix::serve::assemble_root → hotfix::buffer::push_all)"
+                .to_string(),
+        )],
+    );
+}
+
+#[test]
+fn d008_reports_the_cross_file_call_chain() {
+    let files = [fixture("serve", "d008_serve"), fixture("clock", "d008_clock")];
+    let report = check_sources(
+        &files,
+        &cfg("[[hotpath]]\nroot = \"hotfix::serve::serve_root\"\nrules = \"D008\"\n"),
+    );
+    assert_eq!(
+        blocking(&report.diagnostics),
+        vec![(
+            "D008".to_string(),
+            "crates/hotfix/src/clock.rs".to_string(),
+            4,
+            18,
+            "hot path `hotfix::serve::serve_root` may read a nondeterminism source: \
+             `available_parallelism` is a nondeterminism source \
+             (via hotfix::serve::serve_root → hotfix::clock::lane_count)"
+                .to_string(),
+        )],
+    );
+}
+
+#[test]
+fn site_waivers_discharge_the_root_obligation() {
+    let cases = [
+        ("D006", "d006_waived", "hotfix::serve::score_root", "caller clamps"),
+        ("D007", "d007_waived", "hotfix::serve::assemble_root", "pre-sized by the caller"),
+        ("D008", "d008_waived", "hotfix::serve::serve_root", "thread-count selection only"),
+    ];
+    for (rule, name, root, reason_frag) in cases {
+        let files = [fixture("serve", name)];
+        let report = check_sources(
+            &files,
+            &cfg(&format!("[[hotpath]]\nroot = \"{root}\"\nrules = \"{rule}\"\n")),
+        );
+        assert_eq!(
+            report.blocking(),
+            0,
+            "{name}: waived fixture must not block: {:#?}",
+            report.diagnostics
+        );
+        let waived: Vec<_> = report.diagnostics.iter().filter(|d| d.waived).collect();
+        assert_eq!(waived.len(), 1, "{name}: exactly one waived diagnostic");
+        assert_eq!(waived[0].rule, rule);
+        assert!(
+            waived[0]
+                .waive_reason
+                .as_deref()
+                .is_some_and(|r| r.contains(reason_frag)),
+            "{name}: waiver must carry its written reason, got {:?}",
+            waived[0].waive_reason
+        );
+        // The waiver suppressed something, so no W002 may fire.
+        assert!(
+            report.diagnostics.iter().all(|d| d.rule != "W002"),
+            "{name}: no stale-waiver warning expected"
+        );
+    }
+}
+
+#[test]
+fn stale_config_allows_surface_as_w001() {
+    let cases = [
+        ("D006", "d006_serve", "d006_tables", "tables", "hotfix::serve::score_root"),
+        ("D007", "d007_serve", "d007_buffer", "buffer", "hotfix::serve::assemble_root"),
+        ("D008", "d008_serve", "d008_clock", "clock", "hotfix::serve::serve_root"),
+    ];
+    for (rule, root_fix, site_fix, site_mod, root) in cases {
+        let files = [fixture("serve", root_fix), fixture(site_mod, site_fix)];
+        // The allow names a file that produces no diagnostic: the seeded
+        // violation must still block AND the entry must be flagged stale.
+        let report = check_sources(
+            &files,
+            &cfg(&format!(
+                "[[hotpath]]\nroot = \"{root}\"\nrules = \"{rule}\"\n\n\
+                 [[allow]]\nrule = \"{rule}\"\npath = \"crates/hotfix/src/elsewhere.rs\"\n\
+                 reason = \"stale on purpose\"\n"
+            )),
+        );
+        assert_eq!(report.blocking(), 1, "{rule}: seeded violation must still block");
+        let w001: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == "W001")
+            .collect();
+        assert_eq!(w001.len(), 1, "{rule}: stale allow must raise W001");
+        assert_eq!(w001[0].path, "detlint.toml");
+    }
+}
+
+#[test]
+fn report_is_bit_identical_across_thread_counts() {
+    // detlint's analysis is single-threaded by construction; this locks
+    // the contract that the rendered report never depends on the
+    // worker-count knob the rest of the workspace honours.
+    let files = [
+        fixture("serve", "d006_serve"),
+        fixture("tables", "d006_tables"),
+        fixture("buffer", "d007_buffer"),
+        fixture("clock", "d008_clock"),
+    ];
+    let config = cfg(
+        "[[hotpath]]\nroot = \"hotfix::serve::score_root\"\nrules = \"D006,D007,D008\"\n",
+    );
+    let render = || {
+        let report = check_sources(&files, &config);
+        report
+            .diagnostics
+            .iter()
+            .map(render_text)
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let mut outputs = Vec::new();
+    for threads in ["1", "2", "8"] {
+        std::env::set_var("SBE_THREADS", threads);
+        outputs.push(render());
+    }
+    std::env::remove_var("SBE_THREADS");
+    assert!(!outputs[0].is_empty(), "corpus must produce diagnostics");
+    assert_eq!(outputs[0], outputs[1], "SBE_THREADS=1 vs 2 differ");
+    assert_eq!(outputs[0], outputs[2], "SBE_THREADS=1 vs 8 differ");
+}

@@ -37,6 +37,10 @@ pub fn bad() -> u32 {
         );
         assert_eq!(j.get("col").and_then(Value::as_u64), Some(u64::from(d.col)));
         assert_eq!(
+            j.get("end_line").and_then(Value::as_u64),
+            Some(u64::from(d.end_line))
+        );
+        assert_eq!(
             j.get("message").and_then(Value::as_str),
             Some(d.message.as_str())
         );
@@ -56,6 +60,82 @@ pub fn bad() -> u32 {
 }
 
 #[test]
+fn effects_json_round_trips_through_serde_json() {
+    // The `detlint effects` artifact: call graph + per-function effect
+    // bits. Built over the hotpath fixture corpus so the schema test
+    // exercises assumed functions, resolved roots, and edges.
+    let load = |module: &str, name: &str| {
+        let path = format!(
+            "{}/fixtures/hotpath/{name}.rs",
+            env!("CARGO_MANIFEST_DIR")
+        );
+        detlint::SourceFile {
+            rel_path: format!("crates/hotfix/src/{module}.rs"),
+            crate_name: "hotfix".to_string(),
+            src: std::fs::read_to_string(&path).unwrap(),
+        }
+    };
+    let files = [load("serve", "d006_serve"), load("tables", "d006_tables")];
+    let cfg = detlint::config::parse(
+        "[[hotpath]]\nroot = \"hotfix::serve::score_root\"\nrules = \"D006\"\n\n\
+         [[assume]]\nfn = \"hotfix::tables::pick\"\nreason = \"schema fixture\"\n",
+    )
+    .unwrap();
+    let (graph, analysis) = detlint::analyze_effects(&files, &cfg);
+    let text = detlint::effects::render_effects_json(&graph, &analysis, &cfg);
+
+    let v: Value = serde_json::from_str(&text).expect("effects JSON must parse");
+    assert_eq!(v.get("version").and_then(Value::as_u64), Some(1));
+
+    let funcs = v
+        .get("functions")
+        .and_then(Value::as_array)
+        .expect("functions array");
+    assert_eq!(funcs.len(), 3, "score_root, lookup, pick");
+    let by_qname = |q: &str| {
+        funcs
+            .iter()
+            .find(|f| f.get("qname").and_then(Value::as_str) == Some(q))
+            .unwrap_or_else(|| panic!("missing function {q}"))
+    };
+    let pick = by_qname("hotfix::tables::pick");
+    assert_eq!(pick.get("assumed").and_then(Value::as_bool), Some(true));
+    // Assumed functions are effect-free by definition.
+    assert_eq!(pick.get("may_panic").and_then(Value::as_bool), Some(false));
+    let lookup = by_qname("hotfix::serve::lookup");
+    assert_eq!(
+        lookup.get("calls").and_then(Value::as_array).map(Vec::len),
+        Some(1),
+        "lookup calls pick"
+    );
+    for f in funcs {
+        for key in ["qname", "path", "line", "assumed", "may_panic", "may_alloc", "nondet"] {
+            assert!(f.get(key).is_some(), "function entry missing `{key}`");
+        }
+    }
+
+    let roots = v.get("roots").and_then(Value::as_array).expect("roots");
+    assert_eq!(roots.len(), 1);
+    assert_eq!(
+        roots[0].get("root").and_then(Value::as_str),
+        Some("hotfix::serve::score_root")
+    );
+    assert_eq!(
+        roots[0]
+            .get("resolved")
+            .and_then(Value::as_array)
+            .map(Vec::len),
+        Some(1),
+        "root must resolve to exactly one function"
+    );
+
+    let summary = v.get("summary").expect("summary object");
+    assert_eq!(summary.get("functions").and_then(Value::as_u64), Some(3));
+    // score_root -> lookup -> pick.
+    assert_eq!(summary.get("edges").and_then(Value::as_u64), Some(2));
+}
+
+#[test]
 fn json_escaping_survives_hostile_strings() {
     let d = Diagnostic {
         rule: "D001",
@@ -63,6 +143,7 @@ fn json_escaping_survives_hostile_strings() {
         path: "crates/core/src/a \"b\"\\c.rs".to_string(),
         line: 3,
         col: 7,
+        end_line: 5,
         message: "tabs\tnewlines\nunicode \u{1F980} control \u{1} quote \"".to_string(),
         help: "back\\slash".to_string(),
         waived: true,

@@ -102,17 +102,22 @@ impl StandardScaler {
     pub fn transform_row(&self, out: &mut [f32], row: &[f32]) -> Result<()> {
         if row.len() != self.means.len() || out.len() != self.means.len() {
             return Err(MlError::DimensionMismatch {
+                // detlint: allow(D007) reason=cold dimension-mismatch error path; never taken on a validated hot path
                 expected: format!("{} features", self.means.len()),
+                // detlint: allow(D007) reason=cold dimension-mismatch error path; never taken on a validated hot path
                 found: format!("{} in / {} out", row.len(), out.len()),
             });
         }
-        for (j, &v) in row.iter().enumerate() {
-            let s = self.stds[j];
-            out[j] = if s > 0.0 {
-                (v - self.means[j]) / s
-            } else {
-                0.0
-            };
+        // Lockstep iterators: lengths are equal by the check above, so
+        // the zip is exhaustive and index-free (no panic sites on the
+        // serving hot path).
+        for (((o, &v), &m), &s) in out
+            .iter_mut()
+            .zip(row.iter())
+            .zip(self.means.iter())
+            .zip(self.stds.iter())
+        {
+            *o = if s > 0.0 { (v - m) / s } else { 0.0 };
         }
         Ok(())
     }

@@ -59,6 +59,7 @@ impl Threads {
             Threads::Serial => 1,
             Threads::Fixed(n) => n.max(1),
             Threads::Auto => env_override()
+                // detlint: allow(D008) reason=thread-count selection only; par_map merges per-index results in fixed order, so output is thread-count invariant
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, usize::from)),
         }
     }

@@ -527,28 +527,15 @@ fn flush(
     let scaler = artifact.scaler();
     // Both arms record the identical feature/score span sequence and
     // produce bit-identical probabilities, so the obskit snapshot does
-    // not depend on the backend.
+    // not depend on the backend. The assembly/scoring bodies live in
+    // named functions (`assemble_batch_*` / `score_batch_*`) so
+    // `detlint.toml` can declare the compiled pair as hot-path roots
+    // (D006/D007/D008) without dragging driver instrumentation into the
+    // proof obligation.
     let proba_interpreted: Vec<f32>;
     let proba: &[f32] = match scorer {
         Scorer::Interpreted => {
-            let indices: Vec<usize> = (0..batch.len()).collect();
-            let rows: Vec<Vec<f32>> =
-                parkit::try_par_map::<_, _, StreamError, _>(cfg.threads, &indices, |&i| {
-                    let p = &batch[i];
-                    let t = if spec.needs_telemetry() {
-                        Some(&telemetry[i])
-                    } else {
-                        None
-                    };
-                    let mut raw: Vec<f32> = Vec::with_capacity(scaler.means().len());
-                    assemble_row(spec, &p.facts, t, &p.hist, &mut raw)
-                        .map_err(StreamError::from)?;
-                    let mut out = vec![0.0f32; raw.len()];
-                    scaler
-                        .transform_row(&mut out, &raw)
-                        .map_err(StreamError::from)?;
-                    Ok(out)
-                })?;
+            let rows = assemble_batch_interpreted(cfg, spec, scaler, &batch, &telemetry)?;
             rec.span_end(feature_span);
 
             let score_span = rec.span_start("streamd.score");
@@ -559,35 +546,11 @@ fn flush(
             &proba_interpreted
         }
         Scorer::Compiled(state) => {
-            // Serial row assembly into the reusable frame: `assemble_row`
-            // and `transform_row` are the same pure per-row functions the
-            // parallel path fans out, in the same batch order.
-            state.frame.reset(state.scaled.len());
-            for (i, p) in batch.iter().enumerate() {
-                let t = if spec.needs_telemetry() {
-                    Some(&telemetry[i])
-                } else {
-                    None
-                };
-                state.raw.clear();
-                assemble_row(spec, &p.facts, t, &p.hist, &mut state.raw)
-                    .map_err(StreamError::from)?;
-                scaler
-                    .transform_row(&mut state.scaled, &state.raw)
-                    .map_err(StreamError::from)?;
-                state
-                    .frame
-                    .push_row(&state.scaled)
-                    .map_err(StreamError::from)?;
-            }
+            assemble_batch_compiled(spec, scaler, state, &batch, &telemetry)?;
             rec.span_end(feature_span);
 
             let score_span = rec.span_start("streamd.score");
-            state.proba.clear();
-            state.proba.resize(batch.len(), 0.0);
-            state
-                .scorer
-                .predict_proba_into(&state.frame, &mut state.proba)?;
+            score_batch_compiled(state, batch.len())?;
             rec.span_end(score_span);
             &state.proba
         }
@@ -615,5 +578,83 @@ fn flush(
         }
     }
     rec.span_end(flush_span);
+    Ok(())
+}
+
+/// Interpreted-backend feature assembly: fans the per-row pipeline out
+/// with `parkit` and returns freshly allocated standardized rows. This
+/// is the fallback arm — it allocates per flush by design and is
+/// covered by a reasoned `[[assume]]` in `detlint.toml` rather than the
+/// compiled arm's alloc-freedom proof.
+fn assemble_batch_interpreted(
+    cfg: &ServeConfig,
+    spec: &sbepred::features::FeatureSpec,
+    scaler: &mlkit::scaler::StandardScaler,
+    batch: &[PendingRequest],
+    telemetry: &[SampleTelemetry],
+) -> Result<Vec<Vec<f32>>> {
+    let indices: Vec<usize> = (0..batch.len()).collect();
+    parkit::try_par_map::<_, _, StreamError, _>(cfg.threads, &indices, |&i| {
+        let p = &batch[i];
+        let t = if spec.needs_telemetry() {
+            telemetry.get(i)
+        } else {
+            None
+        };
+        let mut raw: Vec<f32> = Vec::with_capacity(scaler.means().len());
+        assemble_row(spec, &p.facts, t, &p.hist, &mut raw).map_err(StreamError::from)?;
+        let mut out = vec![0.0f32; raw.len()];
+        scaler
+            .transform_row(&mut out, &raw)
+            .map_err(StreamError::from)?;
+        Ok(out)
+    })
+}
+
+/// Compiled-backend feature assembly: serial row assembly into the
+/// reusable frame. `assemble_row` and `transform_row` are the same pure
+/// per-row functions the parallel path fans out, in the same batch
+/// order. Hot-path root: detlint proves every function reachable from
+/// here panic-free, steady-state alloc-free, and deterministic
+/// (D006/D007/D008).
+fn assemble_batch_compiled(
+    spec: &sbepred::features::FeatureSpec,
+    scaler: &mlkit::scaler::StandardScaler,
+    state: &mut CompiledState,
+    batch: &[PendingRequest],
+    telemetry: &[SampleTelemetry],
+) -> Result<()> {
+    state.frame.reset(state.scaled.len());
+    for (i, p) in batch.iter().enumerate() {
+        // Checked lookup: a telemetry/batch length mismatch surfaces as
+        // the assembler's missing-telemetry error, never a panic.
+        let t = if spec.needs_telemetry() {
+            telemetry.get(i)
+        } else {
+            None
+        };
+        state.raw.clear();
+        assemble_row(spec, &p.facts, t, &p.hist, &mut state.raw).map_err(StreamError::from)?;
+        scaler
+            .transform_row(&mut state.scaled, &state.raw)
+            .map_err(StreamError::from)?;
+        state
+            .frame
+            .push_row(&state.scaled)
+            .map_err(StreamError::from)?;
+    }
+    Ok(())
+}
+
+/// Compiled-backend scoring over the assembled frame. Hot-path root
+/// (D006/D007/D008): after the first full batch the probability buffer
+/// has reached `batch_capacity` and the resize below reuses capacity.
+fn score_batch_compiled(state: &mut CompiledState, n_rows: usize) -> Result<()> {
+    state.proba.clear();
+    // detlint: allow(D007) reason=bounded by batch_capacity; capacity is reused after the first full batch
+    state.proba.resize(n_rows, 0.0);
+    state
+        .scorer
+        .predict_proba_into(&state.frame, &mut state.proba)?;
     Ok(())
 }
