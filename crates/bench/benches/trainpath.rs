@@ -1,0 +1,203 @@
+//! Training-engine throughput — the trainpath trajectory.
+//!
+//! Times `Gbdt::fit` on the production-sized workload (the same shape
+//! the fastpath bench scores: 12k rows x 64 features, 150 trees of
+//! depth 10) under all three `TrainMode` engines:
+//!
+//! * `Reference` — the pre-engine per-feature split finder, kept
+//!   verbatim as the baseline every speedup is measured against;
+//! * `Exact` — gathered single-pass histogram build, bit-identical to
+//!   `Reference` (the default training path);
+//! * `Fast` — sibling subtraction + row-block parallelism.
+//!
+//! Each engine is timed serial and parallel (`Threads::Auto`); the
+//! throughput unit is row-visits/sec (`rows x trees / elapsed`), which
+//! is invariant across engines on a fixed workload. Results go to the
+//! machine-readable `BENCH_train.json` report (schema
+//! `sbe-bench/train/1`) that `repro check-bench` gates on in CI; set
+//! `TRAINPATH_BENCH_OUT` to redirect the path. Parity is asserted
+//! before anything is timed: a fast wrong answer is not a result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlkit::dataset::Dataset;
+use mlkit::gbdt::Gbdt;
+use mlkit::hist::TrainMode;
+use mlkit::model::Classifier;
+use parkit::Threads;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+use sbe_bench::{TrainEngineRates, TrainReport, TrainWorkload};
+
+/// Same workload shape as the fastpath bench fixture, so the two
+/// trajectories (training cost, inference cost) describe one model.
+const TRAIN_ROWS: usize = 12_000;
+const N_FEATURES: usize = 64;
+const N_TREES: usize = 150;
+const MAX_DEPTH: usize = 10;
+const N_BINS: usize = 64;
+const SEED: u64 = 7;
+
+/// Smaller configuration for the Criterion curves: full-scale fits are
+/// hand-timed once per engine for the report; Criterion's repeated
+/// sampling runs on a workload it can afford.
+const CURVE_ROWS: usize = 4_000;
+const CURVE_TREES: usize = 40;
+const CURVE_DEPTH: usize = 6;
+
+fn synthetic_train(rows: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(13);
+    let x: Vec<Vec<f32>> = (0..rows)
+        .map(|_| {
+            (0..N_FEATURES)
+                .map(|_| rng.gen::<f32>() * 4.0 - 2.0)
+                .collect()
+        })
+        .collect();
+    let y: Vec<f32> = x
+        .iter()
+        .map(|r| {
+            if r.iter().take(8).sum::<f32>() > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Dataset::from_rows(&x, &y).expect("train dataset")
+}
+
+fn fit(train: &Dataset, trees: usize, depth: usize, mode: TrainMode, threads: Threads) -> Gbdt {
+    let mut model = Gbdt::new()
+        .n_trees(trees)
+        .max_depth(depth)
+        .min_samples_leaf(1)
+        .n_bins(N_BINS)
+        .seed(SEED)
+        .threads(threads)
+        .train_mode(mode);
+    model.fit(train).expect("gbdt fits");
+    model
+}
+
+/// Bit-for-bit / split-level parity gate before any timing: `Exact`
+/// must reproduce `Reference` exactly; `Fast` must stay within
+/// rounding of it (its summation trees differ, so bit identity is not
+/// contractual at this scale — see the trainpath differential suite).
+fn assert_parity(train: &Dataset, probe: &Dataset) {
+    let score = |mode: TrainMode| -> Vec<f32> {
+        let model = fit(train, CURVE_TREES, CURVE_DEPTH, mode, Threads::Serial);
+        model.predict_proba(probe).expect("predicts")
+    };
+    let reference = score(TrainMode::Reference);
+    let exact = score(TrainMode::Exact);
+    for (i, (a, b)) in reference.iter().zip(&exact).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "exact-engine parity violation at row {i}: reference {a} vs exact {b}"
+        );
+    }
+    let fast = score(TrainMode::Fast);
+    for (i, (a, b)) in reference.iter().zip(&fast).enumerate() {
+        assert!(
+            (a - b).abs() <= 1e-3,
+            "fast-engine drift at row {i}: reference {a} vs fast {b}"
+        );
+    }
+}
+
+/// Hand-times one full-scale fit and returns row-visits/sec.
+fn train_rate(train: &Dataset, mode: TrainMode, threads: Threads) -> f64 {
+    let t0 = std::time::Instant::now();
+    std::hint::black_box(fit(train, N_TREES, MAX_DEPTH, mode, threads));
+    (TRAIN_ROWS * N_TREES) as f64 / t0.elapsed().as_secs_f64().max(1e-9)
+}
+
+fn engine_rates(train: &Dataset, mode: TrainMode) -> TrainEngineRates {
+    TrainEngineRates {
+        serial_rps: train_rate(train, mode, Threads::Serial),
+        parallel_rps: train_rate(train, mode, Threads::Auto),
+    }
+}
+
+fn write_report(report: &TrainReport) {
+    let path = std::env::var("TRAINPATH_BENCH_OUT").unwrap_or_else(|_| "BENCH_train.json".into());
+    let json = serde_json::to_string_pretty(report).expect("serialises");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("trainpath report written to {path}"),
+        Err(e) => eprintln!("could not write trainpath report to {path}: {e}"),
+    }
+}
+
+fn bench_trainpath(c: &mut Criterion) {
+    let full = synthetic_train(TRAIN_ROWS);
+    let curve = synthetic_train(CURVE_ROWS);
+    let probe = synthetic_train(1_000);
+    assert_parity(&curve, &probe);
+
+    let reference = engine_rates(&full, TrainMode::Reference);
+    let exact = engine_rates(&full, TrainMode::Exact);
+    let fast = engine_rates(&full, TrainMode::Fast);
+    let report = TrainReport::from_rates(
+        TrainWorkload {
+            rows: TRAIN_ROWS,
+            n_features: N_FEATURES,
+            n_trees: N_TREES,
+            max_depth: MAX_DEPTH,
+            n_bins: N_BINS,
+        },
+        reference,
+        exact,
+        fast,
+    );
+    eprintln!(
+        "train ({TRAIN_ROWS} rows x {N_FEATURES} features, {N_TREES} trees, depth {MAX_DEPTH}): \
+         reference {:.0} rvps serial / {:.0} parallel; exact {:.0} / {:.0} ({:.2}x); \
+         fast {:.0} / {:.0} ({:.2}x)",
+        report.reference.serial_rps,
+        report.reference.parallel_rps,
+        report.exact.serial_rps,
+        report.exact.parallel_rps,
+        report.exact_speedup,
+        report.fast.serial_rps,
+        report.fast.parallel_rps,
+        report.fast_speedup
+    );
+    write_report(&report);
+
+    let mut group = c.benchmark_group("trainpath");
+    group.sample_size(10);
+    for (name, mode) in [
+        ("reference_serial", TrainMode::Reference),
+        ("exact_serial", TrainMode::Exact),
+        ("fast_serial", TrainMode::Fast),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                fit(
+                    std::hint::black_box(&curve),
+                    CURVE_TREES,
+                    CURVE_DEPTH,
+                    mode,
+                    Threads::Serial,
+                )
+            })
+        });
+    }
+    group.bench_function("fast_parallel", |b| {
+        b.iter(|| {
+            fit(
+                std::hint::black_box(&curve),
+                CURVE_TREES,
+                CURVE_DEPTH,
+                TrainMode::Fast,
+                Threads::Auto,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trainpath);
+criterion_main!(benches);

@@ -108,6 +108,125 @@ impl FastpathReport {
     }
 }
 
+/// Schema tag of [`TrainReport`] / `BENCH_train.json`.
+pub const TRAIN_SCHEMA: &str = "sbe-bench/train/1";
+
+/// Serial and parallel training throughput for one engine.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainEngineRates {
+    /// Rows processed per second (`rows × trees / wall time`) with a
+    /// serial thread policy.
+    pub serial_rps: f64,
+    /// Rows per second with the parallel (`Auto`) policy.
+    pub parallel_rps: f64,
+}
+
+/// Workload shape the training bench measured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainWorkload {
+    /// Training rows.
+    pub rows: usize,
+    /// Feature columns per row.
+    pub n_features: usize,
+    /// Boosting rounds.
+    pub n_trees: usize,
+    /// Depth limit per tree.
+    pub max_depth: usize,
+    /// Quantile bins per feature.
+    pub n_bins: usize,
+}
+
+/// Machine-readable training benchmark report — the `BENCH_train.json`
+/// artifact CI emits and `repro check-bench` gates on.
+///
+/// `reference` is the pre-histogram-engine per-feature trainer
+/// (`TrainMode::Reference`), the fixed baseline every floor is measured
+/// against. `exact` is the default single-pass engine (bit-identical
+/// trees); `fast` adds sibling subtraction and row-block parallelism
+/// (split-identical, locked by the differential suite).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Always [`TRAIN_SCHEMA`].
+    pub schema: String,
+    /// Shape of the measured workload.
+    pub workload: TrainWorkload,
+    /// `TrainMode::Reference` throughput (the pre-PR trainer).
+    pub reference: TrainEngineRates,
+    /// `TrainMode::Exact` throughput.
+    pub exact: TrainEngineRates,
+    /// `TrainMode::Fast` throughput.
+    pub fast: TrainEngineRates,
+    /// `fast.serial_rps / reference.serial_rps` — the headline
+    /// like-for-like (serial vs serial) engine speedup.
+    pub fast_speedup: f64,
+    /// `exact.serial_rps / reference.serial_rps`.
+    pub exact_speedup: f64,
+}
+
+impl TrainReport {
+    /// Builds a report from raw rates, deriving the speedups.
+    #[must_use]
+    pub fn from_rates(
+        workload: TrainWorkload,
+        reference: TrainEngineRates,
+        exact: TrainEngineRates,
+        fast: TrainEngineRates,
+    ) -> TrainReport {
+        let base = reference.serial_rps.max(f64::MIN_POSITIVE);
+        TrainReport {
+            schema: TRAIN_SCHEMA.into(),
+            workload,
+            reference,
+            exact,
+            fast,
+            fast_speedup: fast.serial_rps / base,
+            exact_speedup: exact.serial_rps / base,
+        }
+    }
+
+    /// Enforces throughput floors on the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the schema tag is wrong, a
+    /// rate is non-finite or non-positive, or a speedup falls below its
+    /// floor.
+    pub fn check(&self, min_fast_speedup: f64, min_exact_speedup: f64) -> Result<(), String> {
+        if self.schema != TRAIN_SCHEMA {
+            return Err(format!(
+                "unexpected schema `{}` (want `{TRAIN_SCHEMA}`)",
+                self.schema
+            ));
+        }
+        let healthy = |r: f64| r.is_finite() && r > 0.0;
+        for (name, e) in [
+            ("reference", &self.reference),
+            ("exact", &self.exact),
+            ("fast", &self.fast),
+        ] {
+            if !healthy(e.serial_rps) || !healthy(e.parallel_rps) {
+                return Err(format!(
+                    "{name}: degenerate rates (serial {} rows/s, parallel {} rows/s)",
+                    e.serial_rps, e.parallel_rps
+                ));
+            }
+        }
+        if self.fast_speedup < min_fast_speedup {
+            return Err(format!(
+                "fast-engine speedup {:.2}x below floor {min_fast_speedup:.2}x",
+                self.fast_speedup
+            ));
+        }
+        if self.exact_speedup < min_exact_speedup {
+            return Err(format!(
+                "exact-engine speedup {:.2}x below floor {min_exact_speedup:.2}x",
+                self.exact_speedup
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The workspace's only real [`obskit::Clock`]: nanoseconds since the
 /// clock's construction, backed by [`std::time::Instant`].
 ///
@@ -221,6 +340,68 @@ mod tests {
         assert_eq!(back.schema, FASTPATH_SCHEMA);
         assert_eq!(back.batch.speedup.to_bits(), r.batch.speedup.to_bits());
         assert_eq!(back.workload.n_trees, 120);
+    }
+
+    fn train_report(exact: f64, fast: f64) -> TrainReport {
+        let base = 100_000.0;
+        TrainReport::from_rates(
+            TrainWorkload {
+                rows: 12_000,
+                n_features: 64,
+                n_trees: 150,
+                max_depth: 10,
+                n_bins: 64,
+            },
+            TrainEngineRates {
+                serial_rps: base,
+                parallel_rps: base * 2.0,
+            },
+            TrainEngineRates {
+                serial_rps: base * exact,
+                parallel_rps: base * exact * 2.0,
+            },
+            TrainEngineRates {
+                serial_rps: base * fast,
+                parallel_rps: base * fast * 2.0,
+            },
+        )
+    }
+
+    #[test]
+    fn train_report_passes_at_or_above_floor() {
+        assert!(train_report(1.2, 2.0).check(2.0, 1.0).is_ok());
+        assert!(train_report(1.5, 3.5).check(2.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn train_report_fails_below_floor() {
+        let err = train_report(1.2, 1.9).check(2.0, 1.0).unwrap_err();
+        assert!(err.contains("fast-engine speedup"), "{err}");
+        let err = train_report(0.8, 2.5).check(2.0, 1.0).unwrap_err();
+        assert!(err.contains("exact-engine speedup"), "{err}");
+    }
+
+    #[test]
+    fn train_report_rejects_wrong_schema_and_degenerate_rates() {
+        let mut r = train_report(1.2, 2.5);
+        r.schema = "sbe-bench/train/0".into();
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("schema"));
+        let mut r = train_report(1.2, 2.5);
+        r.fast.parallel_rps = f64::NAN;
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("degenerate"));
+        let mut r = train_report(1.2, 2.5);
+        r.reference.serial_rps = 0.0;
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("degenerate"));
+    }
+
+    #[test]
+    fn train_report_round_trips_through_json() {
+        let r = train_report(1.3, 2.8);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: TrainReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, TRAIN_SCHEMA);
+        assert_eq!(back.fast_speedup.to_bits(), r.fast_speedup.to_bits());
+        assert_eq!(back.workload.n_trees, 150);
     }
 
     #[test]

@@ -82,6 +82,14 @@ impl ModelKind {
     /// the evaluation (tuned once on DS1, then frozen — mirroring the
     /// paper's methodology).
     pub fn build(&self, seed: u64) -> Box<dyn Classifier> {
+        self.build_with_mode(seed, mlkit::hist::TrainMode::Exact)
+    }
+
+    /// Like [`ModelKind::build`], but selecting the GBDT training engine
+    /// (`TrainMode`). Non-GBDT models ignore the mode. `Exact` is the
+    /// default everywhere so published experiment outputs stay pinned;
+    /// `Fast` is the opt-in throughput engine for wide sweeps.
+    pub fn build_with_mode(&self, seed: u64, mode: mlkit::hist::TrainMode) -> Box<dyn Classifier> {
         match self {
             ModelKind::Lr => Box::new(
                 LogisticRegression::new()
@@ -99,7 +107,8 @@ impl ModelKind {
                     .min_samples_leaf(20)
                     .subsample(0.8)
                     .pos_weight(2.0)
-                    .seed(seed),
+                    .seed(seed)
+                    .train_mode(mode),
             ),
             ModelKind::Svm => Box::new(
                 SvmRbf::new()

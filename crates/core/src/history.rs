@@ -301,7 +301,11 @@ impl SeriesArena {
     /// Total count of `series` visible strictly before `t`.
     fn before(&self, series: u32, t: u64) -> u64 {
         let mut best = 0u64;
-        let mut cur = self.head.get(series as usize).copied().unwrap_or(ARENA_NONE);
+        let mut cur = self
+            .head
+            .get(series as usize)
+            .copied()
+            .unwrap_or(ARENA_NONE);
         while cur != ARENA_NONE {
             let ci = cur as usize;
             let len = self.chunk_len.get(ci).copied().unwrap_or(0) as usize;
@@ -310,7 +314,7 @@ impl SeriesArena {
             };
             // Chunks are time-ordered: once a chunk starts at/after `t`
             // the running best is the answer.
-            if !ts.first().is_some_and(|&first| first < t) {
+            if ts.first().is_none_or(|&first| first >= t) {
                 break;
             }
             let idx = ts.partition_point(|&pt| pt < t);

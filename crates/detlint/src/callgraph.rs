@@ -214,8 +214,7 @@ pub fn call_sites(code: &[Tok], body: (usize, usize)) -> Vec<CallSite> {
         }
         // Nested `fn` names and attribute heads (`#[cfg(...)]`) are not
         // call sites even though an open paren follows.
-        let in_attr_head =
-            i >= 2 && code[i - 1].is_punct('[') && code[i - 2].is_punct('#');
+        let in_attr_head = i >= 2 && code[i - 1].is_punct('[') && code[i - 2].is_punct('#');
         if in_attr_head || (i > 0 && code[i - 1].is_ident("fn")) {
             i += 1;
             continue;
@@ -244,7 +243,7 @@ pub fn call_sites(code: &[Tok], body: (usize, usize)) -> Vec<CallSite> {
         // Path head: collect `seg(::seg)*`.
         let mut segs = vec![t.text.clone()];
         let mut j = i + 1;
-        while j + 1 <= close
+        while j < close
             && code[j].is_punct(':')
             && code.get(j + 1).is_some_and(|t| t.is_punct(':'))
             && code

@@ -213,18 +213,17 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
     let mut cfg = Config::default();
     let mut current: Option<(Section, Builder)> = None;
 
-    let flush = |cur: &mut Option<(Section, Builder)>,
-                     cfg: &mut Config|
-     -> Result<(), ConfigError> {
-        if let Some((section, b)) = cur.take() {
-            match section {
-                Section::Allow => cfg.allows.push(b.finish_allow()?),
-                Section::Hotpath => cfg.hotpaths.push(b.finish_hotpath()?),
-                Section::Assume => cfg.assumes.push(b.finish_assume()?),
+    let flush =
+        |cur: &mut Option<(Section, Builder)>, cfg: &mut Config| -> Result<(), ConfigError> {
+            if let Some((section, b)) = cur.take() {
+                match section {
+                    Section::Allow => cfg.allows.push(b.finish_allow()?),
+                    Section::Hotpath => cfg.hotpaths.push(b.finish_hotpath()?),
+                    Section::Assume => cfg.assumes.push(b.finish_assume()?),
+                }
             }
-        }
-        Ok(())
-    };
+            Ok(())
+        };
 
     for (idx, raw) in text.lines().enumerate() {
         let lineno = (idx + 1) as u32;
@@ -240,10 +239,13 @@ pub fn parse(text: &str) -> Result<Config, ConfigError> {
         };
         if let Some(section) = section {
             flush(&mut current, &mut cfg)?;
-            current = Some((section, Builder {
-                config_line: lineno,
-                ..Builder::default()
-            }));
+            current = Some((
+                section,
+                Builder {
+                    config_line: lineno,
+                    ..Builder::default()
+                },
+            ));
             continue;
         }
         if line.starts_with('[') {
@@ -387,7 +389,10 @@ mod tests {
         assert_eq!(cfg.hotpaths.len(), 1);
         assert_eq!(cfg.hotpaths[0].rules, vec!["D006", "D007"]);
         assert_eq!(cfg.assumes.len(), 1);
-        assert_eq!(cfg.assumes[0].func, "streamd::serve::score_batch_interpreted");
+        assert_eq!(
+            cfg.assumes[0].func,
+            "streamd::serve::score_batch_interpreted"
+        );
     }
 
     #[test]

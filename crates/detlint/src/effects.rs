@@ -327,11 +327,7 @@ pub fn intrinsic_sites(code: &[Tok], body: (usize, usize)) -> Vec<Site> {
                         && code.get(i + 3).is_some_and(|n| n.is_ident(f))
                         && code.get(i + 4).is_some_and(|n| n.is_punct('('))
                     {
-                        out.push(site(
-                            EffectKind::Alloc,
-                            format!("`{ty}::{f}` allocates"),
-                            t,
-                        ));
+                        out.push(site(EffectKind::Alloc, format!("`{ty}::{f}` allocates"), t));
                     }
                 }
             }
@@ -358,8 +354,7 @@ pub fn intrinsic_sites(code: &[Tok], body: (usize, usize)) -> Vec<Site> {
                 if (t.is_punct('/') || t.is_punct('%')) && i > open {
                     if let Some(d) = code.get(i + 1) {
                         let op = if t.is_punct('/') { "/" } else { "%" };
-                        let div_by_ident =
-                            d.kind == TokKind::Ident && ints.contains(&d.text);
+                        let div_by_ident = d.kind == TokKind::Ident && ints.contains(&d.text);
                         let div_by_zero = is_int_literal(d) && d.text == "0";
                         if div_by_ident || div_by_zero {
                             out.push(site(
@@ -533,7 +528,13 @@ pub fn root_diagnostics(graph: &Graph, analysis: &Analysis, cfg: &Config) -> Vec
                             continue;
                         }
                         let chain = chain_of(graph, &parent, root, u);
-                        out.push(site_diag(&graph.nodes[root].item.qname, *k, s, node, &chain));
+                        out.push(site_diag(
+                            &graph.nodes[root].item.qname,
+                            *k,
+                            s,
+                            node,
+                            &chain,
+                        ));
                     }
                 }
                 for &e in &graph.nodes[u].edges {
@@ -618,10 +619,10 @@ pub fn render_effects_json(graph: &Graph, analysis: &Analysis, cfg: &Config) -> 
             .iter()
             .map(|&e| format!("\"{}\"", esc(&graph.nodes[e].item.qname)))
             .collect();
-        let _ = write!(
+        let _ = writeln!(
             s,
             "    {{\"qname\":\"{}\",\"path\":\"{}\",\"line\":{},\"assumed\":{},\
-             \"may_panic\":{},\"may_alloc\":{},\"nondet\":{},\"calls\":[{}]}}{}\n",
+             \"may_panic\":{},\"may_alloc\":{},\"nondet\":{},\"calls\":[{}]}}{}",
             esc(&node.item.qname),
             esc(&node.item.path),
             node.item.line,
@@ -641,9 +642,9 @@ pub fn render_effects_json(graph: &Graph, analysis: &Analysis, cfg: &Config) -> 
             .map(|&i| format!("\"{}\"", esc(&graph.nodes[i].item.qname)))
             .collect();
         let rules: Vec<String> = h.rules.iter().map(|r| format!("\"{}\"", esc(r))).collect();
-        let _ = write!(
+        let _ = writeln!(
             s,
-            "    {{\"root\":\"{}\",\"rules\":[{}],\"resolved\":[{}]}}{}\n",
+            "    {{\"root\":\"{}\",\"rules\":[{}],\"resolved\":[{}]}}{}",
             esc(&h.root),
             rules.join(","),
             resolved.join(","),
@@ -705,11 +706,10 @@ mod tests {
             "fn f(v: &mut Vec<u8>) { v.push(1); let b = Box::new(2u8); let t = format!(\"x\"); }",
         );
         let kinds: Vec<EffectKind> = s.iter().map(|s| s.kind).collect();
-        assert_eq!(kinds, vec![
-            EffectKind::Alloc,
-            EffectKind::Alloc,
-            EffectKind::Alloc
-        ]);
+        assert_eq!(
+            kinds,
+            vec![EffectKind::Alloc, EffectKind::Alloc, EffectKind::Alloc]
+        );
     }
 
     #[test]
@@ -719,11 +719,10 @@ mod tests {
              xs.as_ptr() as usize }",
         );
         let kinds: Vec<EffectKind> = s.iter().map(|s| s.kind).collect();
-        assert_eq!(kinds, vec![
-            EffectKind::Nondet,
-            EffectKind::Nondet,
-            EffectKind::Nondet
-        ]);
+        assert_eq!(
+            kinds,
+            vec![EffectKind::Nondet, EffectKind::Nondet, EffectKind::Nondet]
+        );
     }
 
     #[test]

@@ -66,7 +66,15 @@ pub fn extract(rel_path: &str, crate_name: &str, code: &[Tok]) -> Vec<FnItem> {
     let in_test = |idx: usize| test_regions.iter().any(|&(s, e)| idx >= s && idx <= e);
     let mut scope = module_path(rel_path, crate_name);
     let mut out = Vec::new();
-    scan(rel_path, code, 0, code.len(), &mut scope, &in_test, &mut out);
+    scan(
+        rel_path,
+        code,
+        0,
+        code.len(),
+        &mut scope,
+        &in_test,
+        &mut out,
+    );
     out
 }
 
@@ -83,7 +91,7 @@ fn scan(
     let mut i = i0;
     while i < end {
         let t = &code[i];
-        if t.is_ident("mod") && code.get(i + 1).is_some_and(|n| is_name(n)) {
+        if t.is_ident("mod") && code.get(i + 1).is_some_and(is_name) {
             if code.get(i + 2).is_some_and(|n| n.is_punct('{')) {
                 let close = matching_brace_bounded(code, i + 2, end);
                 scope.push(code[i + 1].text.clone());
@@ -261,12 +269,14 @@ mod tests {
             module_path("crates/streamd/src/serve.rs", "streamd"),
             vec!["streamd", "serve"]
         );
-        assert_eq!(module_path("src/lib.rs", "gpu-error-prediction"), vec![
-            "gpu_error_prediction"
-        ]);
-        assert_eq!(module_path("crates/core/src/a/mod.rs", "sbepred"), vec![
-            "sbepred", "a"
-        ]);
+        assert_eq!(
+            module_path("src/lib.rs", "gpu-error-prediction"),
+            vec!["gpu_error_prediction"]
+        );
+        assert_eq!(
+            module_path("crates/core/src/a/mod.rs", "sbepred"),
+            vec!["sbepred", "a"]
+        );
     }
 
     #[test]
@@ -281,11 +291,14 @@ mod tests {
              }",
         );
         let names: Vec<&str> = fns.iter().map(|f| f.qname.as_str()).collect();
-        assert_eq!(names, vec![
-            "mycrate::m::free",
-            "mycrate::m::Foo::method",
-            "mycrate::m::Foo::fmt"
-        ]);
+        assert_eq!(
+            names,
+            vec![
+                "mycrate::m::free",
+                "mycrate::m::Foo::method",
+                "mycrate::m::Foo::fmt"
+            ]
+        );
     }
 
     #[test]

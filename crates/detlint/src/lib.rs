@@ -103,7 +103,10 @@ fn guess_crate_name(rel_path: &str) -> String {
 
 /// Builds the call graph and runs the effect fixpoint over the strict-
 /// profile files of `files`. Also used by `detlint effects`.
-pub fn analyze_effects(files: &[SourceFile], cfg: &Config) -> (callgraph::Graph, effects::Analysis) {
+pub fn analyze_effects(
+    files: &[SourceFile],
+    cfg: &Config,
+) -> (callgraph::Graph, effects::Analysis) {
     let mut fn_lists = Vec::new();
     let mut codes: Vec<Vec<lexer::Tok>> = Vec::new();
     for f in files {

@@ -14,10 +14,7 @@ use detlint::{check_sources, Diagnostic, SourceFile};
 /// `hotfix` crate; `module` decides the qname segment (`serve`,
 /// `tables`, ...).
 fn fixture(module: &str, name: &str) -> SourceFile {
-    let path = format!(
-        "{}/fixtures/hotpath/{name}.rs",
-        env!("CARGO_MANIFEST_DIR")
-    );
+    let path = format!("{}/fixtures/hotpath/{name}.rs", env!("CARGO_MANIFEST_DIR"));
     let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     SourceFile {
         rel_path: format!("crates/hotfix/src/{module}.rs"),
@@ -49,7 +46,10 @@ fn blocking(diags: &[Diagnostic]) -> Vec<(String, String, u32, u32, String)> {
 
 #[test]
 fn d006_reports_the_cross_file_call_chain() {
-    let files = [fixture("serve", "d006_serve"), fixture("tables", "d006_tables")];
+    let files = [
+        fixture("serve", "d006_serve"),
+        fixture("tables", "d006_tables"),
+    ];
     let report = check_sources(
         &files,
         &cfg("[[hotpath]]\nroot = \"hotfix::serve::score_root\"\nrules = \"D006\"\n"),
@@ -71,7 +71,10 @@ fn d006_reports_the_cross_file_call_chain() {
 
 #[test]
 fn d007_reports_the_cross_file_call_chain() {
-    let files = [fixture("serve", "d007_serve"), fixture("buffer", "d007_buffer")];
+    let files = [
+        fixture("serve", "d007_serve"),
+        fixture("buffer", "d007_buffer"),
+    ];
     let report = check_sources(
         &files,
         &cfg("[[hotpath]]\nroot = \"hotfix::serve::assemble_root\"\nrules = \"D007\"\n"),
@@ -92,7 +95,10 @@ fn d007_reports_the_cross_file_call_chain() {
 
 #[test]
 fn d008_reports_the_cross_file_call_chain() {
-    let files = [fixture("serve", "d008_serve"), fixture("clock", "d008_clock")];
+    let files = [
+        fixture("serve", "d008_serve"),
+        fixture("clock", "d008_clock"),
+    ];
     let report = check_sources(
         &files,
         &cfg("[[hotpath]]\nroot = \"hotfix::serve::serve_root\"\nrules = \"D008\"\n"),
@@ -115,15 +121,32 @@ fn d008_reports_the_cross_file_call_chain() {
 #[test]
 fn site_waivers_discharge_the_root_obligation() {
     let cases = [
-        ("D006", "d006_waived", "hotfix::serve::score_root", "caller clamps"),
-        ("D007", "d007_waived", "hotfix::serve::assemble_root", "pre-sized by the caller"),
-        ("D008", "d008_waived", "hotfix::serve::serve_root", "thread-count selection only"),
+        (
+            "D006",
+            "d006_waived",
+            "hotfix::serve::score_root",
+            "caller clamps",
+        ),
+        (
+            "D007",
+            "d007_waived",
+            "hotfix::serve::assemble_root",
+            "pre-sized by the caller",
+        ),
+        (
+            "D008",
+            "d008_waived",
+            "hotfix::serve::serve_root",
+            "thread-count selection only",
+        ),
     ];
     for (rule, name, root, reason_frag) in cases {
         let files = [fixture("serve", name)];
         let report = check_sources(
             &files,
-            &cfg(&format!("[[hotpath]]\nroot = \"{root}\"\nrules = \"{rule}\"\n")),
+            &cfg(&format!(
+                "[[hotpath]]\nroot = \"{root}\"\nrules = \"{rule}\"\n"
+            )),
         );
         assert_eq!(
             report.blocking(),
@@ -153,9 +176,27 @@ fn site_waivers_discharge_the_root_obligation() {
 #[test]
 fn stale_config_allows_surface_as_w001() {
     let cases = [
-        ("D006", "d006_serve", "d006_tables", "tables", "hotfix::serve::score_root"),
-        ("D007", "d007_serve", "d007_buffer", "buffer", "hotfix::serve::assemble_root"),
-        ("D008", "d008_serve", "d008_clock", "clock", "hotfix::serve::serve_root"),
+        (
+            "D006",
+            "d006_serve",
+            "d006_tables",
+            "tables",
+            "hotfix::serve::score_root",
+        ),
+        (
+            "D007",
+            "d007_serve",
+            "d007_buffer",
+            "buffer",
+            "hotfix::serve::assemble_root",
+        ),
+        (
+            "D008",
+            "d008_serve",
+            "d008_clock",
+            "clock",
+            "hotfix::serve::serve_root",
+        ),
     ];
     for (rule, root_fix, site_fix, site_mod, root) in cases {
         let files = [fixture("serve", root_fix), fixture(site_mod, site_fix)];
@@ -169,7 +210,11 @@ fn stale_config_allows_surface_as_w001() {
                  reason = \"stale on purpose\"\n"
             )),
         );
-        assert_eq!(report.blocking(), 1, "{rule}: seeded violation must still block");
+        assert_eq!(
+            report.blocking(),
+            1,
+            "{rule}: seeded violation must still block"
+        );
         let w001: Vec<_> = report
             .diagnostics
             .iter()
@@ -191,9 +236,8 @@ fn report_is_bit_identical_across_thread_counts() {
         fixture("buffer", "d007_buffer"),
         fixture("clock", "d008_clock"),
     ];
-    let config = cfg(
-        "[[hotpath]]\nroot = \"hotfix::serve::score_root\"\nrules = \"D006,D007,D008\"\n",
-    );
+    let config =
+        cfg("[[hotpath]]\nroot = \"hotfix::serve::score_root\"\nrules = \"D006,D007,D008\"\n");
     let render = || {
         let report = check_sources(&files, &config);
         report

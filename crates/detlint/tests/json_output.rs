@@ -65,10 +65,7 @@ fn effects_json_round_trips_through_serde_json() {
     // bits. Built over the hotpath fixture corpus so the schema test
     // exercises assumed functions, resolved roots, and edges.
     let load = |module: &str, name: &str| {
-        let path = format!(
-            "{}/fixtures/hotpath/{name}.rs",
-            env!("CARGO_MANIFEST_DIR")
-        );
+        let path = format!("{}/fixtures/hotpath/{name}.rs", env!("CARGO_MANIFEST_DIR"));
         detlint::SourceFile {
             rel_path: format!("crates/hotfix/src/{module}.rs"),
             crate_name: "hotfix".to_string(),
@@ -109,7 +106,15 @@ fn effects_json_round_trips_through_serde_json() {
         "lookup calls pick"
     );
     for f in funcs {
-        for key in ["qname", "path", "line", "assumed", "may_panic", "may_alloc", "nondet"] {
+        for key in [
+            "qname",
+            "path",
+            "line",
+            "assumed",
+            "may_panic",
+            "may_alloc",
+            "nondet",
+        ] {
             assert!(f.get(key).is_some(), "function entry missing `{key}`");
         }
     }

@@ -8,6 +8,7 @@
 //! boosting round costs `O(samples × features)`.
 
 use crate::dataset::Dataset;
+use crate::hist::{TrainMode, TrainScratch};
 use crate::linear::sigmoid;
 use crate::model::Classifier;
 use crate::tree::{QuantileBinner, RegressionTree, TreeParams};
@@ -62,6 +63,12 @@ pub struct Gbdt {
     /// policy — so fitted-model serialization excludes it.
     #[serde(skip)]
     threads: parkit::Threads,
+    /// Split-finding engine (see [`TrainMode`]). Training detail — the
+    /// default `Exact` engine is bit-identical to `Reference`, and
+    /// `Fast` is locked split-identical by the differential suite — so
+    /// fitted-model serialization excludes it.
+    #[serde(skip)]
+    train_mode: TrainMode,
     // Fitted state.
     binner: Option<QuantileBinner>,
     trees: Vec<RegressionTree>,
@@ -91,6 +98,7 @@ impl Gbdt {
             pos_weight: 1.0,
             seed: 42,
             threads: parkit::Threads::Auto,
+            train_mode: TrainMode::Exact,
             binner: None,
             trees: Vec::new(),
             base_score: 0.0,
@@ -163,6 +171,16 @@ impl Gbdt {
     /// wall-clock time.
     pub fn threads(mut self, threads: parkit::Threads) -> Gbdt {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the split-finding engine. `Exact` (the default) is
+    /// bit-identical to the pre-engine `Reference` path; `Fast` adds
+    /// sibling subtraction and row-block parallelism for a ≥2x
+    /// training-throughput gain at the cost of last-ulp floating-point
+    /// identity (see [`crate::hist`] for the contract).
+    pub fn train_mode(mut self, mode: TrainMode) -> Gbdt {
+        self.train_mode = mode;
         self
     }
 
@@ -300,11 +318,16 @@ impl Gbdt {
             lambda: self.lambda,
             colsample: self.colsample,
             threads: self.threads,
+            mode: self.train_mode,
         };
 
         self.trees.clear();
         let mut all_idx: Vec<usize> = (0..n).collect();
         let sub_n = ((n as f64) * self.subsample).ceil() as usize;
+        // One scratch arena for the whole boosting run: gathers, slabs,
+        // and partials allocate during the first tree and are reused by
+        // every later one, so steady-state training is allocation-free.
+        let mut scratch = TrainScratch::for_binner(&binner);
 
         for _ in 0..self.n_trees {
             // Logistic loss derivatives with optional positive-class weight:
@@ -323,8 +346,16 @@ impl Gbdt {
             } else {
                 &all_idx
             };
-            let tree = RegressionTree::fit_observed(
-                &binned, &binner, &grad, &hess, idx, params, &mut rng, rec,
+            let tree = RegressionTree::fit_with_scratch(
+                &binned,
+                &binner,
+                &grad,
+                &hess,
+                idx,
+                params,
+                &mut rng,
+                rec,
+                &mut scratch,
             )?;
             // Update raw scores for every sample (not just the subsample).
             // Each element is touched exactly once, so the chunked

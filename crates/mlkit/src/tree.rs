@@ -47,7 +47,10 @@ impl QuantileBinner {
         let mut thresholds = Vec::with_capacity(x.ncols());
         for j in 0..x.ncols() {
             let mut col = x.col(j);
-            col.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            // Total order so cut selection is deterministic for any
+            // input, NaNs included (they sort to the ends instead of
+            // landing wherever the comparison sequence leaves them).
+            col.sort_by(f32::total_cmp);
             col.dedup();
             let mut th = Vec::new();
             if col.len() > 1 {
@@ -86,6 +89,7 @@ impl QuantileBinner {
     ///
     /// Panics if `j` is out of range.
     pub fn n_bins_for(&self, j: usize) -> usize {
+        // detlint: allow(D006) reason=hot-path callers iterate j over 0..n_features of the same fitted binner
         self.thresholds[j].len() + 1
     }
 
@@ -160,6 +164,18 @@ impl BinnedMatrix {
     pub fn get(&self, i: usize, j: usize) -> u8 {
         self.bins[i * self.cols + j]
     }
+
+    /// Contiguous bin-index row of sample `i` (all features), the unit
+    /// the [`crate::hist`] gather copies from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[inline]
+    pub fn binned_row(&self, i: usize) -> &[u8] {
+        // detlint: allow(D006) reason=hot-path callers pass node indices validated against nrows at fit entry
+        &self.bins[i * self.cols..(i + 1) * self.cols]
+    }
 }
 
 /// Split/leaf node of a [`RegressionTree`], stored in a flat arena.
@@ -197,6 +213,11 @@ pub struct TreeParams {
     /// serialized with fitted models.
     #[serde(skip)]
     pub threads: parkit::Threads,
+    /// Split-finding engine (see [`crate::hist::TrainMode`]). Training
+    /// detail only — `Exact` (the default) is bit-identical to
+    /// `Reference` — so it is not serialized with fitted models.
+    #[serde(skip)]
+    pub mode: crate::hist::TrainMode,
 }
 
 impl Default for TreeParams {
@@ -208,6 +229,7 @@ impl Default for TreeParams {
             lambda: 1.0,
             colsample: 1.0,
             threads: parkit::Threads::Serial,
+            mode: crate::hist::TrainMode::Exact,
         }
     }
 }
@@ -221,12 +243,12 @@ pub struct RegressionTree {
     n_features: usize,
 }
 
-struct BuildCtx<'a> {
-    binned: &'a BinnedMatrix,
-    binner: &'a QuantileBinner,
-    grad: &'a [f32],
-    hess: &'a [f32],
-    params: TreeParams,
+pub(crate) struct BuildCtx<'a> {
+    pub(crate) binned: &'a BinnedMatrix,
+    pub(crate) binner: &'a QuantileBinner,
+    pub(crate) grad: &'a [f32],
+    pub(crate) hess: &'a [f32],
+    pub(crate) params: TreeParams,
 }
 
 impl RegressionTree {
@@ -281,6 +303,40 @@ impl RegressionTree {
         rng: &mut StdRng,
         rec: &mut obskit::Recorder,
     ) -> Result<RegressionTree> {
+        let mut scratch = crate::hist::TrainScratch::for_binner(binner);
+        RegressionTree::fit_with_scratch(
+            binned,
+            binner,
+            grad,
+            hess,
+            indices,
+            params,
+            rng,
+            rec,
+            &mut scratch,
+        )
+    }
+
+    /// Like [`RegressionTree::fit_observed`], but reusing a caller-owned
+    /// [`TrainScratch`](crate::hist::TrainScratch) so a boosting loop
+    /// pays histogram/gather allocations once (first tree) instead of
+    /// per tree.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`RegressionTree::fit`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_with_scratch(
+        binned: &BinnedMatrix,
+        binner: &QuantileBinner,
+        grad: &[f32],
+        hess: &[f32],
+        indices: &[usize],
+        params: TreeParams,
+        rng: &mut StdRng,
+        rec: &mut obskit::Recorder,
+        scratch: &mut crate::hist::TrainScratch,
+    ) -> Result<RegressionTree> {
         if indices.is_empty() {
             return Err(MlError::EmptyDataset);
         }
@@ -290,6 +346,7 @@ impl RegressionTree {
                 found: format!("{} / {}", grad.len(), hess.len()),
             });
         }
+        scratch.sync_layout(binner);
         let ctx = BuildCtx {
             binned,
             binner,
@@ -303,12 +360,21 @@ impl RegressionTree {
         };
         let mut idx = indices.to_vec();
         let mut candidates = 0u64;
-        tree.build(&ctx, &mut idx, 0, rng, &mut candidates);
+        tree.build(
+            &ctx,
+            &mut idx,
+            0,
+            rng,
+            &mut candidates,
+            scratch,
+            crate::hist::NodeHist::Unbuilt,
+        );
         rec.incr("mlkit.tree.split_candidates", candidates);
         Ok(tree)
     }
 
     /// Recursively grows the subtree over `indices`; returns the node id.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
         ctx: &BuildCtx<'_>,
@@ -316,7 +382,10 @@ impl RegressionTree {
         depth: usize,
         rng: &mut StdRng,
         candidates: &mut u64,
+        scratch: &mut crate::hist::TrainScratch,
+        hist: crate::hist::NodeHist,
     ) -> usize {
+        use crate::hist::{NodeHist, TrainMode};
         let (g_sum, h_sum) = sums(ctx.grad, ctx.hess, indices);
         let leaf_value = (-g_sum / (h_sum + ctx.params.lambda)) as f32;
 
@@ -324,7 +393,12 @@ impl RegressionTree {
             return self.push(Node::Leaf { value: leaf_value });
         }
 
-        let (found, scanned) = find_best_split(ctx, indices, g_sum, h_sum, rng);
+        let (found, scanned, slot) = if ctx.params.mode == TrainMode::Reference {
+            let (f, s) = find_best_split(ctx, indices, g_sum, h_sum, rng);
+            (f, s, 0)
+        } else {
+            crate::hist::find_best_split_hist(ctx, indices, g_sum, h_sum, rng, scratch, hist, depth)
+        };
         *candidates += scanned;
         let Some(best) = found else {
             return self.push(Node::Leaf { value: leaf_value });
@@ -337,6 +411,14 @@ impl RegressionTree {
         if mid == 0 || mid == indices.len() {
             return self.push(Node::Leaf { value: leaf_value });
         }
+        // Fast mode: build the smaller child's histogram now (while the
+        // parent's slab is still resident for sibling subtraction).
+        let (left_hist, right_hist) = if ctx.params.mode == TrainMode::Fast {
+            let (l, r) = indices.split_at(mid);
+            crate::hist::prepare_children(ctx, scratch, slot, depth, l, r)
+        } else {
+            (NodeHist::Unbuilt, NodeHist::Unbuilt)
+        };
         let threshold = ctx.binner.threshold(best.feature, best.bin as usize - 1);
         let node_id = self.push(Node::Split {
             feature: best.feature,
@@ -346,8 +428,24 @@ impl RegressionTree {
             right: usize::MAX,
         });
         let (left_idx, right_idx) = indices.split_at_mut(mid);
-        let left = self.build(ctx, left_idx, depth + 1, rng, candidates);
-        let right = self.build(ctx, right_idx, depth + 1, rng, candidates);
+        let left = self.build(
+            ctx,
+            left_idx,
+            depth + 1,
+            rng,
+            candidates,
+            scratch,
+            left_hist,
+        );
+        let right = self.build(
+            ctx,
+            right_idx,
+            depth + 1,
+            rng,
+            candidates,
+            scratch,
+            right_hist,
+        );
         if let Node::Split {
             left: l, right: r, ..
         } = &mut self.nodes[node_id]
@@ -480,11 +578,11 @@ impl RegressionTree {
     }
 }
 
-struct SplitCandidate {
-    feature: usize,
+pub(crate) struct SplitCandidate {
+    pub(crate) feature: usize,
     /// First bin of the right child.
-    bin: u8,
-    gain: f64,
+    pub(crate) bin: u8,
+    pub(crate) gain: f64,
 }
 
 fn sums(grad: &[f32], hess: &[f32], indices: &[usize]) -> (f64, f64) {
@@ -497,13 +595,13 @@ fn sums(grad: &[f32], hess: &[f32], indices: &[usize]) -> (f64, f64) {
     (g, h)
 }
 
-fn score(g: f64, h: f64, lambda: f64) -> f64 {
+pub(crate) fn score(g: f64, h: f64, lambda: f64) -> f64 {
     g * g / (h + lambda)
 }
 
 /// Minimum `samples × features` workload below which per-feature split
 /// evaluation stays inline — thread spawns would dominate smaller nodes.
-const PAR_SPLIT_MIN_WORK: usize = 32_768;
+pub(crate) const PAR_SPLIT_MIN_WORK: usize = 32_768;
 
 /// Best candidate split for a single feature: histogram the node's
 /// gradients/hessians by bin, then scan cut points left to right.
@@ -565,7 +663,11 @@ fn best_split_for_feature(
 /// Returns the best candidate and the number of candidate cut points
 /// scanned (an exact count: `Σ_j max(n_bins_j − 1, 0)` over the sampled
 /// features, independent of the thread policy).
-fn find_best_split(
+///
+/// This is the [`crate::hist::TrainMode::Reference`] engine: the
+/// pre-histogram-engine path, kept verbatim as the bench baseline and
+/// the oracle for the differential suite.
+pub(crate) fn find_best_split(
     ctx: &BuildCtx<'_>,
     indices: &[usize],
     g_total: f64,

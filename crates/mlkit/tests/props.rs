@@ -93,6 +93,75 @@ proptest! {
     }
 
     #[test]
+    fn binner_value_lands_within_its_cut_bounds(
+        values in prop::collection::vec(-100.0f32..100.0, 8..100),
+        probe in -100.0f32..100.0,
+    ) {
+        let rows: Vec<Vec<f32>> = values.iter().map(|&v| vec![v]).collect();
+        let x = Matrix::from_rows(&rows).expect("valid");
+        let binner = QuantileBinner::fit(&x, 16).expect("fits");
+        let b = binner.bin_value(0, probe) as usize;
+        let nb = binner.n_bins_for(0);
+        prop_assert!(b < nb, "bin {b} out of range {nb}");
+        // bin_value counts thresholds <= probe, so the bin's bracketing
+        // cuts must contain the value: threshold[b-1] <= probe < threshold[b].
+        if b > 0 {
+            prop_assert!(binner.threshold(0, b - 1) <= probe);
+        }
+        if b + 1 < nb {
+            prop_assert!(probe < binner.threshold(0, b));
+        }
+    }
+
+    #[test]
+    fn binning_bit_identical_across_thread_policies(
+        values in prop::collection::vec(-100.0f32..100.0, 16..80),
+    ) {
+        // Binning has no internal parallelism; what the determinism
+        // contract requires is that dispatching it across parkit workers
+        // (as the training engines do) is order-preserving and
+        // bit-identical at 1/2/8 threads.
+        let rows: Vec<Vec<f32>> = values.iter().map(|&v| vec![v, -v]).collect();
+        let x = Matrix::from_rows(&rows).expect("valid");
+        let binner = QuantileBinner::fit(&x, 16).expect("fits");
+        let idx: Vec<usize> = (0..rows.len()).collect();
+        let bin_all = |threads: parkit::Threads| -> Vec<(u8, u8)> {
+            parkit::par_map(threads, &idx, |&i| {
+                (binner.bin_value(0, rows[i][0]), binner.bin_value(1, rows[i][1]))
+            })
+        };
+        let reference = bin_all(parkit::Threads::Serial);
+        for n in [1usize, 2, 8] {
+            prop_assert_eq!(bin_all(parkit::Threads::Fixed(n)), reference.clone());
+        }
+    }
+
+    #[test]
+    fn binner_fit_invariant_under_row_permutation_with_nans(
+        mut values in prop::collection::vec((-100.0f32..100.0, 0u8..10), 8..60),
+        rotate in 0usize..60,
+    ) {
+        // ~10% of entries become NaN: the total_cmp sort must give NaNs
+        // a fixed position, so fitted cuts cannot depend on row order.
+        let as_rows = |vals: &[(f32, u8)]| -> Vec<Vec<f32>> {
+            vals.iter()
+                .map(|&(v, tag)| vec![if tag == 0 { f32::NAN } else { v }])
+                .collect()
+        };
+        let a = Matrix::from_rows(&as_rows(&values)).expect("valid");
+        let shift = rotate % values.len();
+        values.rotate_left(shift);
+        let b = Matrix::from_rows(&as_rows(&values)).expect("valid");
+        let fit_cuts = |x: &Matrix| -> Vec<u32> {
+            let binner = QuantileBinner::fit(x, 16).expect("fits");
+            (0..binner.n_bins_for(0).saturating_sub(1))
+                .map(|c| binner.threshold(0, c).to_bits())
+                .collect()
+        };
+        prop_assert_eq!(fit_cuts(&a), fit_cuts(&b));
+    }
+
+    #[test]
     fn gbdt_probabilities_always_bounded(ds in dataset_strategy(60, 3)) {
         let mut m = Gbdt::new().n_trees(5).max_depth(3).min_samples_leaf(1);
         if m.fit(&ds).is_ok() {

@@ -264,15 +264,27 @@ enum Scorer {
 /// heap allocation at all.
 struct CompiledState {
     scorer: CompiledScorer,
-    /// Raw (unscaled) feature row.
-    raw: Vec<f32>,
-    /// Standardised feature row (fixed width; doubles as the width
-    /// source for resets).
-    scaled: Vec<f32>,
-    /// Column-major batch buffer.
+    /// Feature width (the scaler's row length).
+    n_features: usize,
+    /// Per-row assembly scratch, one slot per batch row up to the batch
+    /// high-water mark. Slots are disjoint, so assembly can fan out
+    /// across parkit workers without sharing mutable state.
+    slots: Vec<RowSlot>,
+    /// Column-major batch buffer, persisted across flushes (capacity is
+    /// retained by `reset`).
     frame: FeatureFrame,
     /// Probability output.
     proba: Vec<f32>,
+}
+
+/// One row's reusable assembly scratch for the compiled backend.
+struct RowSlot {
+    /// Raw (unscaled) feature row.
+    raw: Vec<f32>,
+    /// Standardised feature row (fixed width).
+    scaled: Vec<f32>,
+    /// Assembly failure, surfaced by the driver in batch order.
+    err: Option<StreamError>,
 }
 
 /// Replays `trace` against `artifact` (see the module docs).
@@ -323,8 +335,8 @@ pub fn serve_observed(
         ScorerBackend::Interpreted => Scorer::Interpreted,
         ScorerBackend::Compiled => Scorer::Compiled(Box::new(CompiledState {
             scorer: artifact.compile()?,
-            raw: Vec::with_capacity(n_features),
-            scaled: vec![0.0; n_features],
+            n_features,
+            slots: Vec::new(),
             frame: FeatureFrame::with_capacity(n_features, cfg.batch_capacity.min(1_024)),
             proba: Vec::new(),
         })),
@@ -546,7 +558,7 @@ fn flush(
             &proba_interpreted
         }
         Scorer::Compiled(state) => {
-            assemble_batch_compiled(spec, scaler, state, &batch, &telemetry)?;
+            assemble_batch_compiled(cfg, spec, scaler, state, &batch, &telemetry)?;
             rec.span_end(feature_span);
 
             let score_span = rec.span_start("streamd.score");
@@ -611,36 +623,85 @@ fn assemble_batch_interpreted(
     })
 }
 
-/// Compiled-backend feature assembly: serial row assembly into the
-/// reusable frame. `assemble_row` and `transform_row` are the same pure
-/// per-row functions the parallel path fans out, in the same batch
-/// order. Hot-path root: detlint proves every function reachable from
-/// here panic-free, steady-state alloc-free, and deterministic
+/// Compiled-backend feature assembly: per-row work fans out across
+/// parkit workers into disjoint reusable [`RowSlot`]s, then the driver
+/// scatters the standardized rows into the persistent frame in batch
+/// order. `assemble_row` and `transform_row` are the same pure per-row
+/// functions the interpreted path fans out, over the same batch order,
+/// so the assembled frame is bit-identical to the old serial packing —
+/// but the assembly no longer serialises behind one core, which is what
+/// made compiled stream-mode *slower* than interpreted on small models.
+/// Hot-path root: detlint proves every function reachable from here
+/// panic-free, steady-state alloc-free, and deterministic
 /// (D006/D007/D008).
 fn assemble_batch_compiled(
+    cfg: &ServeConfig,
     spec: &sbepred::features::FeatureSpec,
     scaler: &mlkit::scaler::StandardScaler,
     state: &mut CompiledState,
     batch: &[PendingRequest],
     telemetry: &[SampleTelemetry],
 ) -> Result<()> {
-    state.frame.reset(state.scaled.len());
-    for (i, p) in batch.iter().enumerate() {
+    let n = batch.len();
+    let width = state.n_features;
+    if state.slots.len() < n {
+        // Warm-up growth only: slots persist at the batch high-water
+        // mark (bounded by batch_capacity) and are reused afterwards.
+        state.slots.resize_with(n, || RowSlot {
+            // detlint: allow(D007) reason=warm-up only: slots are built once up to the batch high-water mark and reused afterwards
+            raw: Vec::with_capacity(width),
+            // detlint: allow(D007) reason=warm-up only: scaled buffers are built once up to the batch high-water mark and reused afterwards
+            scaled: vec![0.0; width],
+            err: None,
+        });
+    }
+    let needs_telemetry = spec.needs_telemetry();
+    let fill = |i: usize, slot: &mut RowSlot| {
+        // detlint: allow(D006) reason=i = offset + k from par_apply_chunks over slots[..n], so i < n = batch.len()
+        let p = &batch[i];
         // Checked lookup: a telemetry/batch length mismatch surfaces as
         // the assembler's missing-telemetry error, never a panic.
-        let t = if spec.needs_telemetry() {
+        let t = if needs_telemetry {
             telemetry.get(i)
         } else {
             None
         };
-        state.raw.clear();
-        assemble_row(spec, &p.facts, t, &p.hist, &mut state.raw).map_err(StreamError::from)?;
-        scaler
-            .transform_row(&mut state.scaled, &state.raw)
-            .map_err(StreamError::from)?;
+        slot.err = None;
+        slot.raw.clear();
+        let assembled = assemble_row(spec, &p.facts, t, &p.hist, &mut slot.raw)
+            .map_err(StreamError::from)
+            .and_then(|()| {
+                scaler
+                    .transform_row(&mut slot.scaled, &slot.raw)
+                    .map_err(StreamError::from)
+            });
+        if let Err(e) = assembled {
+            slot.err = Some(e);
+        }
+    };
+    // Each slot is touched by exactly one worker and the scatter below
+    // reads them in batch order, so the thread policy cannot change a
+    // bit of the frame.
+    // detlint: allow(D006) reason=slots[..n] is in bounds: resize_with above guarantees slots.len() >= n
+    parkit::par_apply_chunks(cfg.threads, &mut state.slots[..n], |offset, chunk| {
+        for (k, slot) in chunk.iter_mut().enumerate() {
+            fill(offset + k, slot);
+        }
+    });
+    // Surface the first failure in batch order (matching the serial
+    // loop's error precedence), then pack the frame.
+    // detlint: allow(D006) reason=slots[..n] is in bounds: resize_with above guarantees slots.len() >= n
+    for slot in state.slots[..n].iter_mut() {
+        if let Some(e) = slot.err.take() {
+            return Err(e);
+        }
+    }
+    state.frame.reset(width);
+    // detlint: allow(D006) reason=slots[..n] is in bounds: resize_with above guarantees slots.len() >= n
+    for slot in state.slots[..n].iter() {
         state
             .frame
-            .push_row(&state.scaled)
+            .push_row(&slot.scaled)
             .map_err(StreamError::from)?;
     }
     Ok(())
