@@ -8,13 +8,22 @@
 //!       [--metrics-out FILE] <experiment>...
 //! repro save-trace [--config C] [--seed N] --out FILE
 //! repro train [--config C] [--seed N | --trace PATH] [--split ds1|ds2|ds3]
-//!       [--model gbdt|lr] [--train-mode reference|exact|fast] --out ARTIFACT
+//!       [--model gbdt|lr] [--train-mode reference|exact|fast]
+//!       [--features all|no-telemetry] --out ARTIFACT
 //! repro serve --model ARTIFACT --trace PATH [--alerts-out FILE]
 //!       [--metrics-out FILE] [--batch N] [--delay N] [--from M] [--until M]
 //!       [--threads N] [--backend interpreted|compiled]
-//! repro check-bench --file BENCH_fastpath.json|BENCH_train.json
+//! repro serve-net --model ARTIFACT [--listen ADDR] [--topology tiny|scaled|titan]
+//!       [--from M] [--until M] [--batch N] [--delay N] [--threads N]
+//!       [--backend interpreted|compiled] [--queue-cap N] [--conn-window N]
+//!       [--record LOG]
+//! repro fleet --addr ADDR [--conns N] [--nodes N] [--minutes N] [--rate N]
+//!       [--sbe-rate N] [--seed N] [--window N] [--failure-conns N]
+//!       [--corrupt-every N] [--metrics-out FILE]
+//! repro check-bench --file BENCH_fastpath.json|BENCH_train.json|BENCH_sbed.json
 //!       [--min-batch-speedup X] [--min-stream-speedup X]
 //!       [--min-fast-speedup X] [--min-exact-speedup X]
+//!       [--min-sbed-rps X] [--min-sbed-scale X]
 //! ```
 //!
 //! `--metrics-out FILE` records pipeline observability metrics (trace
@@ -36,11 +45,23 @@
 //! --train-mode fast` fits the GBDT through the histogram engine's
 //! sibling-subtraction path (`exact`, the default, is bit-identical to
 //! the original trainer). `check-bench` reads a report emitted by
-//! `cargo bench` — either a `BENCH_fastpath.json` (inference
-//! trajectory) or a `BENCH_train.json` (training trajectory), told
-//! apart by the embedded `schema` field — and fails if the speedups
-//! fall below the floors: the CI guard on both performance
-//! trajectories.
+//! `cargo bench` — a `BENCH_fastpath.json` (inference trajectory), a
+//! `BENCH_train.json` (training trajectory), or a `BENCH_sbed.json`
+//! (network-serving saturation), told apart by the embedded `schema`
+//! field — and fails if the numbers fall below the floors: the CI
+//! guard on all three performance trajectories.
+//!
+//! `serve-net` / `fleet` are the network pair: `serve-net` binds the
+//! `sbed` TCP scoring daemon on `--listen` (printing the bound address,
+//! so `--listen 127.0.0.1:0` works for scripting) and serves the
+//! length-prefixed wire protocol until a client FINISH frame arrives;
+//! `fleet` drives such a daemon with the seeded mock fleet and prints
+//! the outcome. `serve-net --record LOG` appends every admitted frame
+//! to `LOG` and, after the run, replays it through a fresh in-process
+//! session as a determinism self-check — the replayed response
+//! checksum, report, and metrics snapshot must be byte-identical to
+//! the live run. `--threads` falls back to the `SBE_THREADS`
+//! environment variable when unset (the CI parity matrix's knob).
 
 use sbe_bench::{persist_json, WallClock};
 use sbepred::experiments::{
@@ -71,13 +92,21 @@ fn usage() -> ExitCode {
          [--metrics-out FILE] <experiment>...\n\
          repro save-trace [--config C] [--seed N] --out FILE\n\
          repro train [--config C] [--seed N | --trace PATH] [--split ds1|ds2|ds3] \
-         [--model gbdt|lr] [--train-mode reference|exact|fast] --out ARTIFACT\n\
+         [--model gbdt|lr] [--train-mode reference|exact|fast] \
+         [--features all|no-telemetry] --out ARTIFACT\n\
          repro serve --model ARTIFACT --trace PATH [--alerts-out FILE] \
          [--metrics-out FILE] [--batch N] [--delay N] [--from M] [--until M] [--threads N] \
          [--backend interpreted|compiled]\n\
-         repro check-bench --file BENCH_fastpath.json|BENCH_train.json \
+         repro serve-net --model ARTIFACT [--listen ADDR] [--topology tiny|scaled|titan] \
+         [--from M] [--until M] [--batch N] [--delay N] [--threads N] \
+         [--backend interpreted|compiled] [--queue-cap N] [--conn-window N] [--record LOG]\n\
+         repro fleet --addr ADDR [--conns N] [--nodes N] [--minutes N] [--rate N] \
+         [--sbe-rate N] [--seed N] [--window N] [--failure-conns N] [--corrupt-every N] \
+         [--metrics-out FILE]\n\
+         repro check-bench --file BENCH_fastpath.json|BENCH_train.json|BENCH_sbed.json \
          [--min-batch-speedup X] [--min-stream-speedup X] \
-         [--min-fast-speedup X] [--min-exact-speedup X]\n\
+         [--min-fast-speedup X] [--min-exact-speedup X] \
+         [--min-sbed-rps X] [--min-sbed-scale X]\n\
          experiments: {} {} {} | groups: characterization prediction extensions all",
         CHARACTERIZATION.join(" "),
         PREDICTION.join(" "),
@@ -210,6 +239,7 @@ fn cmd_train(args: &[String]) -> ExitCode {
     let mut split_name = "ds1".to_string();
     let mut model_name = "gbdt".to_string();
     let mut train_mode = mlkit::hist::TrainMode::Exact;
+    let mut features = "all".to_string();
     let mut out: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -238,6 +268,10 @@ fn cmd_train(args: &[String]) -> ExitCode {
                 Some(v) => train_mode = v,
                 None => return usage(),
             },
+            "--features" => match it.next() {
+                Some(v) => features = v.clone(),
+                None => return usage(),
+            },
             "--out" => match it.next() {
                 Some(v) => out = Some(PathBuf::from(v)),
                 None => return usage(),
@@ -256,7 +290,14 @@ fn cmd_train(args: &[String]) -> ExitCode {
     let Some(trace) = trace else {
         return ExitCode::FAILURE;
     };
-    match train_artifact(&trace, &split_name, &model_name, seed, train_mode) {
+    match train_artifact(
+        &trace,
+        &split_name,
+        &model_name,
+        seed,
+        train_mode,
+        &features,
+    ) {
         Ok((artifact, f1)) => {
             eprintln!(
                 "trained {} on {}: test F1 {f1:.3}, {} offender nodes",
@@ -299,6 +340,7 @@ fn train_artifact(
     model_name: &str,
     seed: u64,
     train_mode: mlkit::hist::TrainMode,
+    features: &str,
 ) -> Result<(streamd::artifact::PipelineArtifact, f64), Box<dyn std::error::Error>> {
     use sbepred::datasets::DsSplit;
     use sbepred::features::{FeatureExtractor, FeatureSpec};
@@ -311,7 +353,14 @@ fn train_artifact(
         "ds3" => DsSplit::ds3(trace)?,
         other => return Err(format!("unknown split `{other}` (ds1|ds2|ds3)").into()),
     };
-    let spec = FeatureSpec::all();
+    // `no-telemetry` ships an artifact scorable from the wire protocol
+    // alone (the network path carries no per-node telemetry stream);
+    // `all` matches the paper's full feature set for trace replay.
+    let spec = match features {
+        "all" => FeatureSpec::all(),
+        "no-telemetry" => FeatureSpec::no_telemetry(),
+        other => return Err(format!("unknown feature set `{other}` (all|no-telemetry)").into()),
+    };
     let samples = sbepred::samples::build_samples(trace)?;
     let fx = FeatureExtractor::new(trace, &samples)?;
     let prepared = prepare_with_extractor(&fx, &samples, &split, &spec)?;
@@ -561,14 +610,405 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// Parses a `--topology` value into a node universe.
+fn parse_topology(v: &str) -> Option<titan_sim::topology::Topology> {
+    use titan_sim::topology::Topology;
+    let built = match v {
+        "tiny" => Topology::tiny(),
+        "scaled" => Topology::scaled(),
+        "titan" => Topology::titan(),
+        other => {
+            eprintln!("unknown topology `{other}` (tiny|scaled|titan)");
+            return None;
+        }
+    };
+    match built {
+        Ok(t) => Some(t),
+        Err(e) => {
+            eprintln!("could not build topology `{v}`: {e}");
+            None
+        }
+    }
+}
+
+/// Thread-count default for the network pair: `--threads` wins, then
+/// the `SBE_THREADS` environment variable (the CI parity matrix's
+/// knob), then auto.
+fn default_threads() -> parkit::Threads {
+    match std::env::var("SBE_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        Some(n) if n > 0 => parkit::Threads::Fixed(n),
+        _ => parkit::Threads::Auto,
+    }
+}
+
+/// `repro serve-net`: bind the sbed TCP scoring daemon and serve until
+/// a client FINISH frame arrives.
+fn cmd_serve_net(args: &[String]) -> ExitCode {
+    use sbed::daemon::{Daemon, DaemonConfig};
+    use std::sync::Arc;
+    use streamd::serve::{ScorerBackend, ServeConfig};
+
+    let mut model_path: Option<PathBuf> = None;
+    let mut listen = "127.0.0.1:7811".to_string();
+    let mut topology_name = "tiny".to_string();
+    let mut batch = 64usize;
+    let mut delay = 5u64;
+    let mut from: Option<u64> = None;
+    let mut until: Option<u64> = None;
+    let mut threads = default_threads();
+    let mut backend = ScorerBackend::Interpreted;
+    let mut queue_cap = 1024usize;
+    let mut conn_window = 64usize;
+    let mut record: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => match it.next() {
+                Some(v) => model_path = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--listen" => match it.next() {
+                Some(v) => listen = v.clone(),
+                None => return usage(),
+            },
+            "--topology" => match it.next() {
+                Some(v) => topology_name = v.clone(),
+                None => return usage(),
+            },
+            "--batch" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => batch = v,
+                None => return usage(),
+            },
+            "--delay" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => delay = v,
+                None => return usage(),
+            },
+            "--from" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => from = Some(v),
+                None => return usage(),
+            },
+            "--until" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => until = Some(v),
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = parkit::Threads::Fixed(v),
+                None => return usage(),
+            },
+            "--backend" => match it.next().and_then(|v| ScorerBackend::parse(v)) {
+                Some(v) => backend = v,
+                None => return usage(),
+            },
+            "--queue-cap" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => queue_cap = v,
+                None => return usage(),
+            },
+            "--conn-window" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => conn_window = v,
+                None => return usage(),
+            },
+            "--record" => match it.next() {
+                Some(v) => record = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(model_path) = model_path else {
+        eprintln!("serve-net requires --model ARTIFACT");
+        return ExitCode::FAILURE;
+    };
+    let artifact = match streamd::artifact::PipelineArtifact::load(&model_path) {
+        Ok(a) => Arc::new(a),
+        Err(e) => {
+            eprintln!("could not load artifact `{}`: {e}", model_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(topology) = parse_topology(&topology_name) else {
+        return ExitCode::FAILURE;
+    };
+    let score_from = from.unwrap_or_else(|| artifact.trained_end_min());
+    let score_until = until.unwrap_or(score_from + 1440);
+    let serve_cfg = ServeConfig {
+        batch_capacity: batch,
+        max_delay_min: delay,
+        score_from_min: score_from,
+        score_until_min: score_until,
+        threads,
+        backend,
+    };
+    let mut cfg = DaemonConfig::new(&listen, serve_cfg, topology);
+    cfg.queue_capacity = queue_cap;
+    cfg.conn_window = conn_window;
+    cfg.record_log = record.clone();
+    let daemon = match Daemon::spawn(Arc::clone(&artifact), cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("could not start daemon on `{listen}`: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The bound address goes to stdout so scripts can capture it even
+    // with `--listen 127.0.0.1:0`.
+    println!("listening {}", daemon.addr());
+    eprintln!(
+        "sbed: {} on {} ({} nodes), window [{score_from}, {score_until}), \
+         {threads:?} threads, {backend:?} backend",
+        artifact.model().name(),
+        daemon.addr(),
+        topology.n_nodes(),
+    );
+    let report = match daemon.join() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("daemon failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "served {} events over {} connections: {} requests ({} stage-2), {} batches, \
+         {} alerts; {} rejected, {} overloads, {} transport errors",
+        report.report.n_events,
+        report.n_connections,
+        report.report.n_requests,
+        report.report.n_stage2,
+        report.report.n_batches,
+        report.report.n_alerts,
+        report.n_rejected,
+        report.n_overloads,
+        report.n_transport_errors,
+    );
+    // Grep-able determinism anchor: the CI parity matrix compares this
+    // line across SBE_THREADS values.
+    println!("response_fnv {:#018x}", report.response_fnv);
+    let Some(log_path) = record else {
+        return ExitCode::SUCCESS;
+    };
+    // Replay self-check: re-feed the recorded admission sequence through
+    // a fresh in-process session; every determinism surface must match
+    // the live run byte for byte.
+    match sbed::replay::replay_log_file(&log_path, &artifact, &serve_cfg, topology) {
+        Ok(replayed) => {
+            let fnv_ok = replayed.response_fnv == report.response_fnv;
+            let report_ok = replayed.report == report.report;
+            let snapshot_ok = replayed.snapshot == report.snapshot;
+            if fnv_ok && report_ok && snapshot_ok {
+                eprintln!(
+                    "replay self-check: PASS ({} frames, response checksum, report, and \
+                     metrics snapshot all byte-identical)",
+                    replayed.n_frames
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "replay self-check: FAIL (checksum match: {fnv_ok}, report match: \
+                     {report_ok}, snapshot match: {snapshot_ok})"
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!(
+                "replay self-check: FAIL: could not replay `{}`: {e}",
+                log_path.display()
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro fleet`: drive a running sbed daemon with the seeded mock
+/// fleet and print the outcome.
+fn cmd_fleet(args: &[String]) -> ExitCode {
+    use sbed::client::{run_fleet, Connection, FleetConfig};
+    use sbed::fleet::{synth_events, SynthConfig};
+    use std::net::SocketAddr;
+
+    let mut addr: Option<SocketAddr> = None;
+    let mut conns = 8usize;
+    let mut nodes = 64u32;
+    let mut minutes = 30u64;
+    let mut rate = 4u32;
+    let mut sbe_rate = 2u32;
+    let mut seed = 42u64;
+    let mut window = 32usize;
+    let mut failure_conns = 0usize;
+    let mut corrupt_every = 0u64;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => addr = Some(v),
+                None => return usage(),
+            },
+            "--conns" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => conns = v,
+                None => return usage(),
+            },
+            "--nodes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => nodes = v,
+                None => return usage(),
+            },
+            "--minutes" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => minutes = v,
+                None => return usage(),
+            },
+            "--rate" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => rate = v,
+                None => return usage(),
+            },
+            "--sbe-rate" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => sbe_rate = v,
+                None => return usage(),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--window" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => window = v,
+                None => return usage(),
+            },
+            "--failure-conns" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => failure_conns = v,
+                None => return usage(),
+            },
+            "--corrupt-every" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => corrupt_every = v,
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("fleet requires --addr HOST:PORT");
+        return ExitCode::FAILURE;
+    };
+    let synth = SynthConfig {
+        seed,
+        n_nodes: nodes,
+        minutes,
+        launches_per_min: rate,
+        max_nodes_per_launch: 8,
+        n_apps: 12,
+        sbe_per_min: sbe_rate,
+    };
+    let events = synth_events(&synth);
+    let fleet_cfg = FleetConfig {
+        conns,
+        window,
+        failure_conns,
+        corrupt_every,
+    };
+    eprintln!(
+        "fleet: {} events over {} nodes / {} minutes -> {addr} ({} connections, \
+         window {}, {} failure connections)",
+        events.len(),
+        nodes,
+        minutes,
+        conns,
+        window,
+        failure_conns,
+    );
+    // Wait for the daemon to come up — serve-net typically starts in a
+    // sibling process an instant before us.
+    let mut up = false;
+    for _ in 0..40 {
+        if Connection::connect(addr).is_ok() {
+            up = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(250));
+    }
+    if !up {
+        eprintln!("no daemon reachable at {addr} after 10s");
+        return ExitCode::FAILURE;
+    }
+    let clock = WallClock::new();
+    let t0 = std::time::Instant::now();
+    let outcome = match run_fleet(addr, &events, &fleet_cfg, &clock) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fleet run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = t0.elapsed();
+    let n_requests = events.len() as u64 + 1; // + FINISH
+    let rps = n_requests as f64 / elapsed.as_secs_f64().max(1e-9);
+    let overload_retries: u64 = outcome.stats.iter().map(|s| s.overload_retries).sum();
+    let corruption_retries: u64 = outcome.stats.iter().map(|s| s.corruption_retries).sum();
+    let mut latencies: Vec<u64> = outcome
+        .stats
+        .iter()
+        .flat_map(|s| s.latencies_ns.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((p * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    };
+    eprintln!(
+        "fleet done in {elapsed:.1?}: {} acks, {} score responses ({rps:.0} req/s); \
+         {overload_retries} overload retries, {corruption_retries} corruption retries",
+        outcome.n_acks,
+        outcome.scores.len(),
+    );
+    eprintln!(
+        "latency: p50 {:.3} ms, p99 {:.3} ms",
+        pct(0.50) as f64 / 1e6,
+        pct(0.99) as f64 / 1e6
+    );
+    eprintln!(
+        "report: {} events, {} requests ({} stage-2), {} batches, {} alerts, \
+         snapshot fnv {:#018x}",
+        outcome.report.n_events,
+        outcome.report.n_requests,
+        outcome.report.n_stage2,
+        outcome.report.n_batches,
+        outcome.report.n_alerts,
+        outcome.report.snapshot_fnv,
+    );
+    if let Some(path) = &metrics_out {
+        let mut rec = obskit::Recorder::new();
+        outcome.observe(&mut rec);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
+        match std::fs::write(path, rec.snapshot_json()) {
+            Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write metrics snapshot: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 /// `repro check-bench`: gate CI on a performance trajectory.
 ///
 /// Reads a bench report JSON and dispatches on its embedded `schema`
 /// field: `sbe-bench/fastpath/1` (from `cargo bench --bench fastpath`)
 /// gates the compiled/interpreted inference speedups,
 /// `sbe-bench/train/1` (from `cargo bench --bench trainpath`) gates the
-/// histogram-engine training speedups. Fails unless every speedup
-/// clears its floor.
+/// histogram-engine training speedups, and `sbe-bench/sbed/1` (from
+/// `cargo bench --bench sbed`) gates network-serving saturation and
+/// worker scaling. Fails unless every number clears its floor.
 fn cmd_check_bench(args: &[String]) -> ExitCode {
     let mut file: Option<PathBuf> = None;
     // CI floors, deliberately below what the benches report on a quiet
@@ -590,6 +1030,13 @@ fn cmd_check_bench(args: &[String]) -> ExitCode {
     // the reference path it replaced as the default.
     let mut min_fast = 2.0f64;
     let mut min_exact = 1.0f64;
+    // Sbed: a quiet machine pushes thousands of requests/sec through the
+    // loopback daemon and scales ~1.7x from one worker to eight; the
+    // floors catch the serving path collapsing (a lock on the hot path,
+    // a per-request allocation storm) without flaking on two-core
+    // runners where extra workers buy little.
+    let mut min_sbed_rps = 500.0f64;
+    let mut min_sbed_scale = 0.8f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -613,11 +1060,21 @@ fn cmd_check_bench(args: &[String]) -> ExitCode {
                 Some(v) => min_exact = v,
                 None => return usage(),
             },
+            "--min-sbed-rps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_sbed_rps = v,
+                None => return usage(),
+            },
+            "--min-sbed-scale" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_sbed_scale = v,
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
     let Some(file) = file else {
-        eprintln!("check-bench requires --file BENCH_fastpath.json|BENCH_train.json");
+        eprintln!(
+            "check-bench requires --file BENCH_fastpath.json|BENCH_train.json|BENCH_sbed.json"
+        );
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&file) {
@@ -635,6 +1092,9 @@ fn cmd_check_bench(args: &[String]) -> ExitCode {
             check_fastpath_report(&file, &text, min_batch, min_stream)
         }
         Some(sbe_bench::TRAIN_SCHEMA) => check_train_report(&file, &text, min_fast, min_exact),
+        Some(sbe_bench::SBED_SCHEMA) => {
+            check_sbed_report(&file, &text, min_sbed_rps, min_sbed_scale)
+        }
         Some(other) => {
             eprintln!(
                 "unknown bench report schema `{other}` in `{}`",
@@ -718,12 +1178,43 @@ fn check_train_report(
     report.check(min_fast, min_exact)
 }
 
+/// Parses and gates a `sbe-bench/sbed/1` network-serving report.
+fn check_sbed_report(file: &Path, text: &str, min_rps: f64, min_scale: f64) -> Result<(), String> {
+    let report: sbe_bench::SbedReport = serde_json::from_str(text)
+        .map_err(|e| format!("could not parse `{}`: {e}", file.display()))?;
+    eprintln!(
+        "sbed bench ({} connections, {} nodes, {} requests over {} minutes):",
+        report.workload.conns,
+        report.workload.n_nodes,
+        report.workload.requests,
+        report.workload.minutes
+    );
+    for rate in &report.rates {
+        eprintln!(
+            "  {} worker(s): {:>10.0} req/s (floor {min_rps:.0})",
+            rate.workers, rate.requests_per_sec
+        );
+    }
+    eprintln!(
+        "  worker scaling: {:.2}x (floor {min_scale:.2}x)",
+        report.scaling
+    );
+    eprintln!(
+        "  fleet latency: p50 {:.3} ms, p99 {:.3} ms",
+        report.latency.p50_ns as f64 / 1e6,
+        report.latency.p99_ns as f64 / 1e6
+    );
+    report.check(min_rps, min_scale)
+}
+
 fn main() -> ExitCode {
     let all_args: Vec<String> = std::env::args().skip(1).collect();
     match all_args.first().map(String::as_str) {
         Some("save-trace") => return cmd_save_trace(&all_args[1..]),
         Some("train") => return cmd_train(&all_args[1..]),
         Some("serve") => return cmd_serve(&all_args[1..]),
+        Some("serve-net") => return cmd_serve_net(&all_args[1..]),
+        Some("fleet") => return cmd_fleet(&all_args[1..]),
         Some("check-bench") => return cmd_check_bench(&all_args[1..]),
         _ => {}
     }

@@ -227,6 +227,144 @@ impl TrainReport {
     }
 }
 
+/// Schema tag of [`SbedReport`] / `BENCH_sbed.json`.
+pub const SBED_SCHEMA: &str = "sbe-bench/sbed/1";
+
+/// Workload shape the sbed saturation bench measured.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SbedWorkload {
+    /// Concurrent fleet connections.
+    pub conns: usize,
+    /// Nodes in the serving topology.
+    pub n_nodes: u32,
+    /// Requests per pass (events + the FINISH frame).
+    pub requests: u64,
+    /// Simulated minutes per pass.
+    pub minutes: u64,
+}
+
+/// Saturation throughput at one scoring-worker count.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SbedWorkerRate {
+    /// `ServeConfig::threads = Fixed(workers)` scoring workers.
+    pub workers: usize,
+    /// End-to-end requests per second through the loopback daemon.
+    pub requests_per_sec: f64,
+}
+
+/// Fleet-side request latency percentiles (send → admission ACK).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SbedLatency {
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// Machine-readable sbed saturation report — the `BENCH_sbed.json`
+/// artifact CI emits and `repro check-bench` gates on.
+///
+/// The daemon sequences all scoring through one engine thread, so the
+/// scaling column is a *no-collapse* gate, not a speedup claim: adding
+/// scoring workers must never crater end-to-end throughput.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SbedReport {
+    /// Always [`SBED_SCHEMA`].
+    pub schema: String,
+    /// Shape of the measured workload.
+    pub workload: SbedWorkload,
+    /// Requests/sec at each measured worker count.
+    pub rates: Vec<SbedWorkerRate>,
+    /// Best multi-worker rate divided by the single-worker rate.
+    pub scaling: f64,
+    /// Fleet-side latency percentiles (from the run with the most
+    /// workers).
+    pub latency: SbedLatency,
+}
+
+impl SbedReport {
+    /// Builds a report from raw rates, deriving the scaling ratio
+    /// (best multi-worker rate over the single-worker rate; 1.0 when
+    /// only one worker count was measured).
+    #[must_use]
+    pub fn from_rates(
+        workload: SbedWorkload,
+        rates: Vec<SbedWorkerRate>,
+        latency: SbedLatency,
+    ) -> SbedReport {
+        let base = rates
+            .iter()
+            .find(|r| r.workers == 1)
+            .or(rates.first())
+            .map_or(f64::MIN_POSITIVE, |r| r.requests_per_sec)
+            .max(f64::MIN_POSITIVE);
+        let best_multi = rates
+            .iter()
+            .filter(|r| r.workers > 1)
+            .map(|r| r.requests_per_sec)
+            .fold(f64::NAN, f64::max);
+        let scaling = if best_multi.is_nan() {
+            1.0
+        } else {
+            best_multi / base
+        };
+        SbedReport {
+            schema: SBED_SCHEMA.into(),
+            workload,
+            rates,
+            scaling,
+            latency,
+        }
+    }
+
+    /// Enforces throughput floors on the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the schema tag is wrong,
+    /// the report is empty, a rate is non-finite/non-positive or below
+    /// `min_rps`, the scaling ratio falls below `min_scale`, or the
+    /// latency percentiles are inconsistent.
+    pub fn check(&self, min_rps: f64, min_scale: f64) -> Result<(), String> {
+        if self.schema != SBED_SCHEMA {
+            return Err(format!(
+                "unexpected schema `{}` (want `{SBED_SCHEMA}`)",
+                self.schema
+            ));
+        }
+        if self.rates.is_empty() {
+            return Err("no worker rates measured".into());
+        }
+        for r in &self.rates {
+            if !r.requests_per_sec.is_finite() || r.requests_per_sec <= 0.0 {
+                return Err(format!(
+                    "degenerate rate at {} workers: {} req/s",
+                    r.workers, r.requests_per_sec
+                ));
+            }
+            if r.requests_per_sec < min_rps {
+                return Err(format!(
+                    "{:.0} req/s at {} workers below floor {min_rps:.0} req/s",
+                    r.requests_per_sec, r.workers
+                ));
+            }
+        }
+        if self.scaling < min_scale {
+            return Err(format!(
+                "worker scaling {:.2}x below floor {min_scale:.2}x",
+                self.scaling
+            ));
+        }
+        if self.latency.p99_ns < self.latency.p50_ns {
+            return Err(format!(
+                "inconsistent latency percentiles: p99 {} ns < p50 {} ns",
+                self.latency.p99_ns, self.latency.p50_ns
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The workspace's only real [`obskit::Clock`]: nanoseconds since the
 /// clock's construction, backed by [`std::time::Instant`].
 ///
@@ -402,6 +540,80 @@ mod tests {
         assert_eq!(back.schema, TRAIN_SCHEMA);
         assert_eq!(back.fast_speedup.to_bits(), r.fast_speedup.to_bits());
         assert_eq!(back.workload.n_trees, 150);
+    }
+
+    fn sbed_report(rps: f64, scale: f64) -> SbedReport {
+        SbedReport::from_rates(
+            SbedWorkload {
+                conns: 64,
+                n_nodes: 1_600,
+                requests: 6_121,
+                minutes: 120,
+            },
+            vec![
+                SbedWorkerRate {
+                    workers: 1,
+                    requests_per_sec: rps,
+                },
+                SbedWorkerRate {
+                    workers: 2,
+                    requests_per_sec: rps * scale,
+                },
+                SbedWorkerRate {
+                    workers: 8,
+                    requests_per_sec: rps * scale * 0.9,
+                },
+            ],
+            SbedLatency {
+                p50_ns: 40_000,
+                p99_ns: 900_000,
+            },
+        )
+    }
+
+    #[test]
+    fn sbed_report_passes_at_or_above_floor() {
+        assert!(sbed_report(5_000.0, 1.1).check(1_000.0, 0.5).is_ok());
+        let r = sbed_report(5_000.0, 1.1);
+        assert!((r.scaling - 1.1).abs() < 1e-9, "scaling {}", r.scaling);
+    }
+
+    #[test]
+    fn sbed_report_fails_below_floor() {
+        let err = sbed_report(900.0, 1.0).check(1_000.0, 0.5).unwrap_err();
+        assert!(err.contains("below floor"), "{err}");
+        let err = sbed_report(5_000.0, 0.4).check(1_000.0, 0.5).unwrap_err();
+        assert!(err.contains("scaling"), "{err}");
+    }
+
+    #[test]
+    fn sbed_report_rejects_wrong_schema_and_degenerate_shapes() {
+        let mut r = sbed_report(5_000.0, 1.0);
+        r.schema = "sbe-bench/sbed/0".into();
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("schema"));
+        let mut r = sbed_report(5_000.0, 1.0);
+        r.rates.clear();
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("no worker rates"));
+        let mut r = sbed_report(5_000.0, 1.0);
+        r.rates[1].requests_per_sec = f64::NAN;
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("degenerate"));
+        let mut r = sbed_report(5_000.0, 1.0);
+        r.latency = SbedLatency {
+            p50_ns: 10,
+            p99_ns: 5,
+        };
+        assert!(r.check(0.0, 0.0).unwrap_err().contains("percentiles"));
+    }
+
+    #[test]
+    fn sbed_report_round_trips_through_json() {
+        let r = sbed_report(7_500.0, 1.2);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: SbedReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, SBED_SCHEMA);
+        assert_eq!(back.scaling.to_bits(), r.scaling.to_bits());
+        assert_eq!(back.rates.len(), 3);
+        assert_eq!(back.latency.p99_ns, 900_000);
     }
 
     #[test]

@@ -127,6 +127,20 @@ impl FeatureSpec {
         }
     }
 
+    /// Every group except temperature/power — the widest spec that can
+    /// be assembled without a telemetry source. Network serving (`sbed`)
+    /// ships launch facts over the wire but not per-node sensor windows,
+    /// so artifacts trained with this spec are the ones a scoring daemon
+    /// can serve.
+    pub fn no_telemetry() -> FeatureSpec {
+        FeatureSpec {
+            tp_cur: false,
+            tp_prev: false,
+            tp_nei: false,
+            ..FeatureSpec::all()
+        }
+    }
+
     /// Table IV `Cur`: all groups, but only current-run T/P on the target
     /// node.
     pub fn cur() -> FeatureSpec {
@@ -785,6 +799,7 @@ mod tests {
             FeatureSpec::only_app(),
             FeatureSpec::only_tp(),
             FeatureSpec::only_hist(),
+            FeatureSpec::no_telemetry(),
             FeatureSpec::cur(),
             FeatureSpec::cur_prev(),
             FeatureSpec::cur_nei(),
@@ -841,6 +856,10 @@ mod tests {
         );
         assert!(!FeatureSpec::only_hist().needs_telemetry());
         assert!(FeatureSpec::only_tp().needs_telemetry());
+        let nt = FeatureSpec::no_telemetry();
+        assert!(!nt.needs_telemetry());
+        assert!(nt.app && nt.location && nt.hist_local && nt.hist_global);
+        assert!(nt.n_features() < FeatureSpec::all().n_features());
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl RuleSet {
 /// Crates whose iteration order feeds model training or trace output,
 /// and therefore must not use hash-ordered collections (rule D001).
 /// `detlint` polices itself so its diagnostics order is reproducible.
-const D001_CRATES: [&str; 7] = [
+const D001_CRATES: [&str; 8] = [
     "crates/core/",
     "crates/mlkit/",
     "crates/titan-sim/",
@@ -142,6 +142,7 @@ const D001_CRATES: [&str; 7] = [
     "crates/detlint/",
     "crates/obskit/",
     "crates/streamd/",
+    "crates/sbed/",
 ];
 
 /// Maps a workspace-relative path to the rules that apply to it.

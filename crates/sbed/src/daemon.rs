@@ -1,0 +1,851 @@
+//! The TCP scoring daemon.
+//!
+//! Threading model (std blocking I/O, no async runtime):
+//!
+//! * one **accept** thread (non-blocking listener, poll + sleep) that
+//!   spawns a reader/writer pair per connection;
+//! * per connection, a **reader** thread that frames and checks
+//!   requests, answers transport-level damage with typed error
+//!   responses, and enqueues well-formed frames, plus a **writer**
+//!   thread that owns the outbound half of the socket;
+//! * one **engine** thread that owns the [`ScoreSession`].
+//!
+//! Determinism under concurrency: the request id of every frame is its
+//! *admission sequence number*. The engine holds early arrivals in a
+//! bounded reorder buffer and feeds the session strictly in sequence
+//! order, so the session — and with it every score, every metric, and
+//! the rolling response checksum — is a pure function of the frame
+//! sequence, no matter how many connections or worker threads carried
+//! it. Scoring itself still fans out across parkit workers inside a
+//! batch ([`streamd::serve::ServeConfig::threads`]); those fan-outs are
+//! order-preserving, so worker count cannot change a bit either.
+//!
+//! Back-pressure is bounded and typed at three points: a per-connection
+//! in-flight window, the engine's bounded request queue, and the
+//! bounded reorder buffer. All three refuse with a
+//! [`wire::ERR_OVERLOAD`] response (the client retransmits) — requests
+//! are never silently dropped.
+//!
+//! Drain ([`Daemon::drain`]): stop accepting connections and admitting
+//! frames, finish everything already queued (flush pending batches,
+//! answer open launches), then stop. A drained run's recorded log
+//! replays bit-identically: [`ScoreSession::finalize`] applies the same
+//! end-of-log rule the replayer does.
+
+use crate::replay::LogWriter;
+use crate::session::ScoreSession;
+use crate::wire::{self, ReportPayload};
+use crate::{Result, SbedError};
+use mlkit::artifact::fnv1a64;
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use streamd::artifact::PipelineArtifact;
+use streamd::serve::ServeConfig;
+use titan_sim::topology::Topology;
+
+/// How long blocked threads sleep between shutdown-flag checks. Pure
+/// liveness tuning: no scored value depends on it.
+const POLL: Duration = Duration::from_millis(5);
+/// Socket read timeout so readers notice shutdown.
+const READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Address to bind (`"127.0.0.1:0"` for an ephemeral test port).
+    pub listen: String,
+    /// Scoring window, batching, threads, backend.
+    pub serve: ServeConfig,
+    /// The node universe events are validated against.
+    pub topology: Topology,
+    /// Engine request-queue bound (frames queued across all
+    /// connections awaiting the sequencer).
+    pub queue_capacity: usize,
+    /// Per-connection in-flight window (requests admitted but not yet
+    /// fully answered).
+    pub conn_window: usize,
+    /// Reorder-buffer bound (early arrivals held for the sequencer).
+    pub reorder_capacity: usize,
+    /// If set, every admitted frame is appended to this log for replay.
+    pub record_log: Option<PathBuf>,
+    /// Shut down once a FINISH frame has been processed (the default;
+    /// a long-lived daemon would set this false and rely on
+    /// [`Daemon::drain`]).
+    pub exit_on_finish: bool,
+}
+
+impl DaemonConfig {
+    /// A config with the defaults: 1024-frame queue, 64-frame
+    /// connection window, 4096-frame reorder buffer, no recording,
+    /// exit on finish.
+    pub fn new(listen: &str, serve: ServeConfig, topology: Topology) -> DaemonConfig {
+        DaemonConfig {
+            listen: listen.to_string(),
+            serve,
+            topology,
+            queue_capacity: 1024,
+            conn_window: 64,
+            reorder_capacity: 4096,
+            record_log: None,
+            exit_on_finish: true,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.queue_capacity == 0 || self.conn_window == 0 || self.reorder_capacity == 0 {
+            return Err(SbedError::InvalidConfig {
+                reason: "queue_capacity, conn_window, and reorder_capacity must be at least 1"
+                    .into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// What the engine thread hands back at shutdown.
+struct EngineOutcome {
+    result: Result<()>,
+    report: ReportPayload,
+    snapshot: String,
+    response_fnv: u64,
+    n_rejected: u64,
+    n_admitted: u64,
+}
+
+/// The daemon's end-of-run summary.
+#[derive(Debug, Clone)]
+pub struct DaemonReport {
+    /// The session's deterministic report (the same payload a FINISH
+    /// response carries).
+    pub report: ReportPayload,
+    /// Final metrics snapshot JSON.
+    pub snapshot: String,
+    /// Rolling checksum over every session response frame, in emission
+    /// order — replaying the recorded log must reproduce this exactly.
+    pub response_fnv: u64,
+    /// Admitted events the session refused with a typed rejection.
+    pub n_rejected: u64,
+    /// Frames admitted through the sequencer.
+    pub n_admitted: u64,
+    /// Connections accepted.
+    pub n_connections: u64,
+    /// Transport-level rejections (framing damage, checksum
+    /// mismatches) answered by readers. Not part of the replay surface.
+    pub n_transport_errors: u64,
+    /// Overload refusals (connection window, queue, reorder buffer).
+    pub n_overloads: u64,
+}
+
+/// One frame waiting for the sequencer.
+struct PendingFrame {
+    kind: u16,
+    payload: Vec<u8>,
+    reply: mpsc::Sender<Vec<u8>>,
+    inflight: Arc<AtomicUsize>,
+}
+
+enum ToEngine {
+    Frame { seq: u64, frame: PendingFrame },
+    Drain,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+fn io_err(context: &str, source: std::io::Error) -> SbedError {
+    SbedError::Io {
+        context: context.to_string(),
+        source,
+    }
+}
+
+/// Builds and sends a direct (non-session) error response. These
+/// answer frames the sequencer never admitted, so they are outside the
+/// replay surface by design.
+fn respond_error(reply: &mpsc::Sender<Vec<u8>>, request_id: u64, code: u16, message: &str) {
+    let payload = wire::ErrorPayload {
+        code,
+        message: message.to_string(),
+    }
+    .encode();
+    let frame = wire::encode_frame(wire::KIND_ERROR, request_id, &payload);
+    reply.send(frame).ok();
+}
+
+/// A running daemon. Spawn with [`Daemon::spawn`], stop with a client
+/// FINISH (when `exit_on_finish`) or [`Daemon::drain`], then collect
+/// the report with [`Daemon::join`].
+pub struct Daemon {
+    addr: SocketAddr,
+    draining: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    engine_tx: Option<SyncSender<ToEngine>>,
+    engine: Option<JoinHandle<EngineOutcome>>,
+    accept: Option<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    n_connections: Arc<AtomicU64>,
+    transport_errors: Arc<AtomicU64>,
+    n_overloads: Arc<AtomicU64>,
+}
+
+impl Daemon {
+    /// Binds, validates the artifact/config pair, and starts the
+    /// accept and engine threads.
+    ///
+    /// # Errors
+    ///
+    /// Bind/thread-spawn failures and config/artifact validation
+    /// (including a telemetry-needing feature spec).
+    pub fn spawn(artifact: Arc<PipelineArtifact>, cfg: DaemonConfig) -> Result<Daemon> {
+        cfg.validate()?;
+        // Fail fast on artifact/config problems: build (and drop) a
+        // session here, where the error can reach the caller, rather
+        // than letting the engine thread die silently at startup.
+        drop(ScoreSession::new(&artifact, &cfg.serve, cfg.topology)?);
+
+        let listener = TcpListener::bind(&cfg.listen)
+            .map_err(|e| io_err(&format!("binding {}", cfg.listen), e))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| io_err("resolving bound address", e))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("setting listener non-blocking", e))?;
+
+        let draining = Arc::new(AtomicBool::new(false));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let n_connections = Arc::new(AtomicU64::new(0));
+        let transport_errors = Arc::new(AtomicU64::new(0));
+        let n_overloads = Arc::new(AtomicU64::new(0));
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let (engine_tx, engine_rx) = mpsc::sync_channel::<ToEngine>(cfg.queue_capacity);
+
+        let engine = {
+            let artifact = Arc::clone(&artifact);
+            let cfg = cfg.clone();
+            let draining = Arc::clone(&draining);
+            let shutdown = Arc::clone(&shutdown);
+            let n_overloads = Arc::clone(&n_overloads);
+            std::thread::Builder::new()
+                .name("sbed-engine".into())
+                .spawn(move || {
+                    let outcome =
+                        run_engine(artifact.as_ref(), &cfg, engine_rx, &draining, &n_overloads);
+                    // Whatever ended the engine ends the daemon.
+                    draining.store(true, Ordering::SeqCst);
+                    shutdown.store(true, Ordering::SeqCst);
+                    outcome
+                })
+                .map_err(|e| io_err("spawning engine thread", e))?
+        };
+
+        let accept = {
+            let engine_tx = engine_tx.clone();
+            let draining = Arc::clone(&draining);
+            let shutdown = Arc::clone(&shutdown);
+            let n_connections = Arc::clone(&n_connections);
+            let transport_errors = Arc::clone(&transport_errors);
+            let n_overloads = Arc::clone(&n_overloads);
+            let conn_handles = Arc::clone(&conn_handles);
+            let conn_window = cfg.conn_window;
+            std::thread::Builder::new()
+                .name("sbed-accept".into())
+                .spawn(move || {
+                    run_accept(
+                        listener,
+                        engine_tx,
+                        draining,
+                        shutdown,
+                        n_connections,
+                        transport_errors,
+                        n_overloads,
+                        conn_handles,
+                        conn_window,
+                    )
+                })
+                .map_err(|e| io_err("spawning accept thread", e))?
+        };
+
+        Ok(Daemon {
+            addr,
+            draining,
+            shutdown,
+            engine_tx: Some(engine_tx),
+            engine: Some(engine),
+            accept: Some(accept),
+            conn_handles,
+            n_connections,
+            transport_errors,
+            n_overloads,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: no new connections or requests are
+    /// admitted; everything already queued is scored and answered.
+    /// Idempotent. Follow with [`Daemon::join`].
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(tx) = &self.engine_tx {
+            // Best-effort wake-up; the engine also polls the flag.
+            tx.try_send(ToEngine::Drain).ok();
+        }
+    }
+
+    /// Waits for the daemon to stop (after a FINISH with
+    /// `exit_on_finish`, or after [`Daemon::drain`]) and returns the
+    /// report.
+    ///
+    /// # Errors
+    ///
+    /// A scoring-core failure that aborted the engine, or a worker
+    /// thread panic.
+    pub fn join(mut self) -> Result<DaemonReport> {
+        // Dropping our queue handle lets the engine see disconnection
+        // once every connection is gone.
+        self.engine_tx = None;
+        let outcome = match self.engine.take() {
+            Some(h) => h.join().map_err(|_| SbedError::Internal {
+                reason: "engine thread panicked".into(),
+            })?,
+            None => {
+                return Err(SbedError::Internal {
+                    reason: "engine already joined".into(),
+                });
+            }
+        };
+        if let Some(h) = self.accept.take() {
+            h.join().map_err(|_| SbedError::Internal {
+                reason: "accept thread panicked".into(),
+            })?;
+        }
+        let handles: Vec<JoinHandle<()>> = lock(&self.conn_handles).drain(..).collect();
+        for h in handles {
+            h.join().map_err(|_| SbedError::Internal {
+                reason: "connection thread panicked".into(),
+            })?;
+        }
+        outcome.result?;
+        Ok(DaemonReport {
+            report: outcome.report,
+            snapshot: outcome.snapshot,
+            response_fnv: outcome.response_fnv,
+            n_rejected: outcome.n_rejected,
+            n_admitted: outcome.n_admitted,
+            n_connections: self.n_connections.load(Ordering::SeqCst),
+            n_transport_errors: self.transport_errors.load(Ordering::SeqCst),
+            n_overloads: self.n_overloads.load(Ordering::SeqCst),
+        })
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_accept(
+    listener: TcpListener,
+    engine_tx: SyncSender<ToEngine>,
+    draining: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    n_connections: Arc<AtomicU64>,
+    transport_errors: Arc<AtomicU64>,
+    n_overloads: Arc<AtomicU64>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    conn_window: usize,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                n_connections.fetch_add(1, Ordering::SeqCst);
+                stream.set_nodelay(true).ok();
+                let engine_tx = engine_tx.clone();
+                let draining = Arc::clone(&draining);
+                let shutdown = Arc::clone(&shutdown);
+                let transport_errors = Arc::clone(&transport_errors);
+                let n_overloads = Arc::clone(&n_overloads);
+                let spawned =
+                    std::thread::Builder::new()
+                        .name("sbed-conn".into())
+                        .spawn(move || {
+                            run_reader(
+                                stream,
+                                engine_tx,
+                                draining,
+                                shutdown,
+                                transport_errors,
+                                n_overloads,
+                                conn_window,
+                            );
+                        });
+                if let Ok(h) = spawned {
+                    lock(&conn_handles).push(h);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+    // Dropping the listener here closes the port: post-drain connection
+    // attempts are refused by the OS.
+}
+
+/// Reads `buf.len()` bytes, tolerating read timeouts (checking the
+/// shutdown flag at each) and interrupts. `Ok(false)` means the peer
+/// closed (or shutdown fired) before the first byte.
+fn read_full(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    shutdown: &AtomicBool,
+) -> std::io::Result<bool> {
+    let mut got = 0usize;
+    while got < buf.len() {
+        let window = buf.get_mut(got..).unwrap_or(&mut []);
+        match stream.read(window) {
+            Ok(0) => {
+                return if got == 0 {
+                    Ok(false)
+                } else {
+                    Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "peer closed mid-frame",
+                    ))
+                };
+            }
+            Ok(n) => got += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn run_reader(
+    mut stream: TcpStream,
+    engine_tx: SyncSender<ToEngine>,
+    draining: Arc<AtomicBool>,
+    shutdown: Arc<AtomicBool>,
+    transport_errors: Arc<AtomicU64>,
+    n_overloads: Arc<AtomicU64>,
+    conn_window: usize,
+) {
+    let write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::Builder::new()
+        .name("sbed-write".into())
+        .spawn(move || run_writer(write_half, reply_rx));
+    let writer = match writer {
+        Ok(h) => h,
+        Err(_) => return,
+    };
+    stream.set_read_timeout(Some(READ_TIMEOUT)).ok();
+    let inflight = Arc::new(AtomicUsize::new(0));
+
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let mut hdr = [0u8; wire::HEADER_LEN];
+        match read_full(&mut stream, &mut hdr, &shutdown) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(_) => break,
+        }
+        let raw = wire::header_fields(&hdr);
+        let checked = wire::validate_header(&hdr);
+        let header = match checked {
+            Ok(h) => h,
+            Err(e) => {
+                transport_errors.fetch_add(1, Ordering::SeqCst);
+                respond_error(
+                    &reply_tx,
+                    raw.request_id,
+                    wire::error_code(&e),
+                    &e.to_string(),
+                );
+                match e {
+                    // Version damage leaves the length field (same
+                    // layout in any plausible version) trustworthy:
+                    // skip the payload and keep the connection.
+                    SbedError::Version { .. } if raw.len <= wire::MAX_PAYLOAD => {
+                        let mut sink = vec![0u8; raw.len as usize];
+                        match read_full(&mut stream, &mut sink, &shutdown) {
+                            Ok(true) => continue,
+                            _ => break,
+                        }
+                    }
+                    // Bad magic or an oversize length mean framing is
+                    // lost: nothing downstream can be trusted, so the
+                    // connection closes (the error response above still
+                    // tells the peer why).
+                    _ => break,
+                }
+            }
+        };
+        let mut payload = vec![0u8; header.len as usize];
+        match read_full(&mut stream, &mut payload, &shutdown) {
+            Ok(true) => {}
+            _ => break,
+        }
+        let computed = fnv1a64(&payload);
+        if computed != header.checksum {
+            transport_errors.fetch_add(1, Ordering::SeqCst);
+            let e = SbedError::Checksum {
+                stored: header.checksum,
+                computed,
+            };
+            respond_error(
+                &reply_tx,
+                header.request_id,
+                wire::error_code(&e),
+                &e.to_string(),
+            );
+            continue;
+        }
+        if header.kind != wire::KIND_EVENT && header.kind != wire::KIND_FINISH {
+            transport_errors.fetch_add(1, Ordering::SeqCst);
+            let e = SbedError::UnknownKind { kind: header.kind };
+            respond_error(
+                &reply_tx,
+                header.request_id,
+                wire::ERR_MALFORMED,
+                &e.to_string(),
+            );
+            continue;
+        }
+        if draining.load(Ordering::SeqCst) {
+            respond_error(
+                &reply_tx,
+                header.request_id,
+                wire::ERR_DRAINING,
+                &SbedError::Draining.to_string(),
+            );
+            continue;
+        }
+        let queued = inflight.load(Ordering::SeqCst);
+        if queued >= conn_window {
+            n_overloads.fetch_add(1, Ordering::SeqCst);
+            let e = SbedError::Overload {
+                queued,
+                capacity: conn_window,
+            };
+            respond_error(
+                &reply_tx,
+                header.request_id,
+                wire::ERR_OVERLOAD,
+                &e.to_string(),
+            );
+            continue;
+        }
+        inflight.fetch_add(1, Ordering::SeqCst);
+        let frame = PendingFrame {
+            kind: header.kind,
+            payload,
+            reply: reply_tx.clone(),
+            inflight: Arc::clone(&inflight),
+        };
+        match engine_tx.try_send(ToEngine::Frame {
+            seq: header.request_id,
+            frame,
+        }) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                n_overloads.fetch_add(1, Ordering::SeqCst);
+                let e = SbedError::Overload {
+                    queued,
+                    capacity: conn_window,
+                };
+                respond_error(
+                    &reply_tx,
+                    header.request_id,
+                    wire::ERR_OVERLOAD,
+                    &e.to_string(),
+                );
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                inflight.fetch_sub(1, Ordering::SeqCst);
+                respond_error(
+                    &reply_tx,
+                    header.request_id,
+                    wire::ERR_DRAINING,
+                    &SbedError::Draining.to_string(),
+                );
+                break;
+            }
+        }
+    }
+    drop(reply_tx);
+    writer.join().ok();
+}
+
+fn run_writer(mut stream: TcpStream, rx: mpsc::Receiver<Vec<u8>>) {
+    while let Ok(bytes) = rx.recv() {
+        if stream.write_all(&bytes).is_err() {
+            break;
+        }
+    }
+    stream.flush().ok();
+}
+
+/// One reply route: where a request's responses go, and the in-flight
+/// slot its final response releases.
+struct ReplySlot {
+    reply: mpsc::Sender<Vec<u8>>,
+    inflight: Arc<AtomicUsize>,
+}
+
+struct Engine<'a> {
+    session: ScoreSession<'a>,
+    buffer: BTreeMap<u64, PendingFrame>,
+    open: BTreeMap<u64, ReplySlot>,
+    next_seq: u64,
+    n_admitted: u64,
+    log: Option<LogWriter>,
+    reorder_capacity: usize,
+}
+
+impl Engine<'_> {
+    /// Routes session responses to their requesters and releases
+    /// in-flight slots on terminal responses.
+    fn route(&mut self, responses: Vec<wire::EncodedResponse>) {
+        for r in responses {
+            if r.last {
+                if let Some(slot) = self.open.remove(&r.request_id) {
+                    slot.reply.send(r.bytes).ok();
+                    slot.inflight.fetch_sub(1, Ordering::SeqCst);
+                }
+            } else if let Some(slot) = self.open.get(&r.request_id) {
+                slot.reply.send(r.bytes).ok();
+            }
+        }
+    }
+
+    /// Places one frame into the reorder buffer (answering stale,
+    /// duplicate, and buffer-overflow cases directly), then admits
+    /// every frame that is now in sequence.
+    ///
+    /// # Errors
+    ///
+    /// Scoring-core and record-log failures (fatal).
+    fn enqueue(&mut self, seq: u64, frame: PendingFrame, n_overloads: &AtomicU64) -> Result<()> {
+        if seq < self.next_seq {
+            frame.inflight.fetch_sub(1, Ordering::SeqCst);
+            respond_error(
+                &frame.reply,
+                seq,
+                wire::ERR_REJECTED,
+                &format!(
+                    "sequence {seq} already admitted (next is {})",
+                    self.next_seq
+                ),
+            );
+            return Ok(());
+        }
+        if self.buffer.contains_key(&seq) {
+            frame.inflight.fetch_sub(1, Ordering::SeqCst);
+            respond_error(
+                &frame.reply,
+                seq,
+                wire::ERR_REJECTED,
+                &format!("sequence {seq} already queued"),
+            );
+            return Ok(());
+        }
+        if seq != self.next_seq && self.buffer.len() >= self.reorder_capacity {
+            frame.inflight.fetch_sub(1, Ordering::SeqCst);
+            n_overloads.fetch_add(1, Ordering::SeqCst);
+            respond_error(
+                &frame.reply,
+                seq,
+                wire::ERR_OVERLOAD,
+                &SbedError::Overload {
+                    queued: self.buffer.len(),
+                    capacity: self.reorder_capacity,
+                }
+                .to_string(),
+            );
+            return Ok(());
+        }
+        self.buffer.insert(seq, frame);
+        self.pump()
+    }
+
+    /// Admits every in-sequence frame: records it, feeds the session,
+    /// routes the responses.
+    ///
+    /// # Errors
+    ///
+    /// Scoring-core and record-log failures (fatal).
+    fn pump(&mut self) -> Result<()> {
+        while let Some(frame) = self.buffer.remove(&self.next_seq) {
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.n_admitted += 1;
+            if let Some(log) = self.log.as_mut() {
+                let bytes = wire::encode_frame(frame.kind, seq, &frame.payload);
+                log.append(&bytes)?;
+            }
+            self.open.insert(
+                seq,
+                ReplySlot {
+                    reply: frame.reply.clone(),
+                    inflight: Arc::clone(&frame.inflight),
+                },
+            );
+            match self.session.handle(frame.kind, seq, &frame.payload) {
+                Ok(responses) => self.route(responses),
+                Err(e) => {
+                    // Tell the requester before the daemon aborts.
+                    respond_error(
+                        &frame.reply,
+                        seq,
+                        wire::ERR_INTERNAL,
+                        &format!("scoring failed: {e}"),
+                    );
+                    self.open.remove(&seq);
+                    frame.inflight.fetch_sub(1, Ordering::SeqCst);
+                    return Err(e);
+                }
+            }
+            if self.session.finished() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ends the run: finalises the session (drain case), answers what
+    /// completed, and refuses everything still stuck in the reorder
+    /// buffer.
+    fn shut(&mut self) -> Result<()> {
+        let finalized = self.session.finalize()?;
+        self.route(finalized);
+        let stuck: Vec<(u64, PendingFrame)> =
+            std::mem::take(&mut self.buffer).into_iter().collect();
+        for (seq, frame) in stuck {
+            frame.inflight.fetch_sub(1, Ordering::SeqCst);
+            respond_error(
+                &frame.reply,
+                seq,
+                wire::ERR_DRAINING,
+                &SbedError::Draining.to_string(),
+            );
+        }
+        Ok(())
+    }
+}
+
+fn run_engine(
+    artifact: &PipelineArtifact,
+    cfg: &DaemonConfig,
+    rx: mpsc::Receiver<ToEngine>,
+    draining: &AtomicBool,
+    n_overloads: &AtomicU64,
+) -> EngineOutcome {
+    let failed = |e: SbedError| EngineOutcome {
+        result: Err(e),
+        report: ReportPayload::default(),
+        snapshot: String::new(),
+        response_fnv: 0,
+        n_rejected: 0,
+        n_admitted: 0,
+    };
+    let session = match ScoreSession::new(artifact, &cfg.serve, cfg.topology) {
+        Ok(s) => s,
+        Err(e) => return failed(e),
+    };
+    let log = match &cfg.record_log {
+        Some(path) => match LogWriter::create(path, artifact.schema_hash()) {
+            Ok(w) => Some(w),
+            Err(e) => return failed(e),
+        },
+        None => None,
+    };
+    let mut engine = Engine {
+        session,
+        buffer: BTreeMap::new(),
+        open: BTreeMap::new(),
+        next_seq: 0,
+        n_admitted: 0,
+        log,
+        reorder_capacity: cfg.reorder_capacity,
+    };
+
+    let mut fatal: Option<SbedError> = None;
+    loop {
+        if engine.session.finished() && cfg.exit_on_finish {
+            break;
+        }
+        match rx.recv_timeout(POLL) {
+            Ok(ToEngine::Frame { seq, frame }) => {
+                if let Err(e) = engine.enqueue(seq, frame, n_overloads) {
+                    fatal = Some(e);
+                    break;
+                }
+            }
+            Ok(ToEngine::Drain) => {
+                // Drain whatever is already queued, then finish.
+                while let Ok(msg) = rx.try_recv() {
+                    if let ToEngine::Frame { seq, frame } = msg {
+                        if let Err(e) = engine.enqueue(seq, frame, n_overloads) {
+                            fatal = Some(e);
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if draining.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    if fatal.is_none() {
+        if let Err(e) = engine.shut() {
+            fatal = Some(e);
+        }
+    }
+    EngineOutcome {
+        result: match fatal {
+            Some(e) => Err(e),
+            None => Ok(()),
+        },
+        report: engine.session.report(),
+        snapshot: engine.session.snapshot_json(),
+        response_fnv: engine.session.response_fnv(),
+        n_rejected: engine.session.n_rejected(),
+        n_admitted: engine.n_admitted,
+    }
+}

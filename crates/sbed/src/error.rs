@@ -1,0 +1,202 @@
+//! The crate error type.
+//!
+//! Wire-level damage (truncation, bad magic, checksum mismatch, …) gets
+//! its own variant per damage mode so the corruption test battery can
+//! assert *which* rejection a mangled frame produced, and so the daemon
+//! can map each one onto a typed error response without stringly
+//! matching. Transport and scoring failures wrap their sources.
+
+use streamd::StreamError;
+
+/// Everything that can go wrong speaking or serving the sbed protocol.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SbedError {
+    /// Ran out of bytes mid-field: `what` names the field being decoded.
+    Truncated {
+        /// The field that could not be completed.
+        what: &'static str,
+        /// Bytes the field needs.
+        need: usize,
+        /// Bytes that were available.
+        have: usize,
+    },
+    /// The frame does not start with the protocol magic.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The frame speaks a protocol version this build does not.
+    Version {
+        /// Version field of the frame.
+        found: u16,
+        /// The version this build speaks.
+        supported: u16,
+    },
+    /// The frame kind is not one this protocol defines.
+    UnknownKind {
+        /// The kind field of the frame.
+        kind: u16,
+    },
+    /// The declared payload length exceeds the protocol cap.
+    Oversize {
+        /// Declared payload length.
+        len: u32,
+        /// The cap.
+        max: u32,
+    },
+    /// The payload checksum does not match its content.
+    Checksum {
+        /// Checksum stored in the header.
+        stored: u64,
+        /// Checksum computed over the received payload.
+        computed: u64,
+    },
+    /// The payload decoded structurally but its content is invalid
+    /// (unknown event tag, trailing bytes, absurd counts).
+    Payload {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A bounded queue was full: the request was refused, not dropped.
+    Overload {
+        /// Requests queued when the refusal happened.
+        queued: usize,
+        /// The queue bound.
+        capacity: usize,
+    },
+    /// The daemon is draining and admits no new work.
+    Draining,
+    /// The server answered with a typed error response.
+    Rejected {
+        /// Wire error code (`wire::ERR_*`).
+        code: u16,
+        /// Server-provided message.
+        message: String,
+    },
+    /// The peer violated the protocol state machine (unexpected
+    /// response kind, mid-stream close, sequence misuse).
+    Protocol {
+        /// What was violated.
+        reason: String,
+    },
+    /// An invariant the daemon relies on failed internally.
+    Internal {
+        /// What failed.
+        reason: String,
+    },
+    /// Configuration rejected before serving started.
+    InvalidConfig {
+        /// What was wrong.
+        reason: String,
+    },
+    /// A scoring-core failure (artifact, feature assembly, classifier).
+    Stream(StreamError),
+    /// Socket or file I/O failed.
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for SbedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SbedError::Truncated { what, need, have } => {
+                write!(f, "truncated frame: {what} needs {need} bytes, have {have}")
+            }
+            SbedError::BadMagic { found } => {
+                write!(f, "bad frame magic {found:02x?}")
+            }
+            SbedError::Version { found, supported } => {
+                write!(
+                    f,
+                    "protocol version {found} unsupported (this build speaks {supported})"
+                )
+            }
+            SbedError::UnknownKind { kind } => write!(f, "unknown frame kind {kind:#06x}"),
+            SbedError::Oversize { len, max } => {
+                write!(f, "payload length {len} exceeds protocol cap {max}")
+            }
+            SbedError::Checksum { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: header says {stored:#018x}, content is {computed:#018x}"
+            ),
+            SbedError::Payload { reason } => write!(f, "invalid payload: {reason}"),
+            SbedError::Overload { queued, capacity } => {
+                write!(f, "request queue full ({queued}/{capacity}): retry")
+            }
+            SbedError::Draining => write!(f, "daemon is draining; no new work admitted"),
+            SbedError::Rejected { code, message } => {
+                write!(f, "server rejected request (code {code}): {message}")
+            }
+            SbedError::Protocol { reason } => write!(f, "protocol violation: {reason}"),
+            SbedError::Internal { reason } => write!(f, "internal daemon failure: {reason}"),
+            SbedError::InvalidConfig { reason } => write!(f, "invalid config: {reason}"),
+            SbedError::Stream(e) => write!(f, "scoring failed: {e}"),
+            SbedError::Io { context, source } => write!(f, "i/o failed while {context}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for SbedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SbedError::Stream(e) => Some(e),
+            SbedError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for SbedError {
+    fn from(e: StreamError) -> SbedError {
+        SbedError::Stream(e)
+    }
+}
+
+impl From<titan_sim::SimError> for SbedError {
+    fn from(e: titan_sim::SimError) -> SbedError {
+        SbedError::Stream(StreamError::from(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SbedError>();
+    }
+
+    #[test]
+    fn display_mentions_the_damage() {
+        let e = SbedError::Truncated {
+            what: "payload checksum",
+            need: 8,
+            have: 3,
+        };
+        assert!(e.to_string().contains("payload checksum"));
+        let e = SbedError::Checksum {
+            stored: 1,
+            computed: 2,
+        };
+        assert!(e.to_string().contains("mismatch"));
+        let e = SbedError::Overload {
+            queued: 8,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("retry"));
+    }
+
+    #[test]
+    fn stream_errors_convert() {
+        let e = SbedError::from(StreamError::InvalidConfig { reason: "x".into() });
+        assert!(matches!(e, SbedError::Stream(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

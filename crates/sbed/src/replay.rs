@@ -1,0 +1,166 @@
+//! Deterministic replay of a recorded request log.
+//!
+//! The daemon records every *admitted* frame — in admission order, which
+//! is request-id order — to a log file. Because the [`ScoreSession`] is
+//! a pure function of that sequence, re-feeding the log through a fresh
+//! session must reproduce the run exactly: every response byte (checked
+//! via the rolling response checksum), the final metrics snapshot, and
+//! the report. `repro serve-net --record` runs this check after every
+//! recorded run, and the parity suite replays across thread counts.
+//!
+//! Log format: a 16-byte header — magic `b"SBEDLOG\x01"` then the
+//! artifact's schema hash, little-endian, so a log is never replayed
+//! against a different model — followed by the admitted frames,
+//! concatenated verbatim.
+
+use crate::session::ScoreSession;
+use crate::wire::{self, EncodedResponse, ReportPayload};
+use crate::{Result, SbedError};
+use std::io::Write;
+use std::path::Path;
+use streamd::artifact::PipelineArtifact;
+use streamd::serve::ServeConfig;
+use titan_sim::topology::Topology;
+
+/// Log-file magic (version byte included).
+pub const LOG_MAGIC: [u8; 8] = *b"SBEDLOG\x01";
+
+/// The log header for an artifact: magic plus schema hash.
+pub fn log_header(schema_hash: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    out.extend_from_slice(&LOG_MAGIC);
+    out.extend_from_slice(&schema_hash.to_le_bytes());
+    out
+}
+
+/// An incremental log writer the daemon appends admitted frames to.
+#[derive(Debug)]
+pub struct LogWriter {
+    file: std::fs::File,
+}
+
+impl LogWriter {
+    /// Creates (truncates) the log and writes its header.
+    ///
+    /// # Errors
+    ///
+    /// File I/O.
+    pub fn create(path: &Path, schema_hash: u64) -> Result<LogWriter> {
+        let mut file = std::fs::File::create(path).map_err(|e| SbedError::Io {
+            context: format!("creating request log {}", path.display()),
+            source: e,
+        })?;
+        file.write_all(&log_header(schema_hash))
+            .map_err(|e| SbedError::Io {
+                context: "writing request-log header".into(),
+                source: e,
+            })?;
+        Ok(LogWriter { file })
+    }
+
+    /// Appends one admitted frame.
+    ///
+    /// # Errors
+    ///
+    /// File I/O.
+    pub fn append(&mut self, frame: &[u8]) -> Result<()> {
+        self.file.write_all(frame).map_err(|e| SbedError::Io {
+            context: "appending to request log".into(),
+            source: e,
+        })
+    }
+}
+
+/// What replaying a log produced.
+#[derive(Debug)]
+pub struct ReplayOutcome {
+    /// Every response the session emitted, in emission order.
+    pub responses: Vec<EncodedResponse>,
+    /// The final metrics snapshot.
+    pub snapshot: String,
+    /// The rolling checksum over every emitted response frame.
+    pub response_fnv: u64,
+    /// The end-of-stream report.
+    pub report: ReportPayload,
+    /// Frames admitted from the log.
+    pub n_frames: u64,
+}
+
+/// Replays a recorded log (as bytes) through a fresh session.
+///
+/// # Errors
+///
+/// A malformed log or schema-hash mismatch ([`SbedError::Payload`] /
+/// [`SbedError::Protocol`]), frame decode errors, and scoring-core
+/// failures.
+pub fn replay_log_bytes(
+    bytes: &[u8],
+    artifact: &PipelineArtifact,
+    cfg: &ServeConfig,
+    topology: Topology,
+) -> Result<ReplayOutcome> {
+    let header = bytes.get(..16).ok_or(SbedError::Truncated {
+        what: "log header",
+        need: 16,
+        have: bytes.len(),
+    })?;
+    let (magic, hash_b) = header.split_at(8);
+    if magic != LOG_MAGIC {
+        return Err(SbedError::Payload {
+            reason: "not an sbed request log".into(),
+        });
+    }
+    let mut hash = [0u8; 8];
+    hash.copy_from_slice(hash_b);
+    let logged_hash = u64::from_le_bytes(hash);
+    if logged_hash != artifact.schema_hash() {
+        return Err(SbedError::Protocol {
+            reason: format!(
+                "log was recorded against schema {logged_hash:#018x}, artifact is {:#018x}",
+                artifact.schema_hash()
+            ),
+        });
+    }
+    let mut session = ScoreSession::new(artifact, cfg, topology)?;
+    let mut responses = Vec::new();
+    let mut rest = bytes.get(16..).unwrap_or(&[]);
+    let mut n_frames = 0u64;
+    while !rest.is_empty() {
+        let (frame, used) = wire::decode_frame(rest)?;
+        rest = rest.get(used..).unwrap_or(&[]);
+        n_frames += 1;
+        let mut rs = session.handle(frame.header.kind, frame.header.request_id, &frame.payload)?;
+        responses.append(&mut rs);
+    }
+    // A log that ends without a FINISH frame was a drained run: apply
+    // the same finalisation the live daemon did.
+    if !session.finished() {
+        let mut rs = session.finalize()?;
+        responses.append(&mut rs);
+    }
+    Ok(ReplayOutcome {
+        snapshot: session.snapshot_json(),
+        response_fnv: session.response_fnv(),
+        report: session.report(),
+        responses,
+        n_frames,
+    })
+}
+
+/// Replays a recorded log file through a fresh session.
+///
+/// # Errors
+///
+/// File I/O plus everything [`replay_log_bytes`] rejects.
+pub fn replay_log_file(
+    path: &Path,
+    artifact: &PipelineArtifact,
+    cfg: &ServeConfig,
+    topology: Topology,
+) -> Result<ReplayOutcome> {
+    let bytes = std::fs::read(path).map_err(|e| SbedError::Io {
+        context: format!("reading request log {}", path.display()),
+        source: e,
+    })?;
+    replay_log_bytes(&bytes, artifact, cfg, topology)
+}

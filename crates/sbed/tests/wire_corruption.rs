@@ -1,0 +1,281 @@
+//! The wire-protocol corruption battery.
+//!
+//! Locks down the decoder's totality: every truncation prefix of a
+//! valid frame and every damage mode (magic, version, kind, length,
+//! checksum, payload) must produce the *matching typed* [`SbedError`] —
+//! and nothing, including arbitrary byte flips and random garbage, may
+//! panic the decoder.
+
+use proptest::prelude::*;
+use sbed::wire::{
+    self, ErrorPayload, ReportPayload, ScoreEntry, ScoresPayload, WireEvent, HEADER_LEN,
+    KIND_EVENT, MAX_PAYLOAD,
+};
+use sbed::SbedError;
+
+fn launch_event() -> WireEvent {
+    WireEvent::Launch {
+        minute: 120,
+        aprun: 55,
+        app: 9,
+        runtime_min: 30,
+        core_util: 0.75,
+        mem_util: 0.5,
+        nodes: vec![2, 7, 11, 13],
+    }
+}
+
+fn valid_frame() -> Vec<u8> {
+    wire::encode_frame(KIND_EVENT, 1234, &launch_event().encode())
+}
+
+#[test]
+fn every_truncation_prefix_is_a_typed_truncation() {
+    let frame = valid_frame();
+    for cut in 0..frame.len() {
+        let prefix = &frame[..cut];
+        match wire::decode_frame(prefix) {
+            Err(SbedError::Truncated { what, need, have }) => {
+                assert!(
+                    have < need,
+                    "prefix {cut}: have {have} !< need {need} ({what})"
+                );
+                // The named field must be the one the cut landed in.
+                let expected = match cut {
+                    0..=3 => "frame magic",
+                    4..=5 => "protocol version",
+                    6..=7 => "frame kind",
+                    8..=15 => "request id",
+                    16..=19 => "payload length",
+                    20..=27 => "payload checksum",
+                    _ => "payload",
+                };
+                assert_eq!(what, expected, "prefix {cut} blamed the wrong field");
+            }
+            other => panic!("prefix {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    // The full frame decodes.
+    let (frame_decoded, used) = wire::decode_frame(&frame).expect("full frame decodes");
+    assert_eq!(used, frame.len());
+    assert_eq!(
+        WireEvent::decode(&frame_decoded.payload).expect("event decodes"),
+        launch_event()
+    );
+}
+
+#[test]
+fn magic_damage_is_bad_magic() {
+    for i in 0..4 {
+        let mut frame = valid_frame();
+        frame[i] ^= 0x20;
+        match wire::decode_frame(&frame) {
+            Err(SbedError::BadMagic { found }) => {
+                assert_ne!(found, *b"SBEW");
+            }
+            other => panic!("magic byte {i}: expected BadMagic, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn version_damage_is_version() {
+    let mut frame = valid_frame();
+    frame[4] = 0x42;
+    match wire::decode_frame(&frame) {
+        Err(SbedError::Version { found, supported }) => {
+            assert_eq!(found, 0x42);
+            assert_eq!(supported, wire::VERSION);
+        }
+        other => panic!("expected Version, got {other:?}"),
+    }
+}
+
+#[test]
+fn kind_damage_is_unknown_kind() {
+    let mut frame = valid_frame();
+    frame[6] = 0x77;
+    frame[7] = 0x77;
+    match wire::decode_frame(&frame) {
+        Err(SbedError::UnknownKind { kind }) => assert_eq!(kind, 0x7777),
+        other => panic!("expected UnknownKind, got {other:?}"),
+    }
+}
+
+#[test]
+fn oversize_length_is_rejected_unread() {
+    let mut frame = valid_frame();
+    let bad = (MAX_PAYLOAD + 1).to_le_bytes();
+    frame[16..20].copy_from_slice(&bad);
+    match wire::decode_frame(&frame) {
+        Err(SbedError::Oversize { len, max }) => {
+            assert_eq!(len, MAX_PAYLOAD + 1);
+            assert_eq!(max, MAX_PAYLOAD);
+        }
+        other => panic!("expected Oversize, got {other:?}"),
+    }
+}
+
+#[test]
+fn length_damage_within_cap_is_truncation_or_checksum() {
+    // Declaring more payload than is present → truncation of the
+    // payload; declaring less → checksum mismatch (the checksum no
+    // longer covers what the length delimits).
+    let mut long = valid_frame();
+    let declared = launch_event().encode().len() as u32;
+    long[16..20].copy_from_slice(&(declared + 9).to_le_bytes());
+    assert!(matches!(
+        wire::decode_frame(&long),
+        Err(SbedError::Truncated {
+            what: "payload",
+            ..
+        })
+    ));
+
+    let mut short = valid_frame();
+    short[16..20].copy_from_slice(&(declared - 1).to_le_bytes());
+    assert!(matches!(
+        wire::decode_frame(&short),
+        Err(SbedError::Checksum { .. })
+    ));
+}
+
+#[test]
+fn checksum_damage_is_checksum() {
+    for i in 20..28 {
+        let mut frame = valid_frame();
+        frame[i] ^= 0xff;
+        match wire::decode_frame(&frame) {
+            Err(SbedError::Checksum { stored, computed }) => assert_ne!(stored, computed),
+            other => panic!("checksum byte {i}: expected Checksum, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn payload_damage_is_caught_by_checksum() {
+    let payload_len = launch_event().encode().len();
+    for i in 0..payload_len {
+        let mut frame = valid_frame();
+        frame[HEADER_LEN + i] ^= 0x01;
+        assert!(
+            matches!(wire::decode_frame(&frame), Err(SbedError::Checksum { .. })),
+            "payload byte {i} flipped but checksum did not catch it"
+        );
+    }
+}
+
+#[test]
+fn payload_structural_damage_is_typed() {
+    // Unknown event tag.
+    let ev = WireEvent::decode(&[9]);
+    assert!(matches!(ev, Err(SbedError::Payload { .. })));
+    // Truncated mid-field, every prefix.
+    let full = launch_event().encode();
+    for cut in 0..full.len() {
+        match WireEvent::decode(&full[..cut]) {
+            Err(SbedError::Truncated { .. }) => {}
+            other => panic!("event prefix {cut}: expected Truncated, got {other:?}"),
+        }
+    }
+    // Trailing bytes.
+    let mut padded = full.clone();
+    padded.push(0);
+    assert!(matches!(
+        WireEvent::decode(&padded),
+        Err(SbedError::Payload { .. })
+    ));
+    // Zero-node launch.
+    let mut zero_nodes = WireEvent::Launch {
+        minute: 1,
+        aprun: 1,
+        app: 1,
+        runtime_min: 1,
+        core_util: 0.5,
+        mem_util: 0.5,
+        nodes: vec![1],
+    }
+    .encode();
+    let count_off = zero_nodes.len() - 8;
+    zero_nodes[count_off..count_off + 4].copy_from_slice(&0u32.to_le_bytes());
+    zero_nodes.truncate(count_off + 4);
+    assert!(matches!(
+        WireEvent::decode(&zero_nodes),
+        Err(SbedError::Payload { .. })
+    ));
+}
+
+#[test]
+fn response_payload_decoders_reject_truncation() {
+    let scores = ScoresPayload {
+        minute: 5,
+        aprun: 2,
+        entries: vec![ScoreEntry {
+            node: 1,
+            probability: 0.5,
+            predicted: true,
+            stage2: true,
+            decision: 1,
+        }],
+    }
+    .encode();
+    for cut in 0..scores.len() {
+        assert!(
+            ScoresPayload::decode(&scores[..cut]).is_err(),
+            "scores prefix {cut}"
+        );
+    }
+    let err = ErrorPayload {
+        code: 1,
+        message: "boom".into(),
+    }
+    .encode();
+    for cut in 0..err.len() {
+        assert!(
+            ErrorPayload::decode(&err[..cut]).is_err(),
+            "error prefix {cut}"
+        );
+    }
+    let report = ReportPayload::default().encode();
+    for cut in 0..report.len() {
+        assert!(
+            ReportPayload::decode(&report[..cut]).is_err(),
+            "report prefix {cut}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Random byte flips over a valid frame never panic the decoder,
+    /// and any successful decode means the flips landed harmlessly
+    /// (the frame re-encodes to something decodable).
+    #[test]
+    fn byte_flips_never_panic(
+        flips in prop::collection::vec((0usize..128, 0usize..256), 1..8),
+    ) {
+        let mut frame = valid_frame();
+        let len = frame.len();
+        for (pos, val) in flips {
+            frame[pos % len] = val as u8;
+        }
+        if let Ok((f, used)) = wire::decode_frame(&frame) {
+            prop_assert!(used <= frame.len());
+            // Whatever decoded must survive the strict payload
+            // decoders without panicking either.
+            let _ = WireEvent::decode(&f.payload);
+        }
+    }
+
+    /// Arbitrary garbage never panics the decoder.
+    #[test]
+    fn random_bytes_never_panic(raw in prop::collection::vec(0usize..256, 0..256)) {
+        let bytes: Vec<u8> = raw.into_iter().map(|b| b as u8).collect();
+        let _ = wire::decode_frame(&bytes);
+        let _ = WireEvent::decode(&bytes);
+        let _ = ScoresPayload::decode(&bytes);
+        let _ = ErrorPayload::decode(&bytes);
+        let _ = ReportPayload::decode(&bytes);
+    }
+}

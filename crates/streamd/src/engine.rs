@@ -45,9 +45,17 @@ impl StreamFeatureEngine {
     /// Records a launch: each allocated node's previous-app state will
     /// point at this run once the current minute ends.
     pub fn observe_launch(&mut self, run: &ApRun) {
-        for &node in &run.nodes {
-            self.pending_prev
-                .push((node.0, run.start_min, run.app_id.0));
+        self.observe_launch_parts(run.start_min, run.app_id.0, &run.nodes);
+    }
+
+    /// The step-style form of [`StreamFeatureEngine::observe_launch`]:
+    /// feeds one launch from its bare facts (start minute, application,
+    /// allocated nodes) without requiring an [`ApRun`] — the entry point
+    /// network feeders (`sbed`) use, where launches arrive as decoded
+    /// wire frames rather than trace records.
+    pub fn observe_launch_parts(&mut self, start_min: u64, app: u32, nodes: &[NodeId]) {
+        for &node in nodes {
+            self.pending_prev.push((node.0, start_min, app));
         }
     }
 
@@ -134,6 +142,20 @@ mod tests {
         eng.end_minute();
         assert_eq!(eng.previous_app(1), Some(7));
         assert_eq!(eng.previous_app(0), Some(42));
+    }
+
+    #[test]
+    fn observe_launch_parts_matches_observe_launch() {
+        let r = run(1, 42, 5, &[0, 1, 3]);
+        let mut a = StreamFeatureEngine::new();
+        let mut b = StreamFeatureEngine::new();
+        a.observe_launch(&r);
+        b.observe_launch_parts(r.start_min, r.app_id.0, &r.nodes);
+        a.end_minute();
+        b.end_minute();
+        for n in [0u32, 1, 2, 3] {
+            assert_eq!(a.previous_app(n), b.previous_app(n));
+        }
     }
 
     #[test]

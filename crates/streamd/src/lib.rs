@@ -11,7 +11,10 @@
 //! * [`engine`] — an incremental feature engine that reproduces the batch
 //!   extractor's per-(app, node) sliding-window state event by event;
 //! * [`serve`] — an event-stream replay driver with bounded request
-//!   batching, per-stage obskit metrics, and a mitigation alert sink.
+//!   batching, per-stage obskit metrics, and a mitigation alert sink;
+//!   its body is the public [`serve::StepScorer`], a step-style core
+//!   that network feeders (the `sbed` daemon) drive one event at a
+//!   time.
 //!
 //! The subsystem's contract is *stream/batch parity*: replaying a trace
 //! through [`serve::serve`] yields bit-identical probabilities to the

@@ -26,6 +26,15 @@
 //! once at serve start (`mlkit::fastpath`) and scores batches out of
 //! reusable scratch with zero steady-state allocation. The two are
 //! bit-identical, prediction for prediction and snapshot for snapshot.
+//!
+//! Step feeding: the loop's body is the public [`StepScorer`] — a
+//! one-event-at-a-time core ([`StepScorer::step_tick`] /
+//! [`StepScorer::step_launch`] / [`StepScorer::step_sbe`] /
+//! [`StepScorer::step_finish`]) that [`serve`] drives from an
+//! [`EventStream`] and the `sbed` network daemon drives from decoded
+//! wire frames. Both feeders share the engine, batching, and scoring
+//! code paths, so equal event sequences score bit-identically however
+//! the events arrive.
 
 use crate::artifact::{CompiledScorer, PipelineArtifact};
 use crate::engine::StreamFeatureEngine;
@@ -287,6 +296,370 @@ struct RowSlot {
     err: Option<StreamError>,
 }
 
+/// The bare facts of one launch event, as a step feeder presents them:
+/// exactly what [`serve`] derives from the trace record and app catalog,
+/// and what `sbed` decodes from a wire frame.
+#[derive(Debug, Clone)]
+pub struct LaunchFacts<'a> {
+    /// Launch minute.
+    pub minute: u64,
+    /// Application-run id (must be unique per launch).
+    pub aprun: u32,
+    /// Application id.
+    pub app: u32,
+    /// Scheduled runtime in minutes.
+    pub runtime_min: u64,
+    /// Aggregate GPU core utilisation of the application.
+    pub core_util: f64,
+    /// Aggregate GPU memory utilisation of the application.
+    pub mem_util: f64,
+    /// Allocated nodes, in allocation order (the scorer sorts its own
+    /// copy for the request universe; history queries see this order).
+    pub nodes: &'a [NodeId],
+}
+
+/// Counters a [`StepScorer`] accumulates across its lifetime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepStats {
+    /// Score requests issued (launch-nodes inside the window).
+    pub n_requests: u64,
+    /// Requests that reached the stage-2 classifier.
+    pub n_stage2: u64,
+    /// Batches flushed.
+    pub n_batches: u64,
+    /// Alerts emitted.
+    pub n_alerts: u64,
+}
+
+/// The step-style scoring core: one-event-at-a-time feeding of the
+/// incremental engine plus the bounded-batch TwoStage scoring loop.
+///
+/// [`serve`] drives this from a trace's [`EventStream`]; the `sbed`
+/// network daemon drives it from decoded wire frames — both share the
+/// same feature assembly (`assemble_row`), stage-1 filter, batching
+/// policy, and backend scorers, so a network feed and an in-process
+/// replay of the same event sequence are bit-identical.
+///
+/// Call discipline (mirrors the event-stream contract): `step_tick`
+/// opens a minute, then that minute's `step_launch` calls (aprun order),
+/// then its `step_sbe` calls; `step_finish` flushes whatever is still
+/// queued. Scored launches are appended to the caller's `out` vector in
+/// emission order (stage-1 rejections at launch time, stage-2 rows at
+/// flush time, batch order).
+pub struct StepScorer<'a> {
+    artifact: &'a PipelineArtifact,
+    cfg: ServeConfig,
+    spec: sbepred::features::FeatureSpec,
+    topology: titan_sim::topology::Topology,
+    query_engine: Option<TelemetryQueryEngine<'a>>,
+    scorer: Scorer,
+    engine: StreamFeatureEngine,
+    pending: Vec<PendingRequest>,
+    stats: StepStats,
+}
+
+impl<'a> StepScorer<'a> {
+    /// Builds the scoring core. `telemetry` is the trace backing
+    /// temperature/power window queries; it may be `None` only when the
+    /// artifact's feature spec needs no telemetry (e.g.
+    /// `FeatureSpec::no_telemetry()` — the spec network artifacts are
+    /// trained with, since sensor windows do not travel on the wire).
+    ///
+    /// # Errors
+    ///
+    /// Config validation, an empty feature spec, or a telemetry-needing
+    /// spec without a telemetry source.
+    pub fn new(
+        artifact: &'a PipelineArtifact,
+        cfg: &ServeConfig,
+        topology: titan_sim::topology::Topology,
+        telemetry: Option<&'a TraceSet>,
+    ) -> Result<StepScorer<'a>> {
+        cfg.validate()?;
+        let spec = *artifact.spec();
+        let n_features = spec.feature_names().len();
+        if n_features == 0 {
+            return Err(StreamError::InvalidConfig {
+                reason: "artifact feature spec selects no features".into(),
+            });
+        }
+        let query_engine = if spec.needs_telemetry() {
+            match telemetry {
+                Some(trace) => Some(TelemetryQueryEngine::new(trace)?),
+                None => {
+                    return Err(StreamError::InvalidConfig {
+                        reason: "artifact spec needs telemetry but no telemetry source was \
+                                 provided (train with FeatureSpec::no_telemetry() for network \
+                                 serving)"
+                            .into(),
+                    })
+                }
+            }
+        } else {
+            None
+        };
+        let scorer = match cfg.backend {
+            ScorerBackend::Interpreted => Scorer::Interpreted,
+            ScorerBackend::Compiled => Scorer::Compiled(Box::new(CompiledState {
+                scorer: artifact.compile()?,
+                n_features,
+                slots: Vec::new(),
+                frame: FeatureFrame::with_capacity(n_features, cfg.batch_capacity.min(1_024)),
+                proba: Vec::new(),
+            })),
+        };
+        Ok(StepScorer {
+            artifact,
+            cfg: *cfg,
+            spec,
+            topology,
+            query_engine,
+            scorer,
+            engine: StreamFeatureEngine::new(),
+            pending: Vec::new(),
+            stats: StepStats::default(),
+        })
+    }
+
+    /// Opens `minute`: applies the previous minute's deferred prev-app
+    /// updates and flushes if the oldest pending request has hit the
+    /// latency deadline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush (telemetry/assembly/classifier/sink) errors.
+    pub fn step_tick(
+        &mut self,
+        minute: u64,
+        out: &mut Vec<ScoredLaunch>,
+        sink: &mut dyn AlertSink,
+        rec: &mut Recorder,
+    ) -> Result<()> {
+        self.engine.end_minute();
+        let deadline_hit = self
+            .pending
+            .first()
+            .is_some_and(|p| minute.saturating_sub(p.minute) >= self.cfg.max_delay_min);
+        if deadline_hit {
+            self.flush_pending(minute, out, sink, rec)?;
+        }
+        Ok(())
+    }
+
+    /// Feeds one launch: updates the engine, and (for launches inside
+    /// the scoring window) issues per-node requests in sorted node
+    /// order — stage-1 rejections are appended to `out` immediately,
+    /// offender nodes queue for the stage-2 batch.
+    ///
+    /// # Errors
+    ///
+    /// Unknown node ids (topology lookup) and flush errors.
+    pub fn step_launch(
+        &mut self,
+        launch: &LaunchFacts<'_>,
+        out: &mut Vec<ScoredLaunch>,
+        sink: &mut dyn AlertSink,
+        rec: &mut Recorder,
+    ) -> Result<()> {
+        self.engine
+            .observe_launch_parts(launch.minute, launch.app, launch.nodes);
+        if launch.minute < self.cfg.score_from_min || launch.minute >= self.cfg.score_until_min {
+            return Ok(());
+        }
+        // Requests in (aprun, node) order, matching the batch sample
+        // universe.
+        let mut nodes = launch.nodes.to_vec();
+        nodes.sort_unstable();
+        for node in nodes {
+            self.stats.n_requests += 1;
+            rec.incr("streamd.requests", 1);
+            if !self.artifact.is_offender(node.0) {
+                // Stage 1: never-offending node — predicted SBE-free
+                // without touching the classifier.
+                rec.incr("streamd.stage1_filtered", 1);
+                out.push(ScoredLaunch {
+                    minute: launch.minute,
+                    aprun: launch.aprun,
+                    app: launch.app,
+                    node: node.0,
+                    probability: 0.0,
+                    predicted: false,
+                    stage2: false,
+                });
+                continue;
+            }
+            let facts = SampleFacts {
+                app: launch.app,
+                prev_app: self.engine.previous_app(node.0),
+                runtime_min: launch.runtime_min,
+                n_nodes: launch.nodes.len() as u32,
+                core_util: launch.core_util,
+                mem_util: launch.mem_util,
+                loc: self.topology.location(node)?,
+                node: node.0,
+            };
+            let hist = self.engine.hist_counts(
+                &self.spec,
+                node,
+                titan_sim::apps::AppId(launch.app),
+                launch.nodes,
+                launch.minute,
+            );
+            self.pending.push(PendingRequest {
+                minute: launch.minute,
+                aprun: ApRunId(launch.aprun),
+                node,
+                app: launch.app,
+                facts,
+                hist,
+            });
+            if self.pending.len() >= self.cfg.batch_capacity {
+                self.flush_pending(launch.minute, out, sink, rec)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests one job-boundary SBE visibility event.
+    ///
+    /// # Errors
+    ///
+    /// Propagates incremental-history ordering violations.
+    pub fn step_sbe(
+        &mut self,
+        minute: u64,
+        node: NodeId,
+        app: titan_sim::apps::AppId,
+        count: u32,
+        rec: &mut Recorder,
+    ) -> Result<()> {
+        rec.incr("streamd.sbe_events", 1);
+        self.engine.observe_sbe(minute, node, app, count)
+    }
+
+    /// Ends the feed: applies the final minute's deferred updates and
+    /// flushes whatever is still queued (queue delays are measured
+    /// against the scoring window's end).
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn step_finish(
+        &mut self,
+        out: &mut Vec<ScoredLaunch>,
+        sink: &mut dyn AlertSink,
+        rec: &mut Recorder,
+    ) -> Result<()> {
+        self.engine.end_minute();
+        let final_minute = self.cfg.score_until_min;
+        self.flush_pending(final_minute, out, sink, rec)
+    }
+
+    /// The counters accumulated so far.
+    pub fn step_stats(&self) -> StepStats {
+        self.stats
+    }
+
+    /// Whether a launch at `minute` falls inside the scoring window
+    /// (feeders use this to predict how many scored rows a launch will
+    /// produce).
+    pub fn in_window(&self, minute: u64) -> bool {
+        minute >= self.cfg.score_from_min && minute < self.cfg.score_until_min
+    }
+
+    /// Scores and drains the pending batch.
+    fn flush_pending(
+        &mut self,
+        now_min: u64,
+        out: &mut Vec<ScoredLaunch>,
+        sink: &mut dyn AlertSink,
+        rec: &mut Recorder,
+    ) -> Result<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let batch: Vec<PendingRequest> = std::mem::take(&mut self.pending);
+        let flush_span = rec.span_start("streamd.flush");
+        self.stats.n_batches += 1;
+        rec.incr("streamd.batches", 1);
+        rec.observe("streamd.batch_rows", batch.len() as f64);
+        for p in &batch {
+            rec.observe(
+                "streamd.queue_delay_min",
+                now_min.saturating_sub(p.minute) as f64,
+            );
+        }
+
+        // Telemetry for the whole batch in one order-preserving query;
+        // the engine's window statistics are pure functions of
+        // (aprun, node), so batch composition cannot change a value.
+        let feature_span = rec.span_start("streamd.features");
+        let telemetry: Vec<SampleTelemetry> = match &self.query_engine {
+            Some(qe) => {
+                let pairs: Vec<_> = batch.iter().map(|p| (p.aprun, p.node)).collect();
+                qe.query(&pairs)?
+            }
+            None => Vec::new(),
+        };
+        let scaler = self.artifact.scaler();
+        // Both arms record the identical feature/score span sequence and
+        // produce bit-identical probabilities, so the obskit snapshot
+        // does not depend on the backend. The assembly/scoring bodies
+        // live in named functions (`assemble_batch_*` / `score_batch_*`)
+        // so `detlint.toml` can declare the compiled pair as hot-path
+        // roots (D006/D007/D008) without dragging driver instrumentation
+        // into the proof obligation.
+        let proba_interpreted: Vec<f32>;
+        let proba: &[f32] = match &mut self.scorer {
+            Scorer::Interpreted => {
+                let rows =
+                    assemble_batch_interpreted(&self.cfg, &self.spec, scaler, &batch, &telemetry)?;
+                rec.span_end(feature_span);
+
+                let score_span = rec.span_start("streamd.score");
+                let ds =
+                    Dataset::from_rows(&rows, &vec![0.0; rows.len()]).map_err(StreamError::from)?;
+                proba_interpreted = self.artifact.model().predict_proba(&ds)?;
+                rec.span_end(score_span);
+                &proba_interpreted
+            }
+            Scorer::Compiled(state) => {
+                assemble_batch_compiled(&self.cfg, &self.spec, scaler, state, &batch, &telemetry)?;
+                rec.span_end(feature_span);
+
+                let score_span = rec.span_start("streamd.score");
+                score_batch_compiled(state, batch.len())?;
+                rec.span_end(score_span);
+                &state.proba
+            }
+        };
+        let threshold = self.artifact.model().threshold();
+
+        for (p, &prob) in batch.iter().zip(proba) {
+            self.stats.n_stage2 += 1;
+            rec.incr("streamd.stage2_scored", 1);
+            rec.observe("streamd.probability_pct", prob as f64 * 100.0);
+            let s = ScoredLaunch {
+                minute: p.minute,
+                aprun: p.aprun.0,
+                app: p.app,
+                node: p.node.0,
+                probability: prob,
+                predicted: prob >= threshold,
+                stage2: true,
+            };
+            out.push(s);
+            if s.predicted {
+                self.stats.n_alerts += 1;
+                rec.incr("streamd.alerts", 1);
+                sink.on_alert(&Alert::for_launch(&s))?;
+            }
+        }
+        rec.span_end(flush_span);
+        Ok(())
+    }
+}
+
 /// Replays `trace` against `artifact` (see the module docs).
 ///
 /// # Errors
@@ -318,36 +691,13 @@ pub fn serve_observed(
     sink: &mut dyn AlertSink,
     rec: &mut Recorder,
 ) -> Result<ServeReport> {
-    cfg.validate()?;
-    let spec = *artifact.spec();
-    let n_features = spec.feature_names().len();
-    if n_features == 0 {
-        return Err(StreamError::InvalidConfig {
-            reason: "artifact feature spec selects no features".into(),
-        });
-    }
-    let query_engine = if spec.needs_telemetry() {
-        Some(TelemetryQueryEngine::new(trace)?)
-    } else {
-        None
-    };
-    let mut scorer = match cfg.backend {
-        ScorerBackend::Interpreted => Scorer::Interpreted,
-        ScorerBackend::Compiled => Scorer::Compiled(Box::new(CompiledState {
-            scorer: artifact.compile()?,
-            n_features,
-            slots: Vec::new(),
-            frame: FeatureFrame::with_capacity(n_features, cfg.batch_capacity.min(1_024)),
-            proba: Vec::new(),
-        })),
-    };
+    let topology = trace.config().topology;
+    let mut step = StepScorer::new(artifact, cfg, topology, Some(trace))?;
 
     let serve_span = rec.span_start("streamd.serve");
     rec.gauge("streamd.batch_capacity", cfg.batch_capacity as f64);
     rec.gauge("streamd.max_delay_min", cfg.max_delay_min as f64);
 
-    let mut engine = StreamFeatureEngine::new();
-    let mut pending: Vec<PendingRequest> = Vec::new();
     let mut scored: Vec<ScoredLaunch> = Vec::new();
     let mut report = ServeReport {
         scored: Vec::new(),
@@ -363,7 +713,6 @@ pub fn serve_observed(
     let stream = EventStream::new(trace)?;
     rec.gauge("streamd.horizon_min", stream.horizon_min() as f64);
     let catalog = trace.catalog();
-    let topology = &trace.config().topology;
 
     for event in stream {
         report.n_events += 1;
@@ -371,91 +720,26 @@ pub fn serve_observed(
             TraceEvent::Tick { minute } => {
                 // The tick opens `minute`; everything queued in earlier
                 // minutes is now strictly in the past.
-                engine.end_minute();
-                let deadline_hit = pending
-                    .first()
-                    .is_some_and(|p| minute.saturating_sub(p.minute) >= cfg.max_delay_min);
-                if deadline_hit {
-                    flush(
-                        artifact,
-                        cfg,
-                        &spec,
-                        query_engine.as_ref(),
-                        &mut scorer,
-                        &mut pending,
-                        minute,
-                        &mut scored,
-                        sink,
-                        rec,
-                        &mut report,
-                    )?;
-                }
+                step.step_tick(minute, &mut scored, sink, rec)?;
             }
             TraceEvent::Launch { minute, aprun } => {
                 report.n_launches += 1;
                 let run = trace.aprun(aprun)?;
-                engine.observe_launch(run);
-                if minute < cfg.score_from_min || minute >= cfg.score_until_min {
-                    continue;
-                }
                 let profile = catalog.profile(run.app_id)?;
-                // Requests in (aprun, node) order, matching the batch
-                // sample universe.
-                let mut nodes = run.nodes.clone();
-                nodes.sort_unstable();
-                for node in nodes {
-                    report.n_requests += 1;
-                    rec.incr("streamd.requests", 1);
-                    if !artifact.is_offender(node.0) {
-                        // Stage 1: never-offending node — predicted
-                        // SBE-free without touching the classifier.
-                        rec.incr("streamd.stage1_filtered", 1);
-                        scored.push(ScoredLaunch {
-                            minute,
-                            aprun: aprun.0,
-                            app: run.app_id.0,
-                            node: node.0,
-                            probability: 0.0,
-                            predicted: false,
-                            stage2: false,
-                        });
-                        continue;
-                    }
-                    let facts = SampleFacts {
+                step.step_launch(
+                    &LaunchFacts {
+                        minute,
+                        aprun: aprun.0,
                         app: run.app_id.0,
-                        prev_app: engine.previous_app(node.0),
                         runtime_min: run.runtime_min(),
-                        n_nodes: run.nodes.len() as u32,
                         core_util: profile.core_util,
                         mem_util: profile.mem_util,
-                        loc: topology.location(node)?,
-                        node: node.0,
-                    };
-                    let hist = engine.hist_counts(&spec, node, run.app_id, &run.nodes, minute);
-                    pending.push(PendingRequest {
-                        minute,
-                        aprun,
-                        node,
-                        app: run.app_id.0,
-                        facts,
-                        hist,
-                    });
-                    if pending.len() >= cfg.batch_capacity {
-                        flush(
-                            artifact,
-                            cfg,
-                            &spec,
-                            query_engine.as_ref(),
-                            &mut scorer,
-                            &mut pending,
-                            minute,
-                            &mut scored,
-                            sink,
-                            rec,
-                            &mut report,
-                        )?;
-                    }
-                }
+                        nodes: &run.nodes,
+                    },
+                    &mut scored,
+                    sink,
+                    rec,
+                )?;
             }
             TraceEvent::SbeVisible {
                 minute,
@@ -465,27 +749,18 @@ pub fn serve_observed(
                 ..
             } => {
                 report.n_sbe_events += 1;
-                rec.incr("streamd.sbe_events", 1);
-                engine.observe_sbe(minute, node, app, count)?;
+                step.step_sbe(minute, node, app, count, rec)?;
             }
         }
     }
-    engine.end_minute();
     // Final flush: whatever is still queued at end of trace.
-    let final_minute = cfg.score_until_min;
-    flush(
-        artifact,
-        cfg,
-        &spec,
-        query_engine.as_ref(),
-        &mut scorer,
-        &mut pending,
-        final_minute,
-        &mut scored,
-        sink,
-        rec,
-        &mut report,
-    )?;
+    step.step_finish(&mut scored, sink, rec)?;
+
+    let stats = step.step_stats();
+    report.n_requests = stats.n_requests;
+    report.n_stage2 = stats.n_stage2;
+    report.n_batches = stats.n_batches;
+    report.n_alerts = stats.n_alerts;
 
     rec.incr("streamd.events", report.n_events);
     rec.span_end(serve_span);
@@ -493,104 +768,6 @@ pub fn serve_observed(
     scored.sort_unstable_by_key(|s| (s.minute, s.aprun, s.node));
     report.scored = scored;
     Ok(report)
-}
-
-/// Scores and drains the pending batch.
-#[allow(clippy::too_many_arguments)]
-fn flush(
-    artifact: &PipelineArtifact,
-    cfg: &ServeConfig,
-    spec: &sbepred::features::FeatureSpec,
-    query_engine: Option<&TelemetryQueryEngine<'_>>,
-    scorer: &mut Scorer,
-    pending: &mut Vec<PendingRequest>,
-    now_min: u64,
-    scored: &mut Vec<ScoredLaunch>,
-    sink: &mut dyn AlertSink,
-    rec: &mut Recorder,
-    report: &mut ServeReport,
-) -> Result<()> {
-    if pending.is_empty() {
-        return Ok(());
-    }
-    let batch: Vec<PendingRequest> = std::mem::take(pending);
-    let flush_span = rec.span_start("streamd.flush");
-    report.n_batches += 1;
-    rec.incr("streamd.batches", 1);
-    rec.observe("streamd.batch_rows", batch.len() as f64);
-    for p in &batch {
-        rec.observe(
-            "streamd.queue_delay_min",
-            now_min.saturating_sub(p.minute) as f64,
-        );
-    }
-
-    // Telemetry for the whole batch in one order-preserving query; the
-    // engine's window statistics are pure functions of (aprun, node), so
-    // batch composition cannot change a value.
-    let feature_span = rec.span_start("streamd.features");
-    let telemetry: Vec<SampleTelemetry> = match query_engine {
-        Some(qe) => {
-            let pairs: Vec<_> = batch.iter().map(|p| (p.aprun, p.node)).collect();
-            qe.query(&pairs)?
-        }
-        None => Vec::new(),
-    };
-    let scaler = artifact.scaler();
-    // Both arms record the identical feature/score span sequence and
-    // produce bit-identical probabilities, so the obskit snapshot does
-    // not depend on the backend. The assembly/scoring bodies live in
-    // named functions (`assemble_batch_*` / `score_batch_*`) so
-    // `detlint.toml` can declare the compiled pair as hot-path roots
-    // (D006/D007/D008) without dragging driver instrumentation into the
-    // proof obligation.
-    let proba_interpreted: Vec<f32>;
-    let proba: &[f32] = match scorer {
-        Scorer::Interpreted => {
-            let rows = assemble_batch_interpreted(cfg, spec, scaler, &batch, &telemetry)?;
-            rec.span_end(feature_span);
-
-            let score_span = rec.span_start("streamd.score");
-            let ds =
-                Dataset::from_rows(&rows, &vec![0.0; rows.len()]).map_err(StreamError::from)?;
-            proba_interpreted = artifact.model().predict_proba(&ds)?;
-            rec.span_end(score_span);
-            &proba_interpreted
-        }
-        Scorer::Compiled(state) => {
-            assemble_batch_compiled(cfg, spec, scaler, state, &batch, &telemetry)?;
-            rec.span_end(feature_span);
-
-            let score_span = rec.span_start("streamd.score");
-            score_batch_compiled(state, batch.len())?;
-            rec.span_end(score_span);
-            &state.proba
-        }
-    };
-    let threshold = artifact.model().threshold();
-
-    for (p, &prob) in batch.iter().zip(proba) {
-        report.n_stage2 += 1;
-        rec.incr("streamd.stage2_scored", 1);
-        rec.observe("streamd.probability_pct", prob as f64 * 100.0);
-        let s = ScoredLaunch {
-            minute: p.minute,
-            aprun: p.aprun.0,
-            app: p.app,
-            node: p.node.0,
-            probability: prob,
-            predicted: prob >= threshold,
-            stage2: true,
-        };
-        scored.push(s);
-        if s.predicted {
-            report.n_alerts += 1;
-            rec.incr("streamd.alerts", 1);
-            sink.on_alert(&Alert::for_launch(&s))?;
-        }
-    }
-    rec.span_end(flush_span);
-    Ok(())
 }
 
 /// Interpreted-backend feature assembly: fans the per-row pipeline out

@@ -12,13 +12,17 @@
 //!   TwoStage prediction method, baselines, and experiment drivers,
 //! * [`streamd`] — online streaming inference: versioned model
 //!   artifacts, trace replay, and batched scoring with stream/batch
-//!   parity.
+//!   parity,
+//! * [`sbed`] — the fleet-scale TCP scoring daemon: wire protocol,
+//!   sequenced multi-connection serving, mock-fleet load driver, and
+//!   bit-identical request-log replay.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
 pub use mlkit;
 pub use obskit;
 pub use parkit;
+pub use sbed;
 pub use sbepred;
 pub use streamd;
 pub use titan_sim;

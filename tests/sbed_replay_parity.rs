@@ -1,0 +1,339 @@
+//! Fleet/process parity: the `sbed` network daemon must reproduce
+//! in-process `streamd` scoring bit for bit.
+//!
+//! Two anchors:
+//!
+//! * **Trace-anchored** — a real simulated trace is decomposed into
+//!   wire events and driven through a loopback daemon by a mock fleet;
+//!   every (aprun, node) probability must match the in-process
+//!   `streamd::serve` run on the same trace, bit for bit.
+//! * **Synthetic at scale** — a seeded synthetic workload (≥ 100
+//!   connections, ≥ 10k requests, 1,600-node topology) scores
+//!   identically at 1, 2, and 8 scoring worker threads, and the
+//!   recorded request log replays byte-identically (rolling response
+//!   checksum, report, and metrics snapshot).
+
+use gpu_error_prediction::{mlkit, obskit, parkit, sbed, sbepred, streamd, titan_sim};
+use mlkit::dataset::Dataset;
+use mlkit::gbdt::Gbdt;
+use mlkit::model::Classifier;
+use mlkit::scaler::StandardScaler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sbed::client::{run_fleet, FleetConfig, FleetOutcome};
+use sbed::daemon::{Daemon, DaemonConfig};
+use sbed::fleet::{synth_events, SynthConfig};
+use sbed::replay::replay_log_file;
+use sbed::wire::WireEvent;
+use sbepred::datasets::DsSplit;
+use sbepred::features::{FeatureExtractor, FeatureSpec};
+use sbepred::samples::build_samples;
+use sbepred::twostage::prepare_with_extractor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use streamd::artifact::{PipelineArtifact, PipelineModel};
+use streamd::serve::{serve, NullSink, ServeConfig};
+use titan_sim::config::SimConfig;
+use titan_sim::topology::Topology;
+use titan_sim::trace::TraceSet;
+
+/// (aprun, node) → (probability bits, hard decision).
+type ScoreMap = BTreeMap<(u32, u32), (u32, bool)>;
+
+/// Decomposes a trace into the wire events the daemon scores from —
+/// the exact same stream `streamd::serve` consumes internally.
+fn trace_to_wire_events(trace: &TraceSet) -> Vec<WireEvent> {
+    let stream = titan_sim::events::EventStream::new(trace).expect("event stream");
+    let catalog = trace.catalog();
+    stream
+        .map(|ev| match ev {
+            titan_sim::events::TraceEvent::Tick { minute } => WireEvent::Tick { minute },
+            titan_sim::events::TraceEvent::Launch { minute, aprun } => {
+                let run = trace.aprun(aprun).expect("aprun");
+                let profile = catalog.profile(run.app_id).expect("profile");
+                WireEvent::Launch {
+                    minute,
+                    aprun: aprun.0,
+                    app: run.app_id.0,
+                    runtime_min: run.runtime_min(),
+                    core_util: profile.core_util,
+                    mem_util: profile.mem_util,
+                    nodes: run.nodes.iter().map(|n| n.0).collect(),
+                }
+            }
+            titan_sim::events::TraceEvent::SbeVisible {
+                minute,
+                node,
+                app,
+                count,
+                ..
+            } => WireEvent::Sbe {
+                minute,
+                node: node.0,
+                app: app.0,
+                count,
+            },
+        })
+        .collect()
+}
+
+/// Trains a shippable no-telemetry artifact on DS1 of a tiny trace
+/// (telemetry features do not travel on the wire, so network artifacts
+/// ship without them).
+fn train_wire_artifact() -> (TraceSet, PipelineArtifact, (u64, u64)) {
+    let trace = titan_sim::engine::generate(&SimConfig::tiny(13)).expect("trace");
+    let samples = build_samples(&trace).expect("samples");
+    let fx = FeatureExtractor::new(&trace, &samples).expect("extractor");
+    let split = DsSplit::ds1(&trace).expect("split");
+    let spec = FeatureSpec::no_telemetry();
+    let prepared = prepare_with_extractor(&fx, &samples, &split, &spec).expect("prepare");
+    let mut model = Gbdt::new().n_trees(20).min_samples_leaf(2).seed(7);
+    model.fit(&prepared.train).expect("fit");
+    let offenders: Vec<u32> = fx
+        .history()
+        .offender_nodes_before(split.train_end_min())
+        .into_iter()
+        .map(|n| n.0)
+        .collect();
+    let artifact = PipelineArtifact::new(
+        spec,
+        offenders,
+        prepared.scaler.clone(),
+        PipelineModel::Gbdt(model),
+        split.train_end_min(),
+        split.name(),
+    );
+    (trace, artifact, split.test_window())
+}
+
+/// A deterministic synthetic artifact sized for `n_nodes` (seeded
+/// random training rows; model quality is irrelevant — bit-identity of
+/// scoring is what the suite checks).
+fn synthetic_artifact(n_nodes: u32) -> PipelineArtifact {
+    let spec = FeatureSpec::no_telemetry();
+    let n = spec.n_features();
+    let mut rng = StdRng::seed_from_u64(42);
+    let rows: Vec<Vec<f32>> = (0..160)
+        .map(|_| (0..n).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect())
+        .collect();
+    let y: Vec<f32> = rows
+        .iter()
+        .map(|r| {
+            if r.iter().sum::<f32>() > 0.0 {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let data = Dataset::from_rows(&rows, &y).expect("dataset");
+    let scaler = StandardScaler::fit(&data).expect("scaler");
+    let scaled = scaler.transform(&data).expect("transform");
+    let mut model = Gbdt::new()
+        .n_trees(12)
+        .max_depth(3)
+        .min_samples_leaf(2)
+        .seed(5);
+    model.fit(&scaled).expect("fit");
+    let offenders: Vec<u32> = (0..n_nodes).step_by(2).collect();
+    PipelineArtifact::new(
+        spec,
+        offenders,
+        scaler,
+        PipelineModel::Gbdt(model),
+        0,
+        "synthetic",
+    )
+}
+
+fn fleet_score_map(outcome: &FleetOutcome) -> ScoreMap {
+    let mut map = ScoreMap::new();
+    for scores in outcome.scores.values() {
+        for e in &scores.entries {
+            let prev = map.insert(
+                (scores.aprun, e.node),
+                (e.probability.to_bits(), e.predicted),
+            );
+            assert!(
+                prev.is_none(),
+                "duplicate score for (aprun {}, node {})",
+                scores.aprun,
+                e.node
+            );
+        }
+    }
+    map
+}
+
+/// Runs one daemon + fleet pass and returns the fleet outcome plus the
+/// daemon's end-of-run report.
+fn run_loopback(
+    artifact: &PipelineArtifact,
+    serve_cfg: &ServeConfig,
+    topology: Topology,
+    events: &[WireEvent],
+    fleet_cfg: &FleetConfig,
+    record_log: Option<std::path::PathBuf>,
+) -> (FleetOutcome, sbed::daemon::DaemonReport) {
+    let mut cfg = DaemonConfig::new("127.0.0.1:0", *serve_cfg, topology);
+    cfg.record_log = record_log;
+    let daemon = Daemon::spawn(Arc::new(artifact.clone()), cfg).expect("daemon spawns");
+    let outcome =
+        run_fleet(daemon.addr(), events, fleet_cfg, &obskit::NullClock).expect("fleet run");
+    let report = daemon.join().expect("daemon join");
+    (outcome, report)
+}
+
+#[test]
+fn fleet_scores_match_in_process_serve_bit_for_bit() {
+    let (trace, artifact, (from, until)) = train_wire_artifact();
+    let serve_cfg = ServeConfig::window(from, until);
+
+    // In-process reference on the same trace.
+    let mut sink = NullSink;
+    let reference = serve(&trace, &artifact, &serve_cfg, &mut sink).expect("serve");
+    let mut ref_map = ScoreMap::new();
+    for s in &reference.scored {
+        ref_map.insert((s.aprun, s.node), (s.probability.to_bits(), s.predicted));
+    }
+    assert!(!ref_map.is_empty(), "degenerate reference: nothing scored");
+
+    let events = trace_to_wire_events(&trace);
+    assert_eq!(events.len() as u64, reference.n_events);
+
+    for conns in [1usize, 7] {
+        let (outcome, report) = run_loopback(
+            &artifact,
+            &serve_cfg,
+            trace.config().topology,
+            &events,
+            &FleetConfig::healthy(conns),
+            None,
+        );
+        assert_eq!(outcome.n_acks, events.len() as u64);
+        assert_eq!(report.report.n_events, events.len() as u64);
+        assert_eq!(report.n_rejected, 0, "the daemon rejected trace events");
+        let fleet_map = fleet_score_map(&outcome);
+        assert_eq!(
+            fleet_map, ref_map,
+            "fleet scores diverged from in-process serve at {conns} connections"
+        );
+        // The FINISH report's stats must agree with the in-process run.
+        assert_eq!(report.report.n_requests, reference.n_requests);
+        assert_eq!(report.report.n_stage2, reference.n_stage2);
+        assert_eq!(report.report.n_alerts, reference.n_alerts);
+    }
+}
+
+#[test]
+fn fleet_at_scale_is_thread_invariant_and_replays_byte_identically() {
+    // ≥ 100 connections, ≥ 10k requests, 1,600-node topology.
+    let topology = Topology::scaled().expect("scaled topology");
+    let n_nodes = topology.n_nodes();
+    let synth = SynthConfig {
+        seed: 20_180_625,
+        n_nodes,
+        minutes: 120,
+        launches_per_min: 35,
+        max_nodes_per_launch: 8,
+        n_apps: 32,
+        sbe_per_min: 50,
+    };
+    let events = synth_events(&synth);
+    assert!(
+        events.len() >= 10_000,
+        "workload too small: {}",
+        events.len()
+    );
+    let artifact = synthetic_artifact(n_nodes);
+    let fleet_cfg = FleetConfig::healthy(100);
+
+    let mut runs: Vec<(usize, FleetOutcome, sbed::daemon::DaemonReport)> = Vec::new();
+    for workers in [1usize, 2, 8] {
+        let serve_cfg = ServeConfig {
+            threads: parkit::Threads::Fixed(workers),
+            ..ServeConfig::window(0, synth.minutes)
+        };
+        let log_path =
+            std::env::temp_dir().join(format!("sbed_parity_{}_{workers}.bin", std::process::id()));
+        let (outcome, report) = run_loopback(
+            &artifact,
+            &serve_cfg,
+            topology,
+            &events,
+            &fleet_cfg,
+            Some(log_path.clone()),
+        );
+        assert_eq!(outcome.n_acks, events.len() as u64);
+        assert_eq!(report.report.n_events, events.len() as u64);
+        assert_eq!(report.n_connections, 100);
+
+        // The recorded log replays bit-identically: response stream
+        // checksum, report, and metrics snapshot.
+        let replayed = replay_log_file(&log_path, &artifact, &serve_cfg, topology).expect("replay");
+        assert_eq!(replayed.n_frames, events.len() as u64 + 1); // + FINISH
+        assert_eq!(
+            replayed.response_fnv, report.response_fnv,
+            "replay response stream diverged at {workers} workers"
+        );
+        assert_eq!(replayed.report, report.report);
+        assert_eq!(
+            replayed.snapshot, report.snapshot,
+            "metrics snapshot not byte-stable under replay at {workers} workers"
+        );
+        std::fs::remove_file(&log_path).ok();
+        runs.push((workers, outcome, report));
+    }
+
+    // Worker-thread invariance: identical scores, identical response
+    // checksum, identical report, identical snapshot.
+    let (_, first_outcome, first_report) = &runs[0];
+    let first_map = fleet_score_map(first_outcome);
+    assert!(!first_map.is_empty(), "degenerate workload: nothing scored");
+    for (workers, outcome, report) in &runs[1..] {
+        assert_eq!(
+            fleet_score_map(outcome),
+            first_map,
+            "scores diverged between 1 and {workers} workers"
+        );
+        assert_eq!(report.response_fnv, first_report.response_fnv);
+        assert_eq!(report.report, first_report.report);
+        assert_eq!(report.snapshot, first_report.snapshot);
+    }
+}
+
+#[test]
+fn failure_injection_does_not_change_scores() {
+    // Designated failure connections corrupt every 3rd frame before
+    // retransmitting it clean; the daemon's answers must not move.
+    let topology = Topology::tiny().expect("tiny topology");
+    let synth = SynthConfig::demo(9, topology.n_nodes());
+    let events = synth_events(&synth);
+    let artifact = synthetic_artifact(topology.n_nodes());
+    let serve_cfg = ServeConfig::window(0, synth.minutes);
+
+    let (clean, clean_report) = run_loopback(
+        &artifact,
+        &serve_cfg,
+        topology,
+        &events,
+        &FleetConfig::healthy(4),
+        None,
+    );
+
+    let faulty_cfg = FleetConfig {
+        failure_conns: 2,
+        corrupt_every: 3,
+        ..FleetConfig::healthy(4)
+    };
+    let (faulty, faulty_report) =
+        run_loopback(&artifact, &serve_cfg, topology, &events, &faulty_cfg, None);
+
+    let retries: u64 = faulty.stats.iter().map(|s| s.corruption_retries).sum();
+    assert!(retries > 0, "failure injection never fired");
+    assert!(faulty_report.n_transport_errors >= retries);
+    assert_eq!(fleet_score_map(&faulty), fleet_score_map(&clean));
+    assert_eq!(faulty_report.response_fnv, clean_report.response_fnv);
+    assert_eq!(faulty_report.report, clean_report.report);
+    assert_eq!(faulty_report.snapshot, clean_report.snapshot);
+}
