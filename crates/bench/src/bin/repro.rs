@@ -103,10 +103,14 @@ fn usage() -> ExitCode {
          repro fleet --addr ADDR [--conns N] [--nodes N] [--minutes N] [--rate N] \
          [--sbe-rate N] [--seed N] [--window N] [--failure-conns N] [--corrupt-every N] \
          [--metrics-out FILE]\n\
-         repro check-bench --file BENCH_fastpath.json|BENCH_train.json|BENCH_sbed.json \
+         repro adapt --model ARTIFACT --trace PATH [--from M] [--until M] \
+         [--check-every N] [--threads N] [--verdicts-out FILE] [--metrics-out FILE]\n\
+         repro check-bench --file REPORT.json [--file REPORT.json ...] \
+         (schemas: fastpath, train, sbed, drift) \
          [--min-batch-speedup X] [--min-stream-speedup X] \
          [--min-fast-speedup X] [--min-exact-speedup X] \
-         [--min-sbed-rps X] [--min-sbed-scale X]\n\
+         [--min-sbed-rps X] [--min-sbed-scale X] \
+         [--min-drift-ratio X] [--max-swap-pause-ms N]\n\
          experiments: {} {} {} | groups: characterization prediction extensions all",
         CHARACTERIZATION.join(" "),
         PREDICTION.join(" "),
@@ -610,6 +614,149 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     }
 }
 
+/// `repro adapt`: continual-learning serve — replay a trace through the
+/// drift-monitored scoring loop, retraining and hot-swapping champions
+/// on pinned rules, and print the deterministic drift log (verdicts,
+/// retrain points, promoted artifact checksums, final scores
+/// fingerprint) to stdout. CI byte-compares that log across
+/// `SBE_THREADS` settings.
+fn cmd_adapt(args: &[String]) -> ExitCode {
+    use driftd::adapt::{run_adapt, AdaptConfig};
+
+    let mut model_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut verdicts_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut from: Option<u64> = None;
+    let mut until: Option<u64> = None;
+    let mut check_every: Option<u64> = None;
+    let mut threads = default_threads();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--model" => match it.next() {
+                Some(v) => model_path = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--trace" => match it.next() {
+                Some(v) => trace_path = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--verdicts-out" => match it.next() {
+                Some(v) => verdicts_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--from" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => from = Some(v),
+                None => return usage(),
+            },
+            "--until" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => until = Some(v),
+                None => return usage(),
+            },
+            "--check-every" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => check_every = Some(v),
+                None => return usage(),
+            },
+            "--threads" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => threads = parkit::Threads::Fixed(v),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let (Some(model_path), Some(trace_path)) = (model_path, trace_path) else {
+        eprintln!("adapt requires --model ARTIFACT and --trace PATH");
+        return ExitCode::FAILURE;
+    };
+    let artifact = match streamd::artifact::PipelineArtifact::load(&model_path) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("could not load artifact `{}`: {e}", model_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(trace) = load_trace(&trace_path) else {
+        return ExitCode::FAILURE;
+    };
+    let score_from = from.unwrap_or_else(|| artifact.trained_end_min());
+    let score_until = until.unwrap_or_else(|| trace.config().total_minutes());
+    let mut cfg = AdaptConfig::window(score_from, score_until);
+    cfg.serve.threads = threads;
+    cfg.retrain.threads = threads;
+    if let Some(every) = check_every {
+        cfg.check_every_min = every;
+    }
+    let mut rec = if metrics_out.is_some() {
+        obskit::Recorder::new()
+    } else {
+        obskit::Recorder::null()
+    };
+    let mut alerts: Vec<streamd::serve::Alert> = Vec::new();
+    let t0 = std::time::Instant::now();
+    let report = match run_adapt(&trace, &artifact, &cfg, &mut alerts, &mut rec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("adapt failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = t0.elapsed();
+    eprintln!(
+        "adapted window [{score_from}, {score_until}): {} events, {} requests \
+         ({} stage-2), {} labeled pairs, {} verdicts, {} retrains, {} promotions, \
+         final generation {} in {elapsed:.1?}",
+        report.n_events,
+        report.n_requests,
+        report.n_stage2,
+        report.n_pairs,
+        report.verdicts.len(),
+        report.retrains.len(),
+        report.promotions.len(),
+        report.final_generation
+    );
+    let log = report.drift_log();
+    print!("{log}");
+    let mut failures = 0;
+    if let Some(path) = &verdicts_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
+        match std::fs::write(path, &log) {
+            Ok(()) => eprintln!("drift log written to {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write drift log: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(path) = &metrics_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).ok();
+            }
+        }
+        match std::fs::write(path, rec.snapshot_json()) {
+            Ok(()) => eprintln!("metrics snapshot written to {}", path.display()),
+            Err(e) => {
+                eprintln!("could not write metrics snapshot: {e}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// Parses a `--topology` value into a node universe.
 fn parse_topology(v: &str) -> Option<titan_sim::topology::Topology> {
     use titan_sim::topology::Topology;
@@ -1002,15 +1149,19 @@ fn cmd_fleet(args: &[String]) -> ExitCode {
 
 /// `repro check-bench`: gate CI on a performance trajectory.
 ///
-/// Reads a bench report JSON and dispatches on its embedded `schema`
-/// field: `sbe-bench/fastpath/1` (from `cargo bench --bench fastpath`)
-/// gates the compiled/interpreted inference speedups,
-/// `sbe-bench/train/1` (from `cargo bench --bench trainpath`) gates the
-/// histogram-engine training speedups, and `sbe-bench/sbed/1` (from
-/// `cargo bench --bench sbed`) gates network-serving saturation and
-/// worker scaling. Fails unless every number clears its floor.
+/// Reads one or more bench report JSONs (`--file`, repeatable) and
+/// dispatches each on its embedded `schema` field: `sbe-bench/fastpath/1`
+/// (from `cargo bench --bench fastpath`) gates the compiled/interpreted
+/// inference speedups, `sbe-bench/train/1` (from `cargo bench --bench
+/// trainpath`) gates the histogram-engine training speedups,
+/// `sbe-bench/sbed/1` (from `cargo bench --bench sbed`) gates
+/// network-serving saturation and worker scaling, and `sbe-bench/drift/1`
+/// (from `cargo bench --bench drift`) gates the drift monitor's streaming
+/// overhead and the hot-swap pause. A missing or unreadable file is a
+/// hard failure, and every report must clear its floors — all files are
+/// checked before the verdict so one run surfaces every regression.
 fn cmd_check_bench(args: &[String]) -> ExitCode {
-    let mut file: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
     // CI floors, deliberately below what the benches report on a quiet
     // machine: shared runners are noisy, and the gates exist to catch a
     // fast path regressing toward its baseline, not to flake on
@@ -1037,11 +1188,18 @@ fn cmd_check_bench(args: &[String]) -> ExitCode {
     // runners where extra workers buy little.
     let mut min_sbed_rps = 500.0f64;
     let mut min_sbed_scale = 0.8f64;
+    // Drift: the monitor and window ride the streaming path, so the
+    // adaptive replay must retain at least 40% of plain serve
+    // throughput end to end, and a hot swap — flush one pending batch,
+    // exchange an Arc — must never pause the stream longer than a
+    // generous quarter second even on a noisy shared runner.
+    let mut min_drift_ratio = 0.4f64;
+    let mut max_swap_pause_ns = 250_000_000u64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--file" => match it.next() {
-                Some(v) => file = Some(PathBuf::from(v)),
+                Some(v) => files.push(PathBuf::from(v)),
                 None => return usage(),
             },
             "--min-batch-speedup" => match it.next().and_then(|v| v.parse().ok()) {
@@ -1068,55 +1226,96 @@ fn cmd_check_bench(args: &[String]) -> ExitCode {
                 Some(v) => min_sbed_scale = v,
                 None => return usage(),
             },
+            "--min-drift-ratio" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => min_drift_ratio = v,
+                None => return usage(),
+            },
+            "--max-swap-pause-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(v) => max_swap_pause_ns = v.saturating_mul(1_000_000),
+                None => return usage(),
+            },
             _ => return usage(),
         }
     }
-    let Some(file) = file else {
+    if files.is_empty() {
         eprintln!(
-            "check-bench requires --file BENCH_fastpath.json|BENCH_train.json|BENCH_sbed.json"
+            "check-bench requires at least one --file \
+             BENCH_fastpath.json|BENCH_train.json|BENCH_sbed.json|BENCH_drift.json"
         );
         return ExitCode::FAILURE;
-    };
-    let text = match std::fs::read_to_string(&file) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("could not read `{}`: {e}", file.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    let schema = serde_json::from_str::<serde_json::Value>(&text)
-        .ok()
-        .and_then(|v| v.get("schema").and_then(|s| s.as_str()).map(String::from));
-    let outcome = match schema.as_deref() {
-        Some(sbe_bench::FASTPATH_SCHEMA) => {
-            check_fastpath_report(&file, &text, min_batch, min_stream)
-        }
-        Some(sbe_bench::TRAIN_SCHEMA) => check_train_report(&file, &text, min_fast, min_exact),
-        Some(sbe_bench::SBED_SCHEMA) => {
-            check_sbed_report(&file, &text, min_sbed_rps, min_sbed_scale)
-        }
-        Some(other) => {
-            eprintln!(
-                "unknown bench report schema `{other}` in `{}`",
-                file.display()
-            );
-            return ExitCode::FAILURE;
-        }
-        None => {
-            eprintln!("`{}` has no `schema` field or is not JSON", file.display());
-            return ExitCode::FAILURE;
-        }
-    };
-    match outcome {
-        Ok(()) => {
-            eprintln!("check-bench: PASS");
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("check-bench: FAIL: {e}");
-            ExitCode::FAILURE
+    }
+    let mut failed = false;
+    for file in &files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "check-bench: FAIL `{}`: could not read: {e}",
+                    file.display()
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let schema = serde_json::from_str::<serde_json::Value>(&text)
+            .ok()
+            .and_then(|v| v.get("schema").and_then(|s| s.as_str()).map(String::from));
+        let outcome = match schema.as_deref() {
+            Some(sbe_bench::FASTPATH_SCHEMA) => {
+                check_fastpath_report(file, &text, min_batch, min_stream)
+            }
+            Some(sbe_bench::TRAIN_SCHEMA) => check_train_report(file, &text, min_fast, min_exact),
+            Some(sbe_bench::SBED_SCHEMA) => {
+                check_sbed_report(file, &text, min_sbed_rps, min_sbed_scale)
+            }
+            Some(sbe_bench::DRIFT_SCHEMA) => {
+                check_drift_report(file, &text, min_drift_ratio, max_swap_pause_ns)
+            }
+            Some(other) => Err(format!("unknown bench report schema `{other}`")),
+            None => Err("no `schema` field or not JSON".into()),
+        };
+        match outcome {
+            Ok(()) => eprintln!("check-bench: PASS `{}`", file.display()),
+            Err(e) => {
+                eprintln!("check-bench: FAIL `{}`: {e}", file.display());
+                failed = true;
+            }
         }
     }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parses and gates a `sbe-bench/drift/1` continual-learning report.
+fn check_drift_report(
+    file: &Path,
+    text: &str,
+    min_ratio: f64,
+    max_swap_pause_ns: u64,
+) -> Result<(), String> {
+    let report: sbe_bench::DriftReport = serde_json::from_str(text)
+        .map_err(|e| format!("could not parse `{}`: {e}", file.display()))?;
+    eprintln!(
+        "drift bench ({} events, {} requests, {} labeled pairs, {} swap(s)):",
+        report.workload.events,
+        report.workload.requests,
+        report.workload.pairs,
+        report.workload.swaps
+    );
+    eprintln!("  plain serve: {:>12.0} events/s", report.plain_eps);
+    eprintln!(
+        "  adaptive:    {:>12.0} events/s ({:.2}x, floor {min_ratio:.2}x)",
+        report.adapt_eps, report.adapt_ratio
+    );
+    eprintln!(
+        "  swap pause:  {:.3} ms (ceiling {:.0} ms)",
+        report.swap_pause_ns as f64 / 1e6,
+        max_swap_pause_ns as f64 / 1e6
+    );
+    report.check(min_ratio, max_swap_pause_ns)
 }
 
 /// Parses and gates a `sbe-bench/fastpath/1` inference report.
@@ -1213,6 +1412,7 @@ fn main() -> ExitCode {
         Some("save-trace") => return cmd_save_trace(&all_args[1..]),
         Some("train") => return cmd_train(&all_args[1..]),
         Some("serve") => return cmd_serve(&all_args[1..]),
+        Some("adapt") => return cmd_adapt(&all_args[1..]),
         Some("serve-net") => return cmd_serve_net(&all_args[1..]),
         Some("fleet") => return cmd_fleet(&all_args[1..]),
         Some("check-bench") => return cmd_check_bench(&all_args[1..]),

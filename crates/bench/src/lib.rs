@@ -365,6 +365,105 @@ impl SbedReport {
     }
 }
 
+/// Schema tag for the continual-learning overhead report.
+pub const DRIFT_SCHEMA: &str = "sbe-bench/drift/1";
+
+/// Workload shape the drift bench measured.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DriftWorkload {
+    /// Stream events replayed per pass.
+    pub events: u64,
+    /// Score requests issued per pass.
+    pub requests: u64,
+    /// Labeled (score, outcome) pairs the monitor folded.
+    pub pairs: u64,
+    /// Hot swaps committed during the adaptive pass.
+    pub swaps: u64,
+}
+
+/// Machine-readable continual-learning overhead report — the
+/// `BENCH_drift.json` artifact CI emits and `repro check-bench` gates
+/// on.
+///
+/// Two numbers matter: the drift monitor must ride the streaming path
+/// nearly for free (`adapt_ratio` = adaptive events/sec over plain
+/// serve events/sec), and the hot swap must pause the stream for no
+/// longer than an ordinary batch flush.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftReport {
+    /// Always [`DRIFT_SCHEMA`].
+    pub schema: String,
+    /// Shape of the measured workload.
+    pub workload: DriftWorkload,
+    /// Plain `serve_observed` replay, events per second.
+    pub plain_eps: f64,
+    /// Adaptive `run_adapt` replay (monitor + window riding along, no
+    /// verdict fired), events per second.
+    pub adapt_eps: f64,
+    /// `adapt_eps / plain_eps` — the monitor's streaming overhead.
+    pub adapt_ratio: f64,
+    /// Worst observed artifact-swap pause (prepare + flush + commit),
+    /// nanoseconds.
+    pub swap_pause_ns: u64,
+}
+
+impl DriftReport {
+    /// Builds a report from raw throughputs, deriving the overhead
+    /// ratio.
+    #[must_use]
+    pub fn from_rates(
+        workload: DriftWorkload,
+        plain_eps: f64,
+        adapt_eps: f64,
+        swap_pause_ns: u64,
+    ) -> DriftReport {
+        DriftReport {
+            schema: DRIFT_SCHEMA.into(),
+            workload,
+            plain_eps,
+            adapt_eps,
+            adapt_ratio: adapt_eps / plain_eps.max(f64::MIN_POSITIVE),
+            swap_pause_ns,
+        }
+    }
+
+    /// Enforces the overhead floors on the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the schema tag is wrong, a
+    /// throughput is non-finite/non-positive, the monitor overhead
+    /// pushes `adapt_ratio` below `min_ratio`, or the swap pause
+    /// exceeds `max_swap_pause_ns`.
+    pub fn check(&self, min_ratio: f64, max_swap_pause_ns: u64) -> Result<(), String> {
+        if self.schema != DRIFT_SCHEMA {
+            return Err(format!(
+                "unexpected schema `{}` (want `{DRIFT_SCHEMA}`)",
+                self.schema
+            ));
+        }
+        for (name, v) in [("plain_eps", self.plain_eps), ("adapt_eps", self.adapt_eps)] {
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("degenerate {name}: {v}"));
+            }
+        }
+        if self.adapt_ratio < min_ratio {
+            return Err(format!(
+                "adaptive replay retains {:.2}x of plain serve throughput, \
+                 below floor {min_ratio:.2}x",
+                self.adapt_ratio
+            ));
+        }
+        if self.swap_pause_ns > max_swap_pause_ns {
+            return Err(format!(
+                "swap pause {} ns exceeds ceiling {max_swap_pause_ns} ns",
+                self.swap_pause_ns
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// The workspace's only real [`obskit::Clock`]: nanoseconds since the
 /// clock's construction, backed by [`std::time::Instant`].
 ///
@@ -614,6 +713,64 @@ mod tests {
         assert_eq!(back.scaling.to_bits(), r.scaling.to_bits());
         assert_eq!(back.rates.len(), 3);
         assert_eq!(back.latency.p99_ns, 900_000);
+    }
+
+    fn drift_report(ratio: f64, pause_ns: u64) -> DriftReport {
+        DriftReport::from_rates(
+            DriftWorkload {
+                events: 10_000,
+                requests: 2_500,
+                pairs: 400,
+                swaps: 1,
+            },
+            20_000.0,
+            20_000.0 * ratio,
+            pause_ns,
+        )
+    }
+
+    #[test]
+    fn drift_report_passes_at_or_above_floor() {
+        assert!(drift_report(0.9, 1_000_000).check(0.5, 250_000_000).is_ok());
+        assert!(drift_report(0.5, 250_000_000)
+            .check(0.5, 250_000_000)
+            .is_ok());
+    }
+
+    #[test]
+    fn drift_report_fails_below_floor() {
+        let err = drift_report(0.4, 1_000)
+            .check(0.5, 250_000_000)
+            .unwrap_err();
+        assert!(err.contains("throughput"), "{err}");
+        let err = drift_report(0.9, 300_000_000)
+            .check(0.5, 250_000_000)
+            .unwrap_err();
+        assert!(err.contains("swap pause"), "{err}");
+    }
+
+    #[test]
+    fn drift_report_rejects_wrong_schema_and_degenerate_rates() {
+        let mut r = drift_report(0.9, 1_000);
+        r.schema = "nope".into();
+        assert!(r.check(0.0, u64::MAX).unwrap_err().contains("schema"));
+        let mut r = drift_report(0.9, 1_000);
+        r.adapt_eps = f64::NAN;
+        assert!(r.check(0.0, u64::MAX).unwrap_err().contains("adapt_eps"));
+        let mut r = drift_report(0.9, 1_000);
+        r.plain_eps = 0.0;
+        assert!(r.check(0.0, u64::MAX).unwrap_err().contains("plain_eps"));
+    }
+
+    #[test]
+    fn drift_report_round_trips_through_json() {
+        let r = drift_report(0.8, 42_000);
+        let json = serde_json::to_string_pretty(&r).unwrap();
+        let back: DriftReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema, DRIFT_SCHEMA);
+        assert_eq!(back.adapt_ratio.to_bits(), r.adapt_ratio.to_bits());
+        assert_eq!(back.swap_pause_ns, 42_000);
+        assert_eq!(back.workload.swaps, 1);
     }
 
     #[test]

@@ -134,7 +134,7 @@ impl RuleSet {
 /// Crates whose iteration order feeds model training or trace output,
 /// and therefore must not use hash-ordered collections (rule D001).
 /// `detlint` polices itself so its diagnostics order is reproducible.
-const D001_CRATES: [&str; 8] = [
+const D001_CRATES: [&str; 9] = [
     "crates/core/",
     "crates/mlkit/",
     "crates/titan-sim/",
@@ -143,6 +143,7 @@ const D001_CRATES: [&str; 8] = [
     "crates/obskit/",
     "crates/streamd/",
     "crates/sbed/",
+    "crates/driftd/",
 ];
 
 /// Maps a workspace-relative path to the rules that apply to it.

@@ -1,0 +1,79 @@
+use std::fmt;
+use streamd::StreamError;
+
+/// Errors produced by the continual-learning subsystem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DriftError {
+    /// An underlying streaming/ML/simulator error.
+    Stream(StreamError),
+    /// The drift, window, or retrain configuration is unusable.
+    InvalidConfig {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for DriftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriftError::Stream(e) => write!(f, "stream error: {e}"),
+            DriftError::InvalidConfig { reason } => {
+                write!(f, "invalid drift config: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DriftError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriftError::Stream(e) => Some(e),
+            DriftError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<StreamError> for DriftError {
+    fn from(e: StreamError) -> DriftError {
+        DriftError::Stream(e)
+    }
+}
+
+impl From<mlkit::MlError> for DriftError {
+    fn from(e: mlkit::MlError) -> DriftError {
+        DriftError::Stream(StreamError::Ml(e))
+    }
+}
+
+impl From<sbepred::PredError> for DriftError {
+    fn from(e: sbepred::PredError) -> DriftError {
+        DriftError::Stream(StreamError::Pred(e))
+    }
+}
+
+impl From<titan_sim::SimError> for DriftError {
+    fn from(e: titan_sim::SimError) -> DriftError {
+        DriftError::Stream(StreamError::Sim(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn wraps_sources_and_displays() {
+        let e = DriftError::from(mlkit::MlError::NotFitted);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("stream error"));
+        let e = DriftError::InvalidConfig {
+            reason: "psi bins 0".into(),
+        };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("psi bins 0"));
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DriftError>();
+    }
+}

@@ -1,0 +1,47 @@
+//! driftd — online drift detection, champion/challenger retraining, and
+//! zero-downtime artifact hot swap for the SBE scoring service.
+//!
+//! The DSN'18 models are trained on a frozen window, but a production
+//! fleet drifts: applications come and go, offender populations shift,
+//! and a champion's calibration decays. This crate closes the loop
+//! deterministically:
+//!
+//! * [`monitor`] folds the serving event stream into fixed-memory
+//!   feature-distribution (binned PSI) and calibration (reliability-bin
+//!   ECE) statistics and fires a typed
+//!   [`DriftVerdict`](monitor::DriftVerdict) on a pinned decision rule —
+//!   integer and fixed-order `f64` arithmetic only, no wall clock, no
+//!   sampling.
+//! * [`window`] pairs scores with horizon-resolved SBE outcomes into a
+//!   bounded labeled sample window.
+//! * [`retrain`] trains a challenger on the window, judges it against
+//!   the champion on a held-out time-ordered tail, and promotes on a
+//!   pinned strictly-better rule, stamping the challenger's envelope
+//!   with a lineage header (parent checksum, train-window bounds,
+//!   generation).
+//! * [`adapt`] drives all of it alongside a live
+//!   [`StepScorer`](streamd::serve::StepScorer), hot-swapping the
+//!   serving artifact at an event boundary so every score is
+//!   attributable to exactly one generation and no in-flight request is
+//!   dropped or double-scored.
+//!
+//! The whole loop is replay-deterministic: the same event stream yields
+//! byte-identical verdict logs, promoted artifact bytes, and post-swap
+//! scores at any `SBE_THREADS` setting.
+
+pub mod adapt;
+mod error;
+pub mod monitor;
+pub mod retrain;
+pub mod window;
+
+pub use error::DriftError;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, DriftError>;
+
+/// The feature spec unit tests pin their synthetic artifacts to.
+#[cfg(test)]
+pub(crate) fn tests_spec() -> sbepred::features::FeatureSpec {
+    sbepred::features::FeatureSpec::no_telemetry()
+}

@@ -1,0 +1,383 @@
+//! The bounded retraining window: stage-2 scored requests accumulated
+//! with their feature rows, and the pinned labeling rule that turns
+//! job-boundary SBE visibility events into supervised labels.
+//!
+//! Labeling rule (pinned): a scored request for `(node, app)` launched
+//! at minute `m` is **positive** iff an SBE visibility event with a
+//! non-zero count arrives for the same `(node, app)` at a minute in
+//! `[m, m + label_horizon_min)`, and **negative** once
+//! `m + label_horizon_min` has passed without one. (Aprun ids do not
+//! travel on the SBE path, so `(node, app, time-window)` is the finest
+//! join available to the stream — the same visibility model the
+//! simulator's job-boundary SBE counters give the batch labels.)
+//!
+//! Memory is bounded by [`WindowConfig::capacity`]: admitting a sample
+//! beyond it evicts the oldest. Everything is keyed by a monotonic
+//! admission id, so iteration order — and with it every downstream
+//! statistic and retrain — is the admission order of the event stream.
+
+use crate::{DriftError, Result};
+use std::collections::BTreeMap;
+
+/// Tuning for the retraining window.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowConfig {
+    /// Maximum samples held; admitting past this evicts the oldest.
+    pub capacity: usize,
+    /// Minutes after launch during which an SBE labels the sample
+    /// positive; after the horizon an unlabeled sample resolves
+    /// negative.
+    pub label_horizon_min: u64,
+}
+
+impl WindowConfig {
+    /// The pinned default: 4096 samples, 240-minute label horizon.
+    pub fn pinned() -> WindowConfig {
+        WindowConfig {
+            capacity: 4096,
+            label_horizon_min: 240,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.capacity == 0 || self.label_horizon_min == 0 {
+            return Err(DriftError::InvalidConfig {
+                reason: "window capacity and label_horizon_min must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A labeled training row harvested from the window.
+#[derive(Debug, Clone)]
+pub struct LabeledRow {
+    /// Launch minute.
+    pub minute: u64,
+    /// The node scored.
+    pub node: u32,
+    /// The application.
+    pub app: u32,
+    /// The raw (unscaled) feature row, assembled at launch time.
+    pub row: Vec<f32>,
+    /// The resolved outcome.
+    pub label: bool,
+}
+
+/// One admitted sample.
+#[derive(Debug, Clone)]
+struct Sample {
+    minute: u64,
+    node: u32,
+    app: u32,
+    row: Vec<f32>,
+    prob: Option<f32>,
+    label: Option<bool>,
+    reported: bool,
+}
+
+/// The bounded, label-resolving sample store.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    cfg: WindowConfig,
+    /// Samples by admission id (ascending = admission order).
+    samples: BTreeMap<u64, Sample>,
+    /// Unlabeled sample ids by `(node, app)`, for SBE joins.
+    open: BTreeMap<(u32, u32), Vec<u64>>,
+    /// Scored-request join: `(aprun, node)` -> sample id awaiting its
+    /// probability.
+    awaiting_score: BTreeMap<(u32, u32), u64>,
+    next_id: u64,
+    /// Ids below this are past their horizon (negative-resolved).
+    resolved_below: u64,
+    n_evicted: u64,
+}
+
+impl SampleWindow {
+    /// Builds an empty window.
+    ///
+    /// # Errors
+    ///
+    /// Config validation.
+    pub fn new(cfg: WindowConfig) -> Result<SampleWindow> {
+        cfg.validate()?;
+        Ok(SampleWindow {
+            cfg,
+            samples: BTreeMap::new(),
+            open: BTreeMap::new(),
+            awaiting_score: BTreeMap::new(),
+            next_id: 0,
+            resolved_below: 0,
+            n_evicted: 0,
+        })
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Samples evicted by the capacity bound since the last clear.
+    pub fn n_evicted(&self) -> u64 {
+        self.n_evicted
+    }
+
+    /// Admits one stage-2 scored request with its launch-time feature
+    /// row (the probability attaches later, at flush time).
+    pub fn admit(&mut self, minute: u64, aprun: u32, node: u32, app: u32, row: Vec<f32>) {
+        if self.samples.len() >= self.cfg.capacity {
+            self.evict_oldest();
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.samples.insert(
+            id,
+            Sample {
+                minute,
+                node,
+                app,
+                row,
+                prob: None,
+                label: None,
+                reported: false,
+            },
+        );
+        self.open.entry((node, app)).or_default().push(id);
+        self.awaiting_score.insert((aprun, node), id);
+    }
+
+    /// Attaches a flush-time probability to its sample. Returns a
+    /// completed `(probability, label)` pair if the label had already
+    /// resolved.
+    pub fn attach_score(&mut self, aprun: u32, node: u32, prob: f32) -> Option<(f32, bool)> {
+        let id = self.awaiting_score.remove(&(aprun, node))?;
+        let s = self.samples.get_mut(&id)?;
+        s.prob = Some(prob);
+        complete(s)
+    }
+
+    /// Joins one SBE visibility event against the open samples for
+    /// `(node, app)`: samples whose horizon covers `minute` resolve
+    /// positive. Returns the completed `(probability, label)` pairs in
+    /// admission order.
+    pub fn observe_sbe(&mut self, minute: u64, node: u32, app: u32) -> Vec<(f32, bool)> {
+        let mut done = Vec::new();
+        let Some(ids) = self.open.get_mut(&(node, app)) else {
+            return done;
+        };
+        let horizon = self.cfg.label_horizon_min;
+        let samples = &mut self.samples;
+        ids.retain(|id| {
+            let Some(s) = samples.get_mut(id) else {
+                return false;
+            };
+            if s.minute <= minute && minute < s.minute + horizon {
+                s.label = Some(true);
+                if let Some(pair) = complete(s) {
+                    done.push(pair);
+                }
+                false
+            } else {
+                true
+            }
+        });
+        if ids.is_empty() {
+            self.open.remove(&(node, app));
+        }
+        done
+    }
+
+    /// Resolves every sample whose label horizon has fully passed by
+    /// `now_min` and is still unlabeled as negative. Returns the
+    /// completed `(probability, label)` pairs in admission order.
+    pub fn resolve_upto(&mut self, now_min: u64) -> Vec<(f32, bool)> {
+        let mut done = Vec::new();
+        let horizon = self.cfg.label_horizon_min;
+        let mut cursor = self.resolved_below;
+        let ids: Vec<u64> = self
+            .samples
+            .range(self.resolved_below..)
+            .take_while(|(_, s)| s.minute + horizon <= now_min)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in ids {
+            if let Some(s) = self.samples.get_mut(&id) {
+                if s.label.is_none() {
+                    s.label = Some(false);
+                    remove_open(&mut self.open, (s.node, s.app), id);
+                }
+                if let Some(pair) = complete(s) {
+                    done.push(pair);
+                }
+            }
+            cursor = id + 1;
+        }
+        self.resolved_below = cursor;
+        done
+    }
+
+    /// Harvests every fully resolved sample (probability attached,
+    /// label decided) as training rows, in admission order.
+    pub fn labeled_rows(&self) -> Vec<LabeledRow> {
+        self.samples
+            .values()
+            .filter(|s| s.prob.is_some() && s.label.is_some())
+            .map(|s| LabeledRow {
+                minute: s.minute,
+                node: s.node,
+                app: s.app,
+                row: s.row.clone(),
+                label: s.label == Some(true),
+            })
+            .collect()
+    }
+
+    /// Empties the window (after a retrain attempt, so successive
+    /// retrains see disjoint windows).
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.open.clear();
+        self.awaiting_score.clear();
+        self.resolved_below = self.next_id;
+        self.n_evicted = 0;
+    }
+
+    fn evict_oldest(&mut self) {
+        let Some((&id, _)) = self.samples.first_key_value() else {
+            return;
+        };
+        if let Some(s) = self.samples.remove(&id) {
+            remove_open(&mut self.open, (s.node, s.app), id);
+            // The awaiting-score entry (if any) dies with the sample;
+            // attach_score tolerates the dangling id.
+            self.n_evicted += 1;
+        }
+    }
+}
+
+/// Emits the sample's calibration pair exactly once, when both halves
+/// are known.
+fn complete(s: &mut Sample) -> Option<(f32, bool)> {
+    if s.reported {
+        return None;
+    }
+    let (Some(prob), Some(label)) = (s.prob, s.label) else {
+        return None;
+    };
+    s.reported = true;
+    Some((prob, label))
+}
+
+fn remove_open(open: &mut BTreeMap<(u32, u32), Vec<u64>>, key: (u32, u32), id: u64) {
+    if let Some(ids) = open.get_mut(&key) {
+        ids.retain(|&i| i != id);
+        if ids.is_empty() {
+            open.remove(&key);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SampleWindow {
+        SampleWindow::new(WindowConfig {
+            capacity: 4,
+            label_horizon_min: 10,
+        })
+        .expect("window")
+    }
+
+    #[test]
+    fn sbe_inside_horizon_labels_positive() {
+        let mut w = tiny();
+        w.admit(100, 1, 7, 3, vec![1.0]);
+        assert!(
+            w.attach_score(1, 7, 0.8).is_none(),
+            "label not resolved yet"
+        );
+        let pairs = w.observe_sbe(105, 7, 3);
+        assert_eq!(pairs, vec![(0.8, true)]);
+        let rows = w.labeled_rows();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].label);
+        assert_eq!(rows[0].node, 7);
+    }
+
+    #[test]
+    fn sbe_outside_horizon_or_wrong_key_does_not_label() {
+        let mut w = tiny();
+        w.admit(100, 1, 7, 3, vec![1.0]);
+        assert!(w.observe_sbe(110, 7, 3).is_empty(), "at horizon edge");
+        assert!(w.observe_sbe(105, 8, 3).is_empty(), "wrong node");
+        assert!(w.observe_sbe(105, 7, 4).is_empty(), "wrong app");
+        assert!(w.labeled_rows().is_empty());
+    }
+
+    #[test]
+    fn horizon_expiry_resolves_negative() {
+        let mut w = tiny();
+        w.admit(100, 1, 7, 3, vec![1.0]);
+        w.attach_score(1, 7, 0.3);
+        assert!(w.resolve_upto(109).is_empty(), "horizon not passed");
+        let pairs = w.resolve_upto(110);
+        assert_eq!(pairs, vec![(0.3, false)]);
+        // A late SBE cannot flip a resolved sample.
+        assert!(w.observe_sbe(111, 7, 3).is_empty());
+        let rows = w.labeled_rows();
+        assert_eq!(rows.len(), 1);
+        assert!(!rows[0].label);
+    }
+
+    #[test]
+    fn pair_emitted_once_whichever_half_lands_last() {
+        let mut w = tiny();
+        // Label first (SBE), then score.
+        w.admit(100, 1, 7, 3, vec![1.0]);
+        assert!(w.observe_sbe(101, 7, 3).is_empty(), "no probability yet");
+        assert_eq!(w.attach_score(1, 7, 0.9), Some((0.9, true)));
+        assert!(w.resolve_upto(500).is_empty(), "already reported");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut w = tiny();
+        for i in 0..5u32 {
+            w.admit(100 + i as u64, i, i, 1, vec![i as f32]);
+        }
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.n_evicted(), 1);
+        // The evicted sample's joins are dead.
+        assert!(w.attach_score(0, 0, 0.5).is_none());
+        assert!(w.observe_sbe(100, 0, 1).is_empty());
+    }
+
+    #[test]
+    fn clear_resets_for_the_next_window() {
+        let mut w = tiny();
+        w.admit(100, 1, 7, 3, vec![1.0]);
+        w.attach_score(1, 7, 0.3);
+        w.clear();
+        assert!(w.is_empty());
+        assert!(w.labeled_rows().is_empty());
+        // Old joins are gone; new admissions work.
+        w.admit(200, 2, 7, 3, vec![2.0]);
+        assert_eq!(w.attach_score(2, 7, 0.6), None);
+        assert_eq!(w.observe_sbe(201, 7, 3), vec![(0.6, true)]);
+    }
+
+    #[test]
+    fn rejects_zero_capacity() {
+        assert!(SampleWindow::new(WindowConfig {
+            capacity: 0,
+            label_horizon_min: 10
+        })
+        .is_err());
+    }
+}

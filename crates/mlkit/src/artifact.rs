@@ -11,12 +11,24 @@
 //!      8     4  format version   u32 LE (FORMAT_VERSION)
 //!     12     8  schema hash      u64 LE (producer-defined, e.g. FNV-1a
 //!                                 over the ordered feature names)
-//!     20     2  kind length      u16 LE
-//!     22     k  kind             UTF-8 (e.g. "sbepred/twostage")
-//!   22+k     8  payload length   u64 LE
-//!   30+k     8  payload checksum u64 LE (FNV-1a 64 of the payload)
-//!   38+k     n  payload          producer-defined (serde JSON here)
+//!     20     8  parent checksum  u64 LE (FNV-1a of the parent artifact's
+//!                                 encoded bytes; 0 for a root artifact)
+//!     28     8  train-from min   u64 LE (training window start)
+//!     36     8  train-until min  u64 LE (training window end, exclusive)
+//!     44     4  generation       u32 LE (0 for a root artifact)
+//!     48     2  kind length      u16 LE
+//!     50     k  kind             UTF-8 (e.g. "sbepred/twostage")
+//!   50+k     8  payload length   u64 LE
+//!   58+k     8  payload checksum u64 LE (FNV-1a 64 of the payload)
+//!   66+k     n  payload          producer-defined (serde JSON here)
 //! ```
+//!
+//! Format version 2 added the lineage block (offsets 20–47): the
+//! continual-learning loop promotes challenger artifacts whose
+//! succession must be auditable — which champion each artifact replaced
+//! (parent checksum), what window it was fitted on, and its place in
+//! the generation chain. A root artifact (trained from scratch, not
+//! promoted over a parent) carries the all-zero lineage.
 //!
 //! The envelope itself is payload-agnostic; consumers decode the payload
 //! and decide what the schema hash means. Everything is little-endian and
@@ -24,46 +36,159 @@
 
 use crate::{MlError, Result};
 
+// Canonical FNV-1a lives in [`crate::hash`]; re-exported here because the
+// artifact layer is where downstream crates historically imported it.
+pub use crate::hash::fnv1a64;
+
 /// Leading magic; the trailing byte doubles as a format generation marker
 /// so even version-0 prototypes are distinguishable from arbitrary files.
 pub const MAGIC: [u8; 8] = *b"SBEMODL\x01";
 
-/// Envelope format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// Envelope format version this build reads and writes. Version 2 added
+/// the lineage block.
+pub const FORMAT_VERSION: u32 = 2;
 
-/// Fixed header bytes before the variable-length kind string.
-const FIXED_HEADER_LEN: usize = 8 + 4 + 8 + 2;
+/// Fixed header bytes before the variable-length kind string:
+/// magic + version + schema hash + lineage block + kind length.
+const FIXED_HEADER_LEN: usize = 8 + 4 + 8 + Lineage::ENCODED_LEN + 2;
 
-/// 64-bit FNV-1a hash — the checksum/schema-fingerprint primitive used
-/// throughout the artifact layer (stable, dependency-free, and fast
-/// enough for megabyte payloads).
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+/// Provenance of an artifact in the champion/challenger succession
+/// chain: which artifact it replaced, the minute window it was trained
+/// on, and its generation counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Lineage {
+    /// FNV-1a 64 of the parent artifact's full encoded bytes; 0 for a
+    /// root artifact with no parent.
+    pub parent_checksum: u64,
+    /// First minute of the training window (inclusive).
+    pub train_from_min: u64,
+    /// End of the training window (exclusive).
+    pub train_until_min: u64,
+    /// Generation counter: 0 for a root artifact, parent + 1 for every
+    /// promoted challenger.
+    pub generation: u32,
 }
 
-/// A decoded artifact envelope: kind tag, schema hash, and the verified
-/// payload bytes.
+impl Lineage {
+    /// Encoded size of the lineage block.
+    pub const ENCODED_LEN: usize = 8 + 8 + 8 + 4;
+
+    /// A root lineage: no parent, zero window, generation 0.
+    pub fn root() -> Lineage {
+        Lineage::default()
+    }
+
+    /// Lineage for a child artifact promoted over `parent_checksum`.
+    pub fn child_of(
+        parent_checksum: u64,
+        parent_generation: u32,
+        train_from_min: u64,
+        train_until_min: u64,
+    ) -> Lineage {
+        Lineage {
+            parent_checksum,
+            train_from_min,
+            train_until_min,
+            generation: parent_generation.wrapping_add(1),
+        }
+    }
+
+    /// Verifies this lineage is a well-formed successor of the artifact
+    /// with the given checksum and generation — the gate a serving
+    /// process applies before hot-swapping a challenger in.
+    ///
+    /// # Errors
+    ///
+    /// [`MlError::ArtifactLineage`] on a parent-checksum mismatch or a
+    /// generation that is not strictly `parent_generation + 1`.
+    pub fn verify_succession(&self, parent_checksum: u64, parent_generation: u32) -> Result<()> {
+        if self.parent_checksum != parent_checksum {
+            return Err(MlError::ArtifactLineage {
+                reason: format!(
+                    "parent checksum mismatch: artifact claims parent {:#018x}, \
+                     serving champion is {parent_checksum:#018x}",
+                    self.parent_checksum
+                ),
+            });
+        }
+        let expected = parent_generation.wrapping_add(1);
+        if self.generation != expected {
+            return Err(MlError::ArtifactLineage {
+                reason: format!(
+                    "generation regression: artifact is generation {}, expected {expected} \
+                     (champion is generation {parent_generation})",
+                    self.generation
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.parent_checksum.to_le_bytes());
+        out.extend_from_slice(&self.train_from_min.to_le_bytes());
+        out.extend_from_slice(&self.train_until_min.to_le_bytes());
+        out.extend_from_slice(&self.generation.to_le_bytes());
+    }
+
+    fn decode(rest: &mut &[u8]) -> Result<Lineage> {
+        let parent_checksum = u64::from_le_bytes(le8(take(rest, 8, "parent checksum")?));
+        let train_from_min = u64::from_le_bytes(le8(take(rest, 8, "train-from minute")?));
+        let train_until_min = u64::from_le_bytes(le8(take(rest, 8, "train-until minute")?));
+        let generation = u32::from_le_bytes(le4(take(rest, 4, "generation")?));
+        if train_until_min < train_from_min {
+            return Err(MlError::ArtifactLineage {
+                reason: format!(
+                    "inverted training window: from minute {train_from_min} until \
+                     {train_until_min}"
+                ),
+            });
+        }
+        Ok(Lineage {
+            parent_checksum,
+            train_from_min,
+            train_until_min,
+            generation,
+        })
+    }
+}
+
+/// A decoded artifact envelope: kind tag, schema hash, lineage, and the
+/// verified payload bytes.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Envelope {
     /// Producer-defined artifact kind (e.g. `"sbepred/twostage"`).
     pub kind: String,
     /// Producer-defined schema fingerprint.
     pub schema_hash: u64,
+    /// Succession provenance; [`Lineage::root`] for a from-scratch model.
+    pub lineage: Lineage,
     /// The payload, checksum-verified.
     pub payload: Vec<u8>,
 }
 
 impl Envelope {
-    /// Wraps a payload.
+    /// Wraps a payload with root lineage.
     pub fn new(kind: impl Into<String>, schema_hash: u64, payload: Vec<u8>) -> Envelope {
         Envelope {
             kind: kind.into(),
             schema_hash,
+            lineage: Lineage::root(),
+            payload,
+        }
+    }
+
+    /// Wraps a payload with explicit lineage.
+    pub fn with_lineage(
+        kind: impl Into<String>,
+        schema_hash: u64,
+        lineage: Lineage,
+        payload: Vec<u8>,
+    ) -> Envelope {
+        Envelope {
+            kind: kind.into(),
+            schema_hash,
+            lineage,
             payload,
         }
     }
@@ -86,6 +211,7 @@ impl Envelope {
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         out.extend_from_slice(&self.schema_hash.to_le_bytes());
+        self.lineage.encode_into(&mut out);
         out.extend_from_slice(&(kind.len() as u16).to_le_bytes());
         out.extend_from_slice(kind);
         out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
@@ -101,7 +227,8 @@ impl Envelope {
     /// * [`MlError::ArtifactCorrupt`] — truncation, wrong magic, invalid
     ///   kind encoding, checksum mismatch, or trailing garbage;
     /// * [`MlError::ArtifactVersionMismatch`] — a format version this
-    ///   build does not read.
+    ///   build does not read;
+    /// * [`MlError::ArtifactLineage`] — an inverted training window.
     pub fn decode(bytes: &[u8]) -> Result<Envelope> {
         let mut rest = bytes;
         let magic = take(&mut rest, 8, "magic")?;
@@ -118,6 +245,7 @@ impl Envelope {
             });
         }
         let schema_hash = u64::from_le_bytes(le8(take(&mut rest, 8, "schema hash")?));
+        let lineage = Lineage::decode(&mut rest)?;
         let kind_len = u16::from_le_bytes(le2(take(&mut rest, 2, "kind length")?)) as usize;
         let kind_bytes = take(&mut rest, kind_len, "kind string")?;
         let kind = std::str::from_utf8(kind_bytes)
@@ -146,6 +274,7 @@ impl Envelope {
         Ok(Envelope {
             kind,
             schema_hash,
+            lineage,
             payload: rest.to_vec(),
         })
     }
@@ -197,6 +326,15 @@ mod tests {
         )
     }
 
+    fn sample_child() -> Envelope {
+        Envelope::with_lineage(
+            "test/kind",
+            0xdead_beef_cafe_f00d,
+            Lineage::child_of(0x1111_2222_3333_4444, 6, 1000, 2000),
+            b"hello payload".to_vec(),
+        )
+    }
+
     #[test]
     fn round_trip_preserves_everything() {
         let env = sample();
@@ -206,15 +344,27 @@ mod tests {
     }
 
     #[test]
+    fn lineage_round_trips() {
+        let env = sample_child();
+        let back = Envelope::decode(&env.encode().unwrap()).unwrap();
+        assert_eq!(back.lineage.parent_checksum, 0x1111_2222_3333_4444);
+        assert_eq!(back.lineage.train_from_min, 1000);
+        assert_eq!(back.lineage.train_until_min, 2000);
+        assert_eq!(back.lineage.generation, 7);
+    }
+
+    #[test]
     fn empty_payload_round_trips() {
         let env = Envelope::new("k", 0, Vec::new());
         let back = Envelope::decode(&env.encode().unwrap()).unwrap();
         assert_eq!(back.payload, Vec::<u8>::new());
+        assert_eq!(back.lineage, Lineage::root());
     }
 
     #[test]
     fn every_truncation_is_a_typed_error() {
-        let bytes = sample().encode().unwrap();
+        // A child envelope so every lineage byte is load-bearing.
+        let bytes = sample_child().encode().unwrap();
         for n in 0..bytes.len() {
             match Envelope::decode(&bytes[..n]) {
                 Err(MlError::ArtifactCorrupt { .. }) => {}
@@ -247,6 +397,38 @@ mod tests {
     }
 
     #[test]
+    fn lineage_free_v1_rejected_as_version_mismatch() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            Envelope::decode(&bytes),
+            Err(MlError::ArtifactVersionMismatch {
+                found: 1,
+                supported: FORMAT_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn inverted_training_window_rejected() {
+        let env = Envelope::with_lineage(
+            "k",
+            0,
+            Lineage {
+                parent_checksum: 0,
+                train_from_min: 500,
+                train_until_min: 100,
+                generation: 1,
+            },
+            Vec::new(),
+        );
+        assert!(matches!(
+            Envelope::decode(&env.encode().unwrap()),
+            Err(MlError::ArtifactLineage { .. })
+        ));
+    }
+
+    #[test]
     fn payload_corruption_fails_checksum() {
         let env = sample();
         let mut bytes = env.encode().unwrap();
@@ -269,8 +451,35 @@ mod tests {
     }
 
     #[test]
+    fn succession_accepts_direct_child() {
+        let lin = Lineage::child_of(0xabcd, 3, 0, 10);
+        assert!(lin.verify_succession(0xabcd, 3).is_ok());
+    }
+
+    #[test]
+    fn succession_rejects_wrong_parent() {
+        let lin = Lineage::child_of(0xabcd, 3, 0, 10);
+        assert!(matches!(
+            lin.verify_succession(0xeeee, 3),
+            Err(MlError::ArtifactLineage { .. })
+        ));
+    }
+
+    #[test]
+    fn succession_rejects_generation_regression() {
+        let lin = Lineage::child_of(0xabcd, 3, 0, 10);
+        // Champion has moved on to generation 5: a generation-4 artifact
+        // is stale, not a successor.
+        assert!(matches!(
+            lin.verify_succession(0xabcd, 5),
+            Err(MlError::ArtifactLineage { .. })
+        ));
+    }
+
+    #[test]
     fn fnv_reference_vectors() {
-        // Standard FNV-1a 64 test vectors.
+        // Standard FNV-1a 64 test vectors (canonical impl in crate::hash,
+        // re-exported here).
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
         assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);

@@ -56,6 +56,13 @@ pub enum MlError {
         /// Schema hash found in the artifact header.
         found: u64,
     },
+    /// A model artifact's lineage header is inconsistent with the
+    /// succession chain it claims membership in: wrong parent checksum,
+    /// a generation regression, or an inverted training window.
+    ArtifactLineage {
+        /// What broke the succession invariant.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MlError {
@@ -93,6 +100,9 @@ impl fmt::Display for MlError {
                     f,
                     "artifact feature-schema mismatch: expected {expected:#018x}, found {found:#018x}"
                 )
+            }
+            MlError::ArtifactLineage { reason } => {
+                write!(f, "artifact lineage invalid: {reason}")
             }
         }
     }

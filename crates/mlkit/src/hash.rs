@@ -1,0 +1,114 @@
+//! Canonical FNV-1a 64 implementation — the single source of truth for
+//! every checksum and schema fingerprint in the workspace.
+//!
+//! The artifact envelope, the sbed wire protocol, the request-log
+//! replay, and the new lineage header all checksum bytes with FNV-1a 64.
+//! Before this module each consumer carried (or re-imported) its own
+//! copy; a silent divergence in any one of them would have produced
+//! artifacts one layer writes and another rejects. Now there is exactly
+//! one implementation, pinned by known-answer vectors, and the other
+//! call sites re-export it.
+//!
+//! FNV-1a is deliberate: dependency-free, stable across platforms
+//! (pure wrapping u64 arithmetic), and fast enough for megabyte
+//! payloads. It is an integrity check against accidental corruption,
+//! not a cryptographic MAC.
+
+/// FNV-1a 64 offset basis.
+pub const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a 64 prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a hash of a byte slice.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.update(bytes);
+    h.finish()
+}
+
+/// Streaming FNV-1a 64 hasher, for checksumming data that arrives in
+/// chunks (rolling response digests, incremental log writers) without
+/// concatenating into a scratch buffer first.
+///
+/// Feeding chunks `a` then `b` yields exactly `fnv1a64(a ++ b)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+impl Fnv1a {
+    /// Starts a fresh hash at the offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a {
+            state: FNV_OFFSET_BASIS,
+        }
+    }
+
+    /// Resumes from a previously finished digest, treating it as the
+    /// running state. This is how the wire layer folds successive
+    /// response frames into one rolling checksum.
+    pub fn resume(state: u64) -> Fnv1a {
+        Fnv1a { state }
+    }
+
+    /// Absorbs a chunk.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.state;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.state = h;
+    }
+
+    /// Returns the digest of everything absorbed so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"b"), 0xaf63_df4c_8601_f1a5);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        for split in 0..=data.len() {
+            let mut h = Fnv1a::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finish(), fnv1a64(data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn resume_continues_a_digest() {
+        let mut h = Fnv1a::resume(fnv1a64(b"foo"));
+        h.update(b"bar");
+        assert_eq!(h.finish(), fnv1a64(b"foobar"));
+    }
+
+    #[test]
+    fn empty_update_is_identity() {
+        let mut h = Fnv1a::new();
+        h.update(b"");
+        assert_eq!(h.finish(), FNV_OFFSET_BASIS);
+    }
+}

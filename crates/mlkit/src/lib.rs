@@ -49,6 +49,7 @@ pub mod dataset;
 pub mod ensemble;
 pub mod fastpath;
 pub mod gbdt;
+pub mod hash;
 pub mod hist;
 pub mod kmeans;
 pub mod linear;

@@ -190,3 +190,100 @@ proptest! {
         prop_assert_eq!(copy.x().as_slice(), ds.x().as_slice());
     }
 }
+
+// --- artifact envelope: lineage round-trip and corruption properties ---
+
+fn lineage_strategy() -> impl Strategy<Value = mlkit::artifact::Lineage> {
+    (
+        0u64..u64::MAX,
+        0u64..1_000_000,
+        0u64..1_000_000,
+        0u32..u32::MAX,
+    )
+        .prop_map(
+            |(parent_checksum, from, span, generation)| mlkit::artifact::Lineage {
+                parent_checksum,
+                train_from_min: from,
+                train_until_min: from + span,
+                generation,
+            },
+        )
+}
+
+fn kind_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 1..24)
+        .prop_map(|v| v.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn envelope_round_trips_any_lineage(
+        kind in kind_strategy(),
+        schema_hash in 0u64..u64::MAX,
+        lineage in lineage_strategy(),
+        payload in prop::collection::vec((0u16..256u16).prop_map(|v| v as u8), 0..256),
+    ) {
+        let env = mlkit::artifact::Envelope::with_lineage(kind, schema_hash, lineage, payload);
+        let bytes = env.encode().expect("encode");
+        let back = mlkit::artifact::Envelope::decode(&bytes).expect("decode");
+        prop_assert_eq!(back, env);
+    }
+
+    #[test]
+    fn any_truncation_of_any_envelope_is_a_typed_error(
+        lineage in lineage_strategy(),
+        payload in prop::collection::vec((0u16..256u16).prop_map(|v| v as u8), 0..64),
+        cut_seed in 0u64..u64::MAX,
+    ) {
+        let env = mlkit::artifact::Envelope::with_lineage("k/t", 7, lineage, payload);
+        let bytes = env.encode().expect("encode");
+        let n = (cut_seed % bytes.len() as u64) as usize;
+        let truncated_is_typed = matches!(
+            mlkit::artifact::Envelope::decode(&bytes[..n]),
+            Err(mlkit::MlError::ArtifactCorrupt { .. })
+        );
+        prop_assert!(truncated_is_typed, "truncation at {} was not typed", n);
+    }
+
+    #[test]
+    fn any_payload_bit_flip_fails_the_checksum(
+        lineage in lineage_strategy(),
+        payload in prop::collection::vec((0u16..256u16).prop_map(|v| v as u8), 1..64),
+        which_seed in 0u64..u64::MAX,
+        bit in 0u8..8,
+    ) {
+        let env = mlkit::artifact::Envelope::with_lineage("k/t", 7, lineage, payload);
+        let mut bytes = env.encode().expect("encode");
+        let start = bytes.len() - env.payload.len();
+        let i = start + (which_seed % env.payload.len() as u64) as usize;
+        bytes[i] ^= 1 << bit;
+        let flip_is_typed = matches!(
+            mlkit::artifact::Envelope::decode(&bytes),
+            Err(mlkit::MlError::ArtifactCorrupt { .. })
+        );
+        prop_assert!(flip_is_typed, "payload flip at byte {} bit {} decoded", i, bit);
+    }
+
+    #[test]
+    fn succession_accepts_exactly_the_direct_child(
+        parent in 0u64..1024,
+        claimed_parent in 0u64..1024,
+        parent_generation in 0u32..64,
+        claimed_generation in 0u32..64,
+    ) {
+        let lineage = mlkit::artifact::Lineage {
+            parent_checksum: claimed_parent,
+            train_from_min: 0,
+            train_until_min: 1,
+            generation: claimed_generation,
+        };
+        let ok = claimed_parent == parent
+            && claimed_generation == parent_generation.wrapping_add(1);
+        prop_assert_eq!(
+            lineage.verify_succession(parent, parent_generation).is_ok(),
+            ok
+        );
+    }
+}

@@ -117,6 +117,7 @@ struct EngineOutcome {
     response_fnv: u64,
     n_rejected: u64,
     n_admitted: u64,
+    n_swaps_rejected: u64,
 }
 
 /// The daemon's end-of-run summary.
@@ -141,6 +142,11 @@ pub struct DaemonReport {
     pub n_transport_errors: u64,
     /// Overload refusals (connection window, queue, reorder buffer).
     pub n_overloads: u64,
+    /// Scheduled hot swaps the engine refused (bad lineage, schema
+    /// mismatch, stale generation, or scheduled past the end of the
+    /// run). Refused swaps are never logged, so a recorded log only
+    /// ever contains swaps a replay will accept.
+    pub n_swaps_rejected: u64,
 }
 
 /// One frame waiting for the sequencer.
@@ -153,6 +159,7 @@ struct PendingFrame {
 
 enum ToEngine {
     Frame { seq: u64, frame: PendingFrame },
+    Swap { at_seq: u64, bytes: Vec<u8> },
     Drain,
 }
 
@@ -297,6 +304,35 @@ impl Daemon {
         self.addr
     }
 
+    /// Schedules a zero-downtime artifact hot swap at an admission
+    /// boundary: `envelope` (full `mlkit::artifact` envelope bytes with
+    /// a lineage header naming the current champion as parent) takes
+    /// over scoring after every frame below `at_seq` is answered and
+    /// before frame `at_seq` is admitted. If that boundary has already
+    /// passed, the swap applies at the next boundary the engine
+    /// reaches. The engine validates lineage/schema/generation before
+    /// committing; a refused swap leaves the champion serving and is
+    /// counted in [`DaemonReport::n_swaps_rejected`].
+    ///
+    /// # Errors
+    ///
+    /// [`SbedError::Draining`] if the engine is no longer accepting
+    /// work.
+    pub fn swap_at(&self, at_seq: u64, envelope: Vec<u8>) -> Result<()> {
+        if self.draining.load(Ordering::SeqCst) {
+            return Err(SbedError::Draining);
+        }
+        match &self.engine_tx {
+            Some(tx) => tx
+                .send(ToEngine::Swap {
+                    at_seq,
+                    bytes: envelope,
+                })
+                .map_err(|_| SbedError::Draining),
+            None => Err(SbedError::Draining),
+        }
+    }
+
     /// Starts a graceful drain: no new connections or requests are
     /// admitted; everything already queued is scored and answered.
     /// Idempotent. Follow with [`Daemon::join`].
@@ -352,6 +388,7 @@ impl Daemon {
             n_connections: self.n_connections.load(Ordering::SeqCst),
             n_transport_errors: self.transport_errors.load(Ordering::SeqCst),
             n_overloads: self.n_overloads.load(Ordering::SeqCst),
+            n_swaps_rejected: outcome.n_swaps_rejected,
         })
     }
 }
@@ -627,8 +664,13 @@ struct Engine<'a> {
     session: ScoreSession<'a>,
     buffer: BTreeMap<u64, PendingFrame>,
     open: BTreeMap<u64, ReplySlot>,
+    /// Hot swaps scheduled for a future admission boundary: the swap
+    /// keyed by `s` applies after every frame below `s` is scored and
+    /// before frame `s` is admitted.
+    swaps: BTreeMap<u64, Vec<u8>>,
     next_seq: u64,
     n_admitted: u64,
+    n_swaps_rejected: u64,
     log: Option<LogWriter>,
     reorder_capacity: usize,
 }
@@ -699,13 +741,50 @@ impl Engine<'_> {
         self.pump()
     }
 
-    /// Admits every in-sequence frame: records it, feeds the session,
-    /// routes the responses.
+    /// Applies every hot swap whose boundary has been reached: swaps
+    /// scheduled at or before `next_seq` run now, strictly between
+    /// admitted frames. A swap the session refuses (bad lineage,
+    /// schema mismatch, stale generation) is counted and dropped
+    /// *before* logging, so the recorded log only contains swaps a
+    /// replay will accept; an accepted swap is logged first, then
+    /// applied, exactly the order the replayer reproduces.
+    ///
+    /// # Errors
+    ///
+    /// Record-log and scoring-core failures (fatal). Swap *validation*
+    /// failures are not fatal: the champion keeps serving.
+    fn apply_due_swaps(&mut self) -> Result<()> {
+        while let Some((&at, _)) = self.swaps.first_key_value() {
+            if at > self.next_seq {
+                break;
+            }
+            let bytes = self.swaps.remove(&at).unwrap_or_default();
+            let swap = match self.session.prepare_swap(&bytes) {
+                Ok(s) => s,
+                Err(_) => {
+                    self.n_swaps_rejected += 1;
+                    continue;
+                }
+            };
+            if let Some(log) = self.log.as_mut() {
+                let frame = wire::encode_frame(wire::KIND_SWAP, self.next_seq, &bytes);
+                log.append(&frame)?;
+            }
+            let responses = self.session.apply_swap(swap)?;
+            self.route(responses);
+        }
+        Ok(())
+    }
+
+    /// Admits every in-sequence frame: applies due swaps at the
+    /// boundary, records the frame, feeds the session, routes the
+    /// responses.
     ///
     /// # Errors
     ///
     /// Scoring-core and record-log failures (fatal).
     fn pump(&mut self) -> Result<()> {
+        self.apply_due_swaps()?;
         while let Some(frame) = self.buffer.remove(&self.next_seq) {
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -739,13 +818,15 @@ impl Engine<'_> {
             if self.session.finished() {
                 break;
             }
+            self.apply_due_swaps()?;
         }
         Ok(())
     }
 
     /// Ends the run: finalises the session (drain case), answers what
     /// completed, and refuses everything still stuck in the reorder
-    /// buffer.
+    /// buffer. Swaps scheduled past the end of the run never applied
+    /// and were never logged; they count as rejected.
     fn shut(&mut self) -> Result<()> {
         let finalized = self.session.finalize()?;
         self.route(finalized);
@@ -760,6 +841,8 @@ impl Engine<'_> {
                 &SbedError::Draining.to_string(),
             );
         }
+        self.n_swaps_rejected += self.swaps.len() as u64;
+        self.swaps.clear();
         Ok(())
     }
 }
@@ -778,6 +861,7 @@ fn run_engine(
         response_fnv: 0,
         n_rejected: 0,
         n_admitted: 0,
+        n_swaps_rejected: 0,
     };
     let session = match ScoreSession::new(artifact, &cfg.serve, cfg.topology) {
         Ok(s) => s,
@@ -794,8 +878,10 @@ fn run_engine(
         session,
         buffer: BTreeMap::new(),
         open: BTreeMap::new(),
+        swaps: BTreeMap::new(),
         next_seq: 0,
         n_admitted: 0,
+        n_swaps_rejected: 0,
         log,
         reorder_capacity: cfg.reorder_capacity,
     };
@@ -812,14 +898,29 @@ fn run_engine(
                     break;
                 }
             }
+            Ok(ToEngine::Swap { at_seq, bytes }) => {
+                // Last scheduling wins for a boundary; pump applies it
+                // once every frame below `at_seq` has been scored.
+                engine.swaps.insert(at_seq, bytes);
+                if let Err(e) = engine.pump() {
+                    fatal = Some(e);
+                    break;
+                }
+            }
             Ok(ToEngine::Drain) => {
-                // Drain whatever is already queued, then finish.
+                // Drain whatever is already queued, then finish. Swaps
+                // still in flight at drain time are not applied: a
+                // draining daemon keeps its champion to the end.
                 while let Ok(msg) = rx.try_recv() {
-                    if let ToEngine::Frame { seq, frame } = msg {
-                        if let Err(e) = engine.enqueue(seq, frame, n_overloads) {
-                            fatal = Some(e);
-                            break;
+                    match msg {
+                        ToEngine::Frame { seq, frame } => {
+                            if let Err(e) = engine.enqueue(seq, frame, n_overloads) {
+                                fatal = Some(e);
+                                break;
+                            }
                         }
+                        ToEngine::Swap { .. } => engine.n_swaps_rejected += 1,
+                        ToEngine::Drain => {}
                     }
                 }
                 break;
@@ -847,5 +948,6 @@ fn run_engine(
         response_fnv: engine.session.response_fnv(),
         n_rejected: engine.session.n_rejected(),
         n_admitted: engine.n_admitted,
+        n_swaps_rejected: engine.n_swaps_rejected,
     }
 }

@@ -129,6 +129,16 @@ pub fn replay_log_bytes(
         let (frame, used) = wire::decode_frame(rest)?;
         rest = rest.get(used..).unwrap_or(&[]);
         n_frames += 1;
+        // A logged SWAP frame marks where the live engine hot-swapped
+        // its artifact; replaying it at the same position reproduces
+        // every post-swap score. The engine validated before logging,
+        // so a failure here means the log or artifact chain is damaged.
+        if frame.header.kind == wire::KIND_SWAP {
+            let swap = session.prepare_swap(&frame.payload)?;
+            let mut rs = session.apply_swap(swap)?;
+            responses.append(&mut rs);
+            continue;
+        }
         let mut rs = session.handle(frame.header.kind, frame.header.request_id, &frame.payload)?;
         responses.append(&mut rs);
     }

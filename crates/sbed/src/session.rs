@@ -19,13 +19,14 @@
 //! rejections too.
 
 use crate::wire::{self, EncodedResponse, ReportPayload, ScoreEntry, ScoresPayload, WireEvent};
-use crate::Result;
-use mlkit::artifact::fnv1a64;
+use crate::{Result, SbedError};
+use mlkit::hash::{fnv1a64, Fnv1a};
 use obskit::Recorder;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 use streamd::artifact::PipelineArtifact;
 use streamd::serve::{
-    LaunchFacts, NullSink, ScoredLaunch, ServeConfig, StepScorer, DRAIN_THRESHOLD,
+    LaunchFacts, NullSink, PreparedSwap, ScoredLaunch, ServeConfig, StepScorer, DRAIN_THRESHOLD,
 };
 use titan_sim::apps::AppId;
 use titan_sim::topology::{NodeId, Topology};
@@ -38,6 +39,27 @@ struct OpenLaunch {
     minute: u64,
     expected: usize,
     entries: Vec<ScoreEntry>,
+}
+
+/// A validated hot swap, ready for [`ScoreSession::apply_swap`]. All
+/// fallible work (envelope decode, succession verification, fastpath
+/// compilation) happened in [`ScoreSession::prepare_swap`], so the
+/// daemon can refuse a bad swap *before* logging its frame — a recorded
+/// request log only ever contains swaps a replay will accept.
+pub struct SessionSwap {
+    prepared: PreparedSwap,
+    /// FNV-1a of the swap frame's envelope bytes — the next champion
+    /// checksum.
+    checksum: u64,
+    /// The lineage generation the envelope carries.
+    lineage_generation: u32,
+}
+
+impl SessionSwap {
+    /// The generation this swap installs.
+    pub fn generation(&self) -> u32 {
+        self.lineage_generation
+    }
 }
 
 /// The sequential scoring state machine shared by the live daemon and
@@ -62,6 +84,13 @@ pub struct ScoreSession<'a> {
     /// FNV-1a checksum folded over every emitted response frame, in
     /// emission order — the one number live and replay must agree on.
     response_fnv: u64,
+    /// FNV-1a of the serving champion's encoded envelope bytes — the
+    /// parent checksum the next swap's lineage must name.
+    champion_checksum: u64,
+    /// The serving champion's lineage generation.
+    champion_generation: u32,
+    /// Hot swaps committed.
+    n_swaps: u64,
     finished: bool,
 }
 
@@ -80,6 +109,10 @@ impl<'a> ScoreSession<'a> {
         topology: Topology,
     ) -> Result<ScoreSession<'a>> {
         let step = StepScorer::new(artifact, cfg, topology, None)?;
+        // The serving convention: a daemon starts on a root artifact
+        // (generation 0, root lineage); its checksum anchors the swap
+        // succession chain.
+        let champion_checksum = fnv1a64(&artifact.to_bytes()?);
         Ok(ScoreSession {
             step,
             rec: Recorder::new(),
@@ -91,6 +124,9 @@ impl<'a> ScoreSession<'a> {
             n_events: 0,
             n_rejected: 0,
             response_fnv: fnv1a64(&[]),
+            champion_checksum,
+            champion_generation: 0,
+            n_swaps: 0,
             finished: false,
         })
     }
@@ -120,7 +156,19 @@ impl<'a> ScoreSession<'a> {
             n_batches: stats.n_batches,
             n_alerts: stats.n_alerts,
             snapshot_fnv: fnv1a64(self.rec.snapshot_json().as_bytes()),
+            n_swaps: self.n_swaps,
+            generation: self.champion_generation,
         }
+    }
+
+    /// The serving champion's lineage generation.
+    pub fn generation(&self) -> u32 {
+        self.champion_generation
+    }
+
+    /// Hot swaps committed so far.
+    pub fn n_swaps(&self) -> u64 {
+        self.n_swaps
     }
 
     /// Events refused with a typed rejection so far.
@@ -128,15 +176,19 @@ impl<'a> ScoreSession<'a> {
         self.n_rejected
     }
 
+    /// Folds one emitted frame into the rolling checksum by rehashing
+    /// the previous digest followed by the frame — order-sensitive, so
+    /// any reordering or difference in any response byte shows up.
+    fn fold_response(&mut self, bytes: &[u8]) {
+        let mut h = Fnv1a::new();
+        h.update(&self.response_fnv.to_le_bytes());
+        h.update(bytes);
+        self.response_fnv = h.finish();
+    }
+
     fn emit(&mut self, rs: &mut Vec<EncodedResponse>, request_id: u64, kind: u16, payload: &[u8]) {
         let bytes = wire::encode_frame(kind, request_id, payload);
-        // Fold the frame into the rolling checksum by rehashing the
-        // previous digest followed by the frame — order-sensitive, so
-        // any reordering or difference in any response byte shows up.
-        let mut acc = Vec::with_capacity(8 + bytes.len());
-        acc.extend_from_slice(&self.response_fnv.to_le_bytes());
-        acc.extend_from_slice(&bytes);
-        self.response_fnv = fnv1a64(&acc);
+        self.fold_response(&bytes);
         rs.push(EncodedResponse {
             request_id,
             kind,
@@ -147,10 +199,7 @@ impl<'a> ScoreSession<'a> {
 
     fn emit_ack(&mut self, rs: &mut Vec<EncodedResponse>, request_id: u64, terminal: bool) {
         let bytes = wire::encode_frame(wire::KIND_ACK, request_id, &[]);
-        let mut acc = Vec::with_capacity(8 + bytes.len());
-        acc.extend_from_slice(&self.response_fnv.to_le_bytes());
-        acc.extend_from_slice(&bytes);
-        self.response_fnv = fnv1a64(&acc);
+        self.fold_response(&bytes);
         rs.push(EncodedResponse {
             request_id,
             kind: wire::KIND_ACK,
@@ -421,6 +470,65 @@ impl<'a> ScoreSession<'a> {
             }
         }
         Ok(())
+    }
+
+    /// Validates a hot-swap request carried as full artifact-envelope
+    /// bytes: the envelope must decode, its lineage must name the
+    /// serving champion as parent with generation champion + 1, and the
+    /// challenger must be servable under the current config (same
+    /// feature schema; compiles on the compiled backend). No session
+    /// state changes — the daemon calls this *before* logging the swap
+    /// frame, so a recorded log never contains a swap a replay would
+    /// refuse.
+    ///
+    /// # Errors
+    ///
+    /// [`SbedError::Draining`] after finish; envelope/lineage/schema
+    /// errors via the `streamd`/`mlkit` conversions.
+    pub fn prepare_swap(&self, envelope: &[u8]) -> Result<SessionSwap> {
+        if self.finished {
+            return Err(SbedError::Draining);
+        }
+        let (artifact, lineage) = PipelineArtifact::from_bytes_with_lineage(envelope)?;
+        lineage
+            .verify_succession(self.champion_checksum, self.champion_generation)
+            .map_err(streamd::StreamError::from)?;
+        let prepared = self
+            .step
+            .prepare_swap(Arc::new(artifact), lineage.generation)?;
+        Ok(SessionSwap {
+            prepared,
+            checksum: fnv1a64(envelope),
+            lineage_generation: lineage.generation,
+        })
+    }
+
+    /// Commits a prepared hot swap at the current request-sequence
+    /// boundary: the pending batch is flushed and scored by the old
+    /// generation (its SCORES responses are routed and emitted here, so
+    /// no in-flight launch is dropped or double-scored), then the
+    /// challenger becomes the champion. Every response emitted after
+    /// this call is attributable to the new generation.
+    ///
+    /// # Errors
+    ///
+    /// Scoring-core failures during the boundary flush (the swap is not
+    /// committed).
+    pub fn apply_swap(&mut self, swap: SessionSwap) -> Result<Vec<EncodedResponse>> {
+        let mut rs = Vec::new();
+        let mut sink = NullSink;
+        let mut out = std::mem::take(&mut self.out);
+        let now_min = self.current_minute.unwrap_or(0);
+        let result =
+            self.step
+                .swap_artifact(now_min, swap.prepared, &mut out, &mut sink, &mut self.rec);
+        self.out = out;
+        result?;
+        self.route_out(&mut rs);
+        self.champion_checksum = swap.checksum;
+        self.champion_generation = swap.lineage_generation;
+        self.n_swaps += 1;
+        Ok(rs)
     }
 
     /// Finalises a session that ends without a FINISH frame (daemon

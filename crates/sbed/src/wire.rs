@@ -12,9 +12,9 @@
 //! |     20 |    8 | FNV-1a checksum of the payload             |
 //! |     28 |  len | payload                                    |
 //!
-//! The checksum is `mlkit::artifact::fnv1a64` — the same hash the
-//! on-disk artifact envelope uses, so a daemon and its artifacts share
-//! one integrity primitive. All integers are little-endian; floats
+//! The checksum is `mlkit::hash::fnv1a64` — the same hash the on-disk
+//! artifact envelope uses, so a daemon and its artifacts share one
+//! integrity primitive. All integers are little-endian; floats
 //! travel as their IEEE-754 bit patterns, so scores cross the wire
 //! bit-exactly.
 //!
@@ -30,7 +30,7 @@
 //! cannot panic the decoder.
 
 use crate::{Result, SbedError};
-use mlkit::artifact::fnv1a64;
+use mlkit::hash::fnv1a64;
 
 /// Frame magic: the first four bytes of every frame.
 pub const MAGIC: [u8; 4] = *b"SBEW";
@@ -48,6 +48,12 @@ pub const MAX_EVENT_NODES: u32 = 1 << 16;
 pub const KIND_EVENT: u16 = 0x0001;
 /// Request: end of stream — flush, report, and (by default) shut down.
 pub const KIND_FINISH: u16 = 0x0002;
+/// Control: hot-swap the serving artifact at this admission sequence
+/// number; the payload is a full `mlkit::artifact` envelope. Never
+/// accepted from the network — connection readers admit only
+/// [`KIND_EVENT`] / [`KIND_FINISH`] — but it appears in recorded
+/// request logs so a replay reproduces the swap at the same boundary.
+pub const KIND_SWAP: u16 = 0x0003;
 /// Response: event admitted.
 pub const KIND_ACK: u16 = 0x8001;
 /// Response: per-node scores for one launch.
@@ -248,7 +254,7 @@ pub fn validate_header(hdr: &[u8; HEADER_LEN]) -> Result<FrameHeader> {
 pub fn known_kind(kind: u16) -> bool {
     matches!(
         kind,
-        KIND_EVENT | KIND_FINISH | KIND_ACK | KIND_SCORES | KIND_ERROR | KIND_REPORT
+        KIND_EVENT | KIND_FINISH | KIND_SWAP | KIND_ACK | KIND_SCORES | KIND_ERROR | KIND_REPORT
     )
 }
 
@@ -626,12 +632,17 @@ pub struct ReportPayload {
     /// FNV-1a checksum of the final obskit metrics snapshot JSON —
     /// byte-stability of the whole metrics surface in eight bytes.
     pub snapshot_fnv: u64,
+    /// Hot swaps committed during the run.
+    pub n_swaps: u64,
+    /// The serving generation at end of stream (0 when no swap ever
+    /// committed).
+    pub generation: u32,
 }
 
 impl ReportPayload {
     /// Encodes the payload.
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(48);
+        let mut out = Vec::with_capacity(60);
         for v in [
             self.n_events,
             self.n_requests,
@@ -639,9 +650,11 @@ impl ReportPayload {
             self.n_batches,
             self.n_alerts,
             self.snapshot_fnv,
+            self.n_swaps,
         ] {
             out.extend_from_slice(&v.to_le_bytes());
         }
+        out.extend_from_slice(&self.generation.to_le_bytes());
         out
     }
 
@@ -659,6 +672,8 @@ impl ReportPayload {
             n_batches: cur.u64("report batches")?,
             n_alerts: cur.u64("report alerts")?,
             snapshot_fnv: cur.u64("report snapshot checksum")?,
+            n_swaps: cur.u64("report swap count")?,
+            generation: cur.u32("report generation")?,
         };
         cur.finish("report")?;
         Ok(r)
@@ -771,6 +786,8 @@ mod tests {
             n_batches: 4,
             n_alerts: 5,
             snapshot_fnv: 0xdead_beef,
+            n_swaps: 2,
+            generation: 2,
         };
         assert_eq!(ReportPayload::decode(&r.encode()).unwrap(), r);
     }

@@ -11,10 +11,11 @@
 //! columns.
 
 use crate::{Result, StreamError};
-use mlkit::artifact::{fnv1a64, Envelope};
+use mlkit::artifact::{Envelope, Lineage};
 use mlkit::dataset::Dataset;
 use mlkit::fastpath::{CompiledGbdt, CompiledLinear, FeatureFrame};
 use mlkit::gbdt::Gbdt;
+use mlkit::hash::fnv1a64;
 use mlkit::linear::LogisticRegression;
 use mlkit::model::Classifier;
 use mlkit::scaler::StandardScaler;
@@ -150,6 +151,18 @@ pub fn feature_schema_hash(spec: &FeatureSpec) -> u64 {
     fnv1a64(joined.as_bytes())
 }
 
+/// The checksum by which an artifact is referenced in lineage headers:
+/// FNV-1a 64 over its full encoded envelope bytes (header included), so
+/// two artifacts differing only in lineage hash differently. Producer
+/// and consumer of a succession link must both use this function.
+///
+/// # Errors
+///
+/// Propagates envelope-encoding errors.
+pub fn artifact_checksum(art: &PipelineArtifact, lineage: Lineage) -> Result<u64> {
+    Ok(fnv1a64(&art.to_bytes_with_lineage(lineage)?))
+}
+
 /// A trained, shippable TwoStage pipeline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PipelineArtifact {
@@ -237,23 +250,38 @@ impl PipelineArtifact {
         feature_schema_hash(&self.spec)
     }
 
-    /// Serialises to envelope bytes.
+    /// Serialises to envelope bytes with root lineage (a from-scratch
+    /// artifact, not a promoted challenger).
     ///
     /// # Errors
     ///
     /// Propagates payload-encoding and envelope errors.
     pub fn to_bytes(&self) -> Result<Vec<u8>> {
+        self.to_bytes_with_lineage(Lineage::root())
+    }
+
+    /// Serialises to envelope bytes carrying the given lineage header —
+    /// the continual-learning loop's path, recording which champion the
+    /// artifact was promoted over and what window it was trained on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates payload-encoding and envelope errors.
+    pub fn to_bytes_with_lineage(&self, lineage: Lineage) -> Result<Vec<u8>> {
         let payload = serde_json::to_string(self)
             .map_err(|e| StreamError::Payload {
                 reason: e.to_string(),
             })?
             .into_bytes();
-        let env = Envelope::new(PIPELINE_KIND, self.schema_hash(), payload);
+        let env = Envelope::with_lineage(PIPELINE_KIND, self.schema_hash(), lineage, payload);
         Ok(env.encode()?)
     }
 
     /// Parses envelope bytes back into an artifact, verifying magic,
-    /// format version, checksum, kind, and feature-schema hash.
+    /// format version, checksum, kind, and feature-schema hash. The
+    /// lineage header is discarded; use
+    /// [`PipelineArtifact::from_bytes_with_lineage`] when succession
+    /// matters.
     ///
     /// # Errors
     ///
@@ -266,6 +294,17 @@ impl PipelineArtifact {
     ///   hash disagrees with what the running code derives from the
     ///   decoded spec (stale artifact or tampered header).
     pub fn from_bytes(bytes: &[u8]) -> Result<PipelineArtifact> {
+        Ok(PipelineArtifact::from_bytes_with_lineage(bytes)?.0)
+    }
+
+    /// Parses envelope bytes into an artifact plus its lineage header.
+    ///
+    /// # Errors
+    ///
+    /// See [`PipelineArtifact::from_bytes`]; additionally
+    /// [`mlkit::MlError::ArtifactLineage`] for an inverted training
+    /// window.
+    pub fn from_bytes_with_lineage(bytes: &[u8]) -> Result<(PipelineArtifact, Lineage)> {
         let env = Envelope::decode(bytes)?;
         if env.kind != PIPELINE_KIND {
             return Err(mlkit::MlError::ArtifactKindMismatch {
@@ -292,7 +331,7 @@ impl PipelineArtifact {
         // Stage-1 membership relies on sortedness; do not trust the wire.
         art.offenders.sort_unstable();
         art.offenders.dedup();
-        Ok(art)
+        Ok((art, env.lineage))
     }
 
     /// Writes the artifact to `path`.
@@ -370,6 +409,25 @@ mod tests {
         assert_eq!(back.spec(), art.spec());
         assert_eq!(back.schema_hash(), art.schema_hash());
         assert_eq!(back.model().name(), "LR");
+    }
+
+    #[test]
+    fn lineage_round_trips_through_pipeline_bytes() {
+        let art = toy_artifact();
+        let lin = Lineage::child_of(0x5555_aaaa_5555_aaaa, 2, 1_000, 3_000);
+        let bytes = art.to_bytes_with_lineage(lin).unwrap();
+        let (back, got) = PipelineArtifact::from_bytes_with_lineage(&bytes).unwrap();
+        assert_eq!(got, lin);
+        assert_eq!(back.offenders(), art.offenders());
+        // The plain decoder accepts the same bytes and drops the header.
+        assert!(PipelineArtifact::from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn root_lineage_by_default() {
+        let art = toy_artifact();
+        let (_, lin) = PipelineArtifact::from_bytes_with_lineage(&art.to_bytes().unwrap()).unwrap();
+        assert_eq!(lin, Lineage::root());
     }
 
     #[test]

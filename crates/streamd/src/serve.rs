@@ -259,6 +259,26 @@ struct PendingRequest {
     hist: HistCounts,
 }
 
+/// The scorer's handle on its serving artifact. A scorer starts on a
+/// caller-borrowed champion; a hot swap installs an owned (promoted)
+/// challenger without requiring the caller to keep the old borrow
+/// alive or restart the loop.
+enum ArtifactRef<'a> {
+    /// The artifact the scorer was built with.
+    Borrowed(&'a PipelineArtifact),
+    /// A hot-swapped successor, owned by the scorer.
+    Owned(std::sync::Arc<PipelineArtifact>),
+}
+
+impl ArtifactRef<'_> {
+    fn get(&self) -> &PipelineArtifact {
+        match self {
+            ArtifactRef::Borrowed(a) => a,
+            ArtifactRef::Owned(a) => a,
+        }
+    }
+}
+
 /// Per-run scoring state, built once before the replay starts.
 enum Scorer {
     /// Interpreted path: stateless, the model scores a per-flush
@@ -347,7 +367,7 @@ pub struct StepStats {
 /// emission order (stage-1 rejections at launch time, stage-2 rows at
 /// flush time, batch order).
 pub struct StepScorer<'a> {
-    artifact: &'a PipelineArtifact,
+    artifact: ArtifactRef<'a>,
     cfg: ServeConfig,
     spec: sbepred::features::FeatureSpec,
     topology: titan_sim::topology::Topology,
@@ -356,6 +376,27 @@ pub struct StepScorer<'a> {
     engine: StreamFeatureEngine,
     pending: Vec<PendingRequest>,
     stats: StepStats,
+    /// Serving generation: 0 for the artifact the scorer was built with,
+    /// bumped by every committed hot swap.
+    generation: u32,
+}
+
+/// A validated, pre-compiled challenger ready to be committed by
+/// [`StepScorer::swap_artifact`]. Building one does all the fallible,
+/// allocating work (schema check, generation check, fastpath
+/// compilation) *off* the swap boundary, so the commit itself is a pure
+/// field exchange.
+pub struct PreparedSwap {
+    artifact: std::sync::Arc<PipelineArtifact>,
+    scorer: Scorer,
+    generation: u32,
+}
+
+impl PreparedSwap {
+    /// The generation this swap will install.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
 }
 
 impl<'a> StepScorer<'a> {
@@ -409,7 +450,7 @@ impl<'a> StepScorer<'a> {
             })),
         };
         Ok(StepScorer {
-            artifact,
+            artifact: ArtifactRef::Borrowed(artifact),
             cfg: *cfg,
             spec,
             topology,
@@ -418,7 +459,111 @@ impl<'a> StepScorer<'a> {
             engine: StreamFeatureEngine::new(),
             pending: Vec::new(),
             stats: StepStats::default(),
+            generation: 0,
         })
+    }
+
+    /// The serving generation: 0 until the first committed hot swap.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The artifact currently being served.
+    pub fn artifact(&self) -> &PipelineArtifact {
+        self.artifact.get()
+    }
+
+    /// Validates and pre-compiles a challenger for a later
+    /// [`StepScorer::swap_artifact`]. All the expensive or fallible work
+    /// happens here, off the swap boundary: the challenger must carry
+    /// the *same feature schema* as the serving champion (the stream
+    /// feeder and pending requests were assembled under it), and
+    /// `generation` must strictly advance the serving generation.
+    ///
+    /// # Errors
+    ///
+    /// * [`mlkit::MlError::ArtifactSchemaMismatch`] (via
+    ///   [`StreamError::Ml`]) — the challenger was trained under a
+    ///   different feature schema;
+    /// * [`mlkit::MlError::ArtifactLineage`] — `generation` does not
+    ///   strictly advance the serving generation;
+    /// * compilation errors for the compiled backend.
+    pub fn prepare_swap(
+        &self,
+        artifact: std::sync::Arc<PipelineArtifact>,
+        generation: u32,
+    ) -> Result<PreparedSwap> {
+        let expected = self.artifact.get().schema_hash();
+        let found = artifact.schema_hash();
+        if found != expected {
+            return Err(mlkit::MlError::ArtifactSchemaMismatch { expected, found }.into());
+        }
+        if generation <= self.generation {
+            return Err(mlkit::MlError::ArtifactLineage {
+                reason: format!(
+                    "swap generation {generation} does not advance serving generation {}",
+                    self.generation
+                ),
+            }
+            .into());
+        }
+        let scorer = match self.cfg.backend {
+            ScorerBackend::Interpreted => Scorer::Interpreted,
+            ScorerBackend::Compiled => {
+                let n_features = self.spec.feature_names().len();
+                Scorer::Compiled(Box::new(CompiledState {
+                    scorer: artifact.compile()?,
+                    n_features,
+                    slots: Vec::new(),
+                    frame: FeatureFrame::with_capacity(
+                        n_features,
+                        self.cfg.batch_capacity.min(1_024),
+                    ),
+                    proba: Vec::new(),
+                }))
+            }
+        };
+        Ok(PreparedSwap {
+            artifact,
+            scorer,
+            generation,
+        })
+    }
+
+    /// Commits a prepared hot swap at a batch boundary: everything
+    /// admitted before this call is flushed and scored by the *old*
+    /// generation (no request is dropped or double-scored), then the
+    /// challenger becomes the serving artifact. Scores emitted by the
+    /// flush land in `out`/`sink` exactly as a deadline flush would
+    /// have delivered them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush (telemetry/assembly/classifier/sink) errors; on
+    /// error the swap is not committed.
+    pub fn swap_artifact(
+        &mut self,
+        now_min: u64,
+        prepared: PreparedSwap,
+        out: &mut Vec<ScoredLaunch>,
+        sink: &mut dyn AlertSink,
+        rec: &mut Recorder,
+    ) -> Result<()> {
+        self.flush_pending(now_min, out, sink, rec)?;
+        rec.incr("streamd.swaps", 1);
+        self.commit_swap(prepared);
+        rec.gauge("streamd.generation", self.generation as f64);
+        Ok(())
+    }
+
+    /// The swap boundary itself: a pure field exchange, nothing else.
+    /// Hot-path root (D006/D007/D008) — the pause a swap imposes on the
+    /// serving loop is exactly this function, so it must not panic,
+    /// allocate, or consult ambient state.
+    fn commit_swap(&mut self, prepared: PreparedSwap) {
+        self.artifact = ArtifactRef::Owned(prepared.artifact);
+        self.scorer = prepared.scorer;
+        self.generation = prepared.generation;
     }
 
     /// Opens `minute`: applies the previous minute's deferred prev-app
@@ -473,7 +618,7 @@ impl<'a> StepScorer<'a> {
         for node in nodes {
             self.stats.n_requests += 1;
             rec.incr("streamd.requests", 1);
-            if !self.artifact.is_offender(node.0) {
+            if !self.artifact.get().is_offender(node.0) {
                 // Stage 1: never-offending node — predicted SBE-free
                 // without touching the classifier.
                 rec.incr("streamd.stage1_filtered", 1);
@@ -601,7 +746,7 @@ impl<'a> StepScorer<'a> {
             }
             None => Vec::new(),
         };
-        let scaler = self.artifact.scaler();
+        let scaler = self.artifact.get().scaler();
         // Both arms record the identical feature/score span sequence and
         // produce bit-identical probabilities, so the obskit snapshot
         // does not depend on the backend. The assembly/scoring bodies
@@ -619,7 +764,7 @@ impl<'a> StepScorer<'a> {
                 let score_span = rec.span_start("streamd.score");
                 let ds =
                     Dataset::from_rows(&rows, &vec![0.0; rows.len()]).map_err(StreamError::from)?;
-                proba_interpreted = self.artifact.model().predict_proba(&ds)?;
+                proba_interpreted = self.artifact.get().model().predict_proba(&ds)?;
                 rec.span_end(score_span);
                 &proba_interpreted
             }
@@ -633,7 +778,7 @@ impl<'a> StepScorer<'a> {
                 &state.proba
             }
         };
-        let threshold = self.artifact.model().threshold();
+        let threshold = self.artifact.get().model().threshold();
 
         for (p, &prob) in batch.iter().zip(proba) {
             self.stats.n_stage2 += 1;

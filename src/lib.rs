@@ -15,10 +15,14 @@
 //!   parity,
 //! * [`sbed`] — the fleet-scale TCP scoring daemon: wire protocol,
 //!   sequenced multi-connection serving, mock-fleet load driver, and
-//!   bit-identical request-log replay.
+//!   bit-identical request-log replay,
+//! * [`driftd`] — continual learning: online drift detection,
+//!   champion/challenger retraining, and zero-downtime artifact hot
+//!   swap with lineage-verified succession.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
 
+pub use driftd;
 pub use mlkit;
 pub use obskit;
 pub use parkit;
